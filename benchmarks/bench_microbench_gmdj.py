@@ -1,0 +1,172 @@
+"""Micro-benchmarks of the GMDJ evaluator's internal regimes.
+
+Not a paper figure — these pin down the performance characteristics the
+figures rely on, at the operator level:
+
+* hash-partitioned vs scan-partitioned θ blocks;
+* the invariant-block optimization (uncorrelated θ computed once);
+* memory-bounded base chunking: cost steps with ceil(|B|/M);
+* partitioned (parallel-style) evaluation vs single scan;
+* coalescing width: k blocks in one GMDJ vs k stacked GMDJs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_report
+from repro.algebra.aggregates import agg, count_star
+from repro.algebra.expressions import TRUE, col, lit
+from repro.algebra.operators import ScanTable
+from repro.gmdj import (
+    evaluate_gmdj_chunked,
+    evaluate_gmdj_partitioned,
+    md,
+)
+from repro.storage import Catalog, DataType, Relation, collect
+from repro.data.rng import make_rng
+
+BASE_ROWS = 300
+DETAIL_ROWS = 15000
+_catalog = None
+
+
+def _setup() -> Catalog:
+    global _catalog
+    if _catalog is None:
+        rng = make_rng(99, "micro")
+        catalog = Catalog()
+        catalog.create_table("B", Relation.from_columns(
+            [("K", DataType.INTEGER), ("X", DataType.INTEGER)],
+            [(i, rng.randint(0, 1000)) for i in range(BASE_ROWS)],
+        ))
+        catalog.create_table("R", Relation.from_columns(
+            [("K", DataType.INTEGER), ("V", DataType.INTEGER)],
+            [(rng.randrange(BASE_ROWS), rng.randint(0, 1000))
+             for _ in range(DETAIL_ROWS)],
+        ))
+        _catalog = catalog
+    return _catalog
+
+
+def hash_plan():
+    return md(ScanTable("B", "b"), ScanTable("R", "r"),
+              [[count_star("cnt"), agg("sum", col("r.V"), "s")]],
+              [col("b.K") == col("r.K")])
+
+
+def scan_plan():
+    return md(ScanTable("B", "b"), ScanTable("R", "r"),
+              [[count_star("cnt")]], [col("b.X") < col("r.V")])
+
+
+def invariant_plan():
+    return md(ScanTable("B", "b"), ScanTable("R", "r"),
+              [[count_star("cnt")]], [col("r.V") > lit(500)])
+
+
+def test_hash_partitioned_block(benchmark):
+    catalog = _setup()
+    result = benchmark.pedantic(
+        lambda: hash_plan().evaluate(catalog), rounds=1, iterations=1
+    )
+    assert len(result) == BASE_ROWS
+
+
+def test_scan_partitioned_block(benchmark):
+    catalog = _setup()
+    # Scan partitioning is the Figure 4 regime: O(|B| x |R|) residual
+    # evaluations.  Keep it small enough for a micro-bench.
+    small = Catalog()
+    small.create_table("B", Relation.from_columns(
+        [("K", DataType.INTEGER), ("X", DataType.INTEGER)],
+        catalog.table("B").rows[:100],
+    ))
+    small.create_table("R", Relation.from_columns(
+        [("K", DataType.INTEGER), ("V", DataType.INTEGER)],
+        catalog.table("R").rows[:5000],
+    ))
+    result = benchmark.pedantic(
+        lambda: scan_plan().evaluate(small), rounds=1, iterations=1
+    )
+    assert len(result) == 100
+
+
+def test_invariant_block_shared(benchmark):
+    catalog = _setup()
+    result = benchmark.pedantic(
+        lambda: invariant_plan().evaluate(catalog), rounds=1, iterations=1
+    )
+    assert len(result) == BASE_ROWS
+    with collect() as stats:
+        invariant_plan().evaluate(catalog)
+    # Shared state: one aggregate update per qualifying detail tuple,
+    # not per (base, detail) pair.
+    assert stats.aggregate_updates < DETAIL_ROWS + 1
+
+
+@pytest.mark.parametrize("budget", [50, 100, 300])
+def test_chunked_evaluation(benchmark, budget):
+    catalog = _setup()
+    result = benchmark.pedantic(
+        lambda: evaluate_gmdj_chunked(hash_plan(), catalog, budget),
+        rounds=1, iterations=1,
+    )
+    assert len(result) == BASE_ROWS
+
+
+@pytest.mark.parametrize("partitions", [1, 4])
+def test_partitioned_evaluation(benchmark, partitions):
+    catalog = _setup()
+    result = benchmark.pedantic(
+        lambda: evaluate_gmdj_partitioned(hash_plan(), catalog, partitions),
+        rounds=1, iterations=1,
+    )
+    assert len(result) == BASE_ROWS
+
+
+@pytest.mark.parametrize("width", [1, 2, 4, 8])
+def test_coalescing_width(benchmark, width):
+    """k θ-blocks in one GMDJ: the scan cost must stay ~flat in k."""
+    catalog = _setup()
+    blocks = [[count_star(f"c{i}")] for i in range(width)]
+    conditions = [
+        (col("b.K") == col("r.K")) & (col("r.V") > lit(i * 100))
+        for i in range(width)
+    ]
+    plan = md(ScanTable("B", "b"), ScanTable("R", "r"), blocks, conditions)
+    result = benchmark.pedantic(
+        lambda: plan.evaluate(catalog), rounds=1, iterations=1
+    )
+    assert len(result) == BASE_ROWS
+
+
+def test_microbench_report(benchmark):
+    catalog = _setup()
+
+    def run():
+        lines = ["== GMDJ micro-benchmarks: scans and updates =="]
+        with collect() as stats:
+            hash_plan().evaluate(catalog)
+        lines.append(f"hash block:      scans={stats.relation_scans} "
+                     f"updates={stats.aggregate_updates}")
+        with collect() as stats:
+            invariant_plan().evaluate(catalog)
+        lines.append(f"invariant block: scans={stats.relation_scans} "
+                     f"updates={stats.aggregate_updates} (shared)")
+        for budget in (50, 150, 300):
+            with collect() as stats:
+                evaluate_gmdj_chunked(hash_plan(), catalog, budget)
+            lines.append(
+                f"chunked M={budget:4d}: detail scans="
+                f"{stats.relation_scans - 1}"
+            )
+        with collect() as stats:
+            evaluate_gmdj_partitioned(hash_plan(), catalog, 4)
+        lines.append(f"partitioned x4:  tuples={stats.tuples_scanned} "
+                     f"(equals single-scan volume)")
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(text)
+    write_report("microbench_gmdj", text)

@@ -1,0 +1,92 @@
+"""Scaling study: GMDJ cost growth vs workload dimensions.
+
+Not a paper figure, but the property all of Section 5 leans on: the
+GMDJ's work is **linear in the detail size** (single scan) and **linear
+in the base size** for hash-partitioned θs, while the nested loop is
+bilinear.  The report fits growth ratios and the assertions require the
+GMDJ's measured work to grow by no more than ~1.4× the size ratio per
+step (linear with slack) while the naive loop grows multiplicatively.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_report
+from repro.bench import build_fig2, compare_strategies
+from repro.engine import make_executor
+
+DETAIL_SIZES = (4000, 8000, 16000)
+OUTER_SIZES = (50, 100, 200)
+_cache = {}
+
+
+def _workload(outer, inner):
+    key = (outer, inner)
+    if key not in _cache:
+        _cache[key] = build_fig2(inner, outer_size=outer)
+    return _cache[key]
+
+
+@pytest.mark.parametrize("inner", DETAIL_SIZES)
+def test_gmdj_scaling_in_detail(benchmark, inner):
+    workload = _workload(100, inner)
+    runner = make_executor(workload.query, workload.catalog, "gmdj_optimized")
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("outer", OUTER_SIZES)
+def test_gmdj_scaling_in_base(benchmark, outer):
+    workload = _workload(outer, 8000)
+    runner = make_executor(workload.query, workload.catalog, "gmdj_optimized")
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    assert len(result) >= 0
+
+
+def test_scaling_report(benchmark):
+    def run():
+        detail_series = [
+            compare_strategies(_workload(100, inner),
+                               ["naive", "gmdj_optimized"])
+            for inner in DETAIL_SIZES
+        ]
+        base_series = [
+            compare_strategies(_workload(outer, 8000),
+                               ["naive", "gmdj_optimized"])
+            for outer in OUTER_SIZES
+        ]
+        return detail_series, base_series
+
+    detail_series, base_series = benchmark.pedantic(run, rounds=1,
+                                                    iterations=1)
+    lines = ["== Scaling study: work growth per doubling =="]
+    for label, series, sizes in (
+        ("detail size", detail_series, DETAIL_SIZES),
+        ("base size", base_series, OUTER_SIZES),
+    ):
+        lines.append(f"-- sweep over {label}: {sizes}")
+        for strategy in ("naive", "gmdj_optimized"):
+            works = [r.reports[strategy].total_work for r in series]
+            ratios = [works[i + 1] / works[i] for i in range(len(works) - 1)]
+            pretty = ", ".join(f"{ratio:.2f}x" for ratio in ratios)
+            lines.append(f"   {strategy:15s} work={works} growth=[{pretty}]")
+            if strategy == "gmdj_optimized":
+                # Linear in each dimension: growth per doubling stays
+                # well under the bilinear 4x (2x size -> ~2x work).
+                assert all(ratio < 2.9 for ratio in ratios), ratios
+        naive_growth = [
+            series[i + 1].reports["naive"].total_work
+            / series[i].reports["naive"].total_work
+            for i in range(len(series) - 1)
+        ]
+        gmdj_growth = [
+            series[i + 1].reports["gmdj_optimized"].total_work
+            / series[i].reports["gmdj_optimized"].total_work
+            for i in range(len(series) - 1)
+        ]
+        # The nested loop grows at least as fast as the GMDJ everywhere.
+        assert all(n >= g * 0.9 for n, g in zip(naive_growth, gmdj_growth))
+    text = "\n".join(lines)
+    print(text)
+    write_report("scaling_study", text)

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure module builds its workloads once per parameter point (module
+cache), benchmarks each (point, strategy) pair as its own pytest-benchmark
+case, and emits a paper-style series table via :func:`write_report` — both
+printed and saved under ``benchmark_results/`` so the series survives
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist one experiment's series table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+class WorkloadCache:
+    """Build-once cache for (point → Workload) within a module."""
+
+    def __init__(self, builder):
+        self._builder = builder
+        self._store = {}
+
+    def get(self, *key):
+        if key not in self._store:
+            self._store[key] = self._builder(*key)
+        return self._store[key]

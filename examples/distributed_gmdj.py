@@ -1,0 +1,86 @@
+"""Distributed and memory-bounded GMDJ evaluation.
+
+Two evaluation regimes the paper points at beyond the single-node,
+in-memory case:
+
+* **Partitioned (parallel) evaluation** — split the detail relation into
+  fragments, evaluate each independently against a replicated base, and
+  merge the mergeable accumulator states.  Same total scan volume as a
+  single pass, so horizontal scale-out is "free" in data touched.
+* **Memory-bounded base chunking** — when the base-values table exceeds
+  memory, scan the detail once per base fragment: a *well-defined* cost
+  of ceil(|B|/M) detail scans instead of unpredictable thrashing
+  (Section 2.3).
+
+Run:  python examples/distributed_gmdj.py
+"""
+
+from repro import Database, agg, col, count_star, lit, md, scan
+from repro.data import NetflowConfig, build_netflow_catalog
+from repro.gmdj import (
+    detail_scans_required,
+    evaluate_gmdj_chunked,
+    evaluate_gmdj_partitioned,
+)
+from repro.storage import collect
+
+
+def build_plan():
+    """Per-hour traffic profile: HTTP bytes, total bytes, flow count."""
+    in_hour = (col("F.StartTime") >= col("H.StartInterval")) & (
+        col("F.StartTime") < col("H.EndInterval")
+    )
+    return md(
+        scan("Hours", "H"),
+        scan("Flow", "F"),
+        [[agg("sum", col("F.NumBytes"), "http_bytes")],
+         [agg("sum", col("F.NumBytes"), "total_bytes"),
+          count_star("flows")]],
+        [in_hour & (col("F.Protocol") == lit("HTTP")), in_hour],
+    )
+
+
+def main() -> None:
+    db = Database()
+    catalog = build_netflow_catalog(
+        NetflowConfig(flows=20000, hours=48, users=30, seed=17)
+    )
+    for name in catalog.table_names():
+        db.register(name, catalog.table(name))
+    print(f"Warehouse: {len(db.table('Flow'))} flows over "
+          f"{len(db.table('Hours'))} hours\n")
+
+    plan = build_plan()
+    with collect() as single_stats:
+        single = plan.evaluate(db.catalog)
+
+    print("Partitioned evaluation (simulated scale-out):")
+    for partitions in (1, 2, 4, 8):
+        with collect() as stats:
+            result = evaluate_gmdj_partitioned(build_plan(), db.catalog,
+                                               partitions)
+        assert result.bag_equal(single)
+        print(f"  {partitions} partition(s): tuples scanned "
+              f"{stats.tuples_scanned:7d} (single-scan volume: "
+              f"{single_stats.tuples_scanned})")
+    print()
+
+    print("Memory-bounded evaluation (base chunking):")
+    base_rows = len(db.table("Hours"))
+    for budget in (48, 16, 8, 4):
+        with collect() as stats:
+            result = evaluate_gmdj_chunked(build_plan(), db.catalog, budget)
+        assert result.bag_equal(single)
+        predicted = detail_scans_required(base_rows, budget)
+        print(f"  memory for {budget:2d} base tuples: "
+              f"{stats.relation_scans - 1} detail scans "
+              f"(formula says {predicted}), "
+              f"{stats.pages_read} pages")
+    print()
+
+    print("Hourly profile (first 6 hours):")
+    print(single.sorted_by("H.HourDescription").pretty(limit=6))
+
+
+if __name__ == "__main__":
+    main()

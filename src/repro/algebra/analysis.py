@@ -1,0 +1,81 @@
+"""Condition analysis: factoring predicates for indexed evaluation.
+
+Joins and GMDJs both accept arbitrary θ conditions over a pair of schemas.
+To evaluate them efficiently we factor θ into
+
+* *equality conjuncts* ``left_expr = right_expr`` where one side refers only
+  to the left schema and the other only to the right schema — these become
+  hash keys; and
+* a *residual* predicate evaluated on the concatenated tuple.
+
+The same factoring decides the paper's Figure 4 story: a ``<>`` correlation
+predicate yields no equality conjunct, so the basic GMDJ degrades to
+scanning the base array per detail tuple, until tuple completion rescues it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expressions import (
+    Comparison,
+    Expression,
+    TruthLiteral,
+    conjoin,
+    conjuncts_of,
+)
+from repro.algebra.truth import Truth
+from repro.storage.schema import Schema
+
+
+def refers_only_to(expression: Expression, schema: Schema) -> bool:
+    """True when every attribute reference resolves in ``schema``."""
+    return all(schema.has(ref) for ref in expression.references())
+
+
+@dataclass
+class FactoredCondition:
+    """Result of :func:`factor_condition`.
+
+    ``left_keys[i]`` must equal ``right_keys[i]`` (SQL equality, so NULL
+    never matches); ``residual`` is evaluated over left ++ right.
+    """
+
+    left_keys: list[Expression]
+    right_keys: list[Expression]
+    residual: Expression | None
+
+    @property
+    def has_equality(self) -> bool:
+        return bool(self.left_keys)
+
+
+def factor_condition(
+    condition: Expression, left: Schema, right: Schema
+) -> FactoredCondition:
+    """Split ``condition`` into hashable equality conjuncts and a residual."""
+    left_keys: list[Expression] = []
+    right_keys: list[Expression] = []
+    residual: list[Expression] = []
+    for conjunct in conjuncts_of(condition):
+        if isinstance(conjunct, TruthLiteral) and conjunct.value is Truth.TRUE:
+            continue
+        placed = False
+        if isinstance(conjunct, Comparison) and conjunct.op == "=":
+            a, b = conjunct.left, conjunct.right
+            if refers_only_to(a, left) and refers_only_to(b, right):
+                left_keys.append(a)
+                right_keys.append(b)
+                placed = True
+            elif refers_only_to(b, left) and refers_only_to(a, right):
+                left_keys.append(b)
+                right_keys.append(a)
+                placed = True
+        if not placed:
+            residual.append(conjunct)
+    residual_expr = conjoin(residual) if residual else None
+    return FactoredCondition(left_keys, right_keys, residual_expr)
+
+
+def is_trivially_true(condition: Expression) -> bool:
+    return isinstance(condition, TruthLiteral) and condition.value is Truth.TRUE

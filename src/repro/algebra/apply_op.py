@@ -1,0 +1,267 @@
+"""The APPLY operator of Galindo-Legaria & Joshi (VLDB 2001).
+
+Section 2.1 of the paper notes the translation rules "are not dependent
+on the use of this nested algebra; … we could map to GMDJs from the
+*APPLY* operator (used to represent looping subquery evaluation) of [14]
+in the same way", and the conclusion suggests adding GMDJ-based
+"alternate correlation removal rules for the APPLY operator" to a
+cost-based optimizer.  This module implements exactly that:
+
+* :class:`Apply` — the looping operator: for every input tuple, evaluate
+  a parameterized subquery and combine per the mode:
+
+  - ``semi`` / ``anti``  — keep the tuple iff the subquery is non-empty /
+    empty (the EXISTS / NOT EXISTS shapes);
+  - ``scalar``           — extend the tuple with the subquery's single
+    value (NULL on empty; error on >1 row);
+  - ``aggregate``        — extend the tuple with an aggregate of the
+    subquery's item over its qualifying rows.
+
+* :func:`apply_to_gmdj` — the GMDJ-based correlation removal: rewrite an
+  Apply into a (fused selection over a) GMDJ using the same counting
+  rules as Table 1, making the whole Section 3 machinery available to an
+  APPLY-based optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.aggregates import AggregateSpec, count_star
+from repro.algebra.expressions import Column, Comparison, Literal
+from repro.algebra.nested import Subquery, env_with_row
+from repro.algebra.operators import Operator, Project, Select
+from repro.errors import CardinalityError, PlanError, TranslationError
+from repro.gmdj.operator import GMDJ, ThetaBlock
+from repro.storage.catalog import Catalog
+from repro.storage.iostats import IOStats
+from repro.storage.relation import Relation
+from repro.storage.schema import Field, Schema
+
+APPLY_MODES = ("semi", "anti", "scalar", "aggregate")
+
+
+@dataclass
+class Apply(Operator):
+    """``input APPLY subquery`` with looping (tuple-at-a-time) semantics.
+
+    ``subquery`` is a :class:`~repro.algebra.nested.Subquery` whose
+    predicate may reference the input's attributes (the correlation).
+    ``output_name`` names the added column for scalar/aggregate modes.
+    """
+
+    input: Operator
+    subquery: Subquery
+    mode: str = "semi"
+    output_name: str = "value"
+
+    def __post_init__(self):
+        if self.mode not in APPLY_MODES:
+            raise PlanError(f"unknown APPLY mode {self.mode!r}")
+        if self.mode == "scalar" and self.subquery.item is None:
+            raise PlanError("scalar APPLY needs a subquery item")
+        if self.mode == "aggregate" and self.subquery.aggregate is None:
+            raise PlanError("aggregate APPLY needs a subquery aggregate")
+
+    def children(self):
+        return (self.input,)
+
+    def _output_field(self, catalog: Catalog) -> Field:
+        inner_schema = self.subquery.source_schema(catalog)
+        if self.mode == "aggregate":
+            spec = self.subquery.aggregate
+            assert spec is not None
+            base_field = spec.output_field(inner_schema)
+            return Field(self.output_name, base_field.dtype)
+        item = self.subquery.item
+        assert item is not None
+        from repro.algebra.operators import infer_dtype
+
+        return Field(self.output_name, infer_dtype(item, inner_schema))
+
+    def schema(self, catalog: Catalog) -> Schema:
+        input_schema = self.input.schema(catalog)
+        if self.mode in ("semi", "anti"):
+            return input_schema
+        return input_schema.extend([self._output_field(catalog)])
+
+    def evaluate(self, catalog: Catalog) -> Relation:
+        source = self.input.evaluate(catalog)
+        stats = IOStats.ambient()
+        stats.record_scan(len(source))
+        rows = []
+        for row in source.rows:
+            env = env_with_row({}, source.schema, row)
+            if self.mode in ("semi", "anti"):
+                matched = False
+                for _ in self.subquery.matching_rows(catalog, env):
+                    matched = True
+                    break
+                if matched == (self.mode == "semi"):
+                    rows.append(row)
+                continue
+            values = self.subquery.values(catalog, env)
+            if self.mode == "aggregate":
+                spec = self.subquery.aggregate
+                assert spec is not None
+                state = spec.make_accumulator()
+                for value in values:
+                    state.add(value)
+                rows.append(row + (state.result(),))
+            else:  # scalar
+                if len(values) > 1:
+                    raise CardinalityError(
+                        f"scalar APPLY returned {len(values)} rows"
+                    )
+                rows.append(row + (values[0] if values else None,))
+        stats.tuples_output += len(rows)
+        return Relation(self.schema(catalog), rows, validate=False)
+
+
+def evaluate_segmented(apply: Apply, catalog: Catalog) -> Relation:
+    """SEGMENT-APPLY-style evaluation (Galindo-Legaria & Joshi, after
+    the groupwise processing of Chatziantoniou & Ross).
+
+    Instead of re-running the subquery per outer tuple, the detail table
+    is *segmented* once on the equality-correlation key; each outer tuple
+    then evaluates its subquery against its own segment.  The paper
+    (Section 2.2) notes SEGMENT-APPLY is treated as a special-case
+    operator in [14] while the GMDJ generalizes the idea; this
+    implementation exists to make that comparison concrete — its work
+    profile sits between the looping Apply and the GMDJ rewrite.
+
+    Requires the subquery predicate to be a conjunction containing at
+    least one equality correlation conjunct over a plain table scan;
+    raises :class:`TranslationError` otherwise (callers fall back to the
+    looping evaluation).
+    """
+    from repro.algebra.analysis import factor_condition
+    from repro.algebra.nested import env_with_row, has_subqueries, substitute_free
+
+    subquery = apply.subquery
+    if has_subqueries(subquery.predicate):
+        raise TranslationError("segmented APPLY needs a flat subquery predicate")
+    source = subquery.source.evaluate(catalog)
+    input_relation = apply.input.evaluate(catalog)
+    input_schema = input_relation.schema
+    from repro.algebra.rewrite import qualify_references
+
+    predicate = qualify_references(subquery.predicate, source.schema)
+    factored = factor_condition(predicate, input_schema, source.schema)
+    if not factored.has_equality:
+        raise TranslationError(
+            "segmented APPLY needs an equality correlation conjunct"
+        )
+    stats = IOStats.ambient()
+    # Build the segments: one pass over the detail table.
+    right_keys = [k.bind(source.schema) for k in factored.right_keys]
+    segments: dict[tuple, list] = {}
+    for row in source.scan():
+        key = tuple(ev(row) for ev in right_keys)
+        if any(part is None for part in key):
+            continue
+        segments.setdefault(key, []).append(row)
+    stats.index_builds += 1
+    left_keys = [k.bind(input_schema) for k in factored.left_keys]
+    residual = factored.residual
+    combined = input_schema.concat(source.schema)
+    residual_eval = residual.bind(combined) if residual is not None else None
+
+    out_schema = apply.schema(catalog)
+    rows = []
+    stats.record_scan(len(input_relation))
+    for outer_row in input_relation.rows:
+        key = tuple(ev(outer_row) for ev in left_keys)
+        stats.index_probes += 1
+        segment = segments.get(key, ()) if not any(
+            part is None for part in key
+        ) else ()
+        matching = []
+        for inner_row in segment:
+            if residual_eval is not None:
+                stats.predicate_evals += 1
+                if not residual_eval(outer_row + inner_row).is_true:
+                    continue
+            matching.append(inner_row)
+        if apply.mode in ("semi", "anti"):
+            if bool(matching) == (apply.mode == "semi"):
+                rows.append(outer_row)
+            continue
+        env = env_with_row({}, input_schema, outer_row)
+        item = subquery.item
+        if item is None and subquery.aggregate is not None:
+            item = subquery.aggregate.argument
+        values = []
+        for inner_row in matching:
+            if item is None:
+                values.append(None)
+            else:
+                closed = substitute_free(item, source.schema, env)
+                values.append(closed.bind(source.schema)(inner_row))
+        if apply.mode == "aggregate":
+            spec = subquery.aggregate
+            assert spec is not None
+            state = spec.make_accumulator()
+            for value in values:
+                state.add(value)
+            rows.append(outer_row + (state.result(),))
+        else:
+            if len(values) > 1:
+                raise CardinalityError(
+                    f"scalar APPLY returned {len(values)} rows"
+                )
+            rows.append(outer_row + (values[0] if values else None,))
+    stats.tuples_output += len(rows)
+    return Relation(out_schema, rows, validate=False)
+
+
+def apply_to_gmdj(apply: Apply, catalog: Catalog,
+                  count_name: str = "__apply_cnt") -> Operator:
+    """Correlation removal for APPLY via the GMDJ (the paper's proposal).
+
+    * ``semi``      →  ``π[input] σ[cnt > 0] MD(input, R, count(*), θ)``
+    * ``anti``      →  ``π[input] σ[cnt = 0] MD(input, R, count(*), θ)``
+    * ``aggregate`` →  ``MD(input, R, f(y) → name, θ)``
+    * ``scalar``    →  not expressible by counting alone (the looping
+      form raises on cardinality violations, which a GMDJ cannot); a
+      :class:`TranslationError` directs the optimizer to the Table 1
+      comparison rule instead, which carries the paper's "at most one
+      row" proviso.
+
+    The subquery predicate must be subquery-free (feed nested predicates
+    through Algorithm SubqueryToGMDJ first) and neighboring.
+    """
+    from repro.algebra.nested import has_subqueries
+    from repro.algebra.rewrite import qualify_references
+
+    subquery = apply.subquery
+    if has_subqueries(subquery.predicate):
+        raise TranslationError(
+            "apply_to_gmdj expects a flattened subquery predicate; run "
+            "SubqueryToGMDJ on the inner blocks first"
+        )
+    input_schema = apply.input.schema(catalog)
+    detail_schema = subquery.source.schema(catalog)
+    predicate = qualify_references(subquery.predicate, detail_schema)
+    if apply.mode == "aggregate":
+        spec = subquery.aggregate
+        assert spec is not None
+        argument = (
+            qualify_references(spec.argument, detail_schema)
+            if spec.argument is not None else None
+        )
+        renamed = AggregateSpec(spec.function, argument, apply.output_name,
+                                spec.distinct)
+        return GMDJ(apply.input, subquery.source,
+                    [ThetaBlock([renamed], predicate)])
+    if apply.mode in ("semi", "anti"):
+        gmdj = GMDJ(apply.input, subquery.source,
+                    [ThetaBlock([count_star(count_name)], predicate)])
+        op = ">" if apply.mode == "semi" else "="
+        selected = Select(gmdj, Comparison(op, Column(count_name),
+                                           Literal(0)))
+        return Project(selected, list(input_schema.names))
+    raise TranslationError(
+        "scalar APPLY has no counting-only GMDJ form; use the Table 1 "
+        "comparison rule (sigma[cnt = 1]) via SubqueryToGMDJ"
+    )

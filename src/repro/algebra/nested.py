@@ -1,0 +1,504 @@
+"""The nested query algebra (Bækgaard–Mark style, as used in the paper).
+
+A :class:`NestedSelect` is a selection whose predicate may contain
+*subquery predicates* in addition to ordinary comparisons:
+
+* ``ScalarComparison``      — ``σ[x φ S]B`` where S yields a single value
+  (a projected attribute, or an aggregate ``f(y)``);
+* ``QuantifiedComparison``  — ``σ[x φ_some S]B`` / ``σ[x φ_all S]B``
+  (``IN``/``NOT IN`` are the ``=_some`` / ``<>_all`` sugar);
+* ``Exists``                — ``σ[∃S]B`` / ``σ[∄S]B``.
+
+A :class:`Subquery` block records its *source* (R), its *predicate* θ
+(which may reference attributes of enclosing blocks — *free references* —
+and may itself contain subquery predicates: linear nesting), an optional
+selected item ``y`` and an optional aggregate ``f(y)``.
+
+``NestedSelect.evaluate`` implements **tuple-iteration semantics** — the
+naive nested-loop evaluation the paper uses as the semantic definition and
+as the slowest baseline.  Every other evaluation strategy in this library
+(GMDJ translation, join unnesting, smart native loops) is tested for
+bag-equivalence against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.algebra.aggregates import AggregateSpec
+from repro.algebra.expressions import (
+    And,
+    Column,
+    Comparison,
+    Expression,
+    Literal,
+    Not,
+    Or,
+    TruthLiteral,
+)
+from repro.algebra.truth import Truth
+from repro.errors import CardinalityError, ExpressionError, UnknownAttributeError
+from repro.storage.catalog import Catalog
+from repro.storage.iostats import IOStats
+from repro.storage.relation import Relation, Row
+from repro.storage.schema import Schema
+
+# An environment maps attribute spellings (qualified and bare) of enclosing
+# scopes to values.  A bare name that is ambiguous in its scope maps to
+# _AMBIGUOUS and raises only if actually referenced.
+_AMBIGUOUS = object()
+
+Environment = dict
+
+
+def env_with_row(env: Environment, schema: Schema, row: Row) -> Environment:
+    """Extend ``env`` with the bindings of one tuple of ``schema``.
+
+    Inner bindings shadow outer ones, matching SQL scoping rules.
+    """
+    extended = dict(env)
+    bare_seen: set[str] = set()
+    for field_, value in zip(schema.fields, row):
+        extended[field_.full_name] = value
+        if field_.name in bare_seen:
+            extended[field_.name] = _AMBIGUOUS
+        else:
+            bare_seen.add(field_.name)
+            extended[field_.name] = value
+    return extended
+
+
+def substitute_free(
+    expression: Expression, schema: Schema, env: Environment
+) -> Expression:
+    """Replace free references (not in ``schema``) with environment values.
+
+    References resolvable in the local ``schema`` are left intact; anything
+    else must be bound by ``env`` or an :class:`UnknownAttributeError` is
+    raised.  The result is a closed expression over ``schema``.
+    """
+    if isinstance(expression, Column):
+        if schema.has(expression.reference):
+            return expression
+        if expression.reference in env:
+            value = env[expression.reference]
+            if value is _AMBIGUOUS:
+                raise UnknownAttributeError(
+                    f"ambiguous outer reference {expression.reference!r}"
+                )
+            return Literal(value)
+        raise UnknownAttributeError(
+            f"unresolved reference {expression.reference!r} "
+            f"(not in local schema, not bound by enclosing scopes)"
+        )
+    if isinstance(expression, (Literal, TruthLiteral)):
+        return expression
+    if isinstance(expression, Comparison):
+        return Comparison(
+            expression.op,
+            substitute_free(expression.left, schema, env),
+            substitute_free(expression.right, schema, env),
+        )
+    if isinstance(expression, And):
+        return And(
+            substitute_free(expression.left, schema, env),
+            substitute_free(expression.right, schema, env),
+        )
+    if isinstance(expression, Or):
+        return Or(
+            substitute_free(expression.left, schema, env),
+            substitute_free(expression.right, schema, env),
+        )
+    if isinstance(expression, Not):
+        return Not(substitute_free(expression.operand, schema, env))
+    # Arithmetic, IsNull and any other composite: rebuild generically.
+    from repro.algebra.expressions import Arithmetic, IsNull
+
+    if isinstance(expression, Arithmetic):
+        return Arithmetic(
+            expression.op,
+            substitute_free(expression.left, schema, env),
+            substitute_free(expression.right, schema, env),
+        )
+    if isinstance(expression, IsNull):
+        return IsNull(
+            substitute_free(expression.operand, schema, env), expression.negated
+        )
+    if isinstance(expression, SubqueryPredicate):
+        raise ExpressionError(
+            "subquery predicates must be evaluated via evaluate_predicate, "
+            "not substituted"
+        )
+    raise ExpressionError(f"cannot substitute into {expression!r}")
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class Subquery:
+    """One subquery block: ``π[item] σ[predicate] source`` (+ optional f).
+
+    ``source`` is any flat operator (usually a table scan with an alias).
+    ``predicate`` is the block's θ; it may contain free references and
+    nested :class:`SubqueryPredicate` leaves.  ``item`` is the selected
+    expression for scalar/quantified forms (``None`` for EXISTS blocks).
+    ``aggregate`` turns the block into an aggregate scalar subquery
+    ``π[f(y)] σ[θ] R``.
+    """
+
+    source: Any  # Operator; typed loosely to avoid a circular import
+    predicate: Expression
+    item: Expression | None = None
+    aggregate: AggregateSpec | None = None
+
+    def __post_init__(self):
+        if self.aggregate is not None and self.item is not None:
+            raise ExpressionError("a subquery has either an item or an aggregate")
+
+    def source_schema(self, catalog: Catalog) -> Schema:
+        return self.source.schema(catalog)
+
+    def __repr__(self) -> str:
+        head = "pi["
+        if self.aggregate is not None:
+            head += repr(self.aggregate)
+        elif self.item is not None:
+            head += repr(self.item)
+        head += "]"
+        return f"Subquery({head} sigma[{self.predicate!r}] {self.source!r})"
+
+    def matching_rows(
+        self, catalog: Catalog, env: Environment
+    ) -> Iterator[tuple[Row, Schema]]:
+        """Tuple-iteration semantics: yield source rows satisfying θ.
+
+        The subquery's own nested predicates are evaluated recursively;
+        ``env`` supplies the values of enclosing scopes.
+        """
+        source = self.source.evaluate(catalog)
+        schema = source.schema
+        stats = IOStats.ambient()
+        stats.record_scan(len(source))
+        for row in source.rows:
+            stats.predicate_evals += 1
+            verdict = evaluate_predicate(
+                self.predicate, schema, row, catalog, env
+            )
+            if verdict.is_true:
+                yield row, schema
+
+    def values(self, catalog: Catalog, env: Environment) -> list[Any]:
+        """All values of the selected item over matching rows."""
+        if self.item is None and self.aggregate is None:
+            raise ExpressionError("EXISTS subqueries produce no values")
+        out: list[Any] = []
+        for row, schema in self.matching_rows(catalog, env):
+            expression = self.item
+            if expression is None:
+                assert self.aggregate is not None
+                expression = self.aggregate.argument
+            if expression is None:  # count(*): value irrelevant
+                out.append(None)
+            else:
+                closed = substitute_free(expression, schema, env)
+                out.append(closed.bind(schema)(row))
+        return out
+
+
+class SubqueryPredicate(Expression):
+    """Base class for predicate leaves that contain a subquery."""
+
+    is_predicate = True
+    subquery: Subquery
+
+    def bind(self, schema: Schema):
+        raise ExpressionError(
+            "subquery predicates cannot be bound directly; evaluate them "
+            "with evaluate_predicate or translate them away first"
+        )
+
+    def evaluate_for(
+        self,
+        outer_schema: Schema,
+        outer_row: Row,
+        catalog: Catalog,
+        env: Environment,
+    ) -> Truth:
+        raise NotImplementedError
+
+    def outer_references(self) -> set[str]:
+        """References in the outer operand expression (if any)."""
+        return set()
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class Exists(SubqueryPredicate):
+    """``∃ S`` / ``∄ S`` — two-valued by definition."""
+
+    subquery: Subquery
+    negated: bool = False
+    is_predicate = True
+
+    def references(self) -> set[str]:
+        return set()
+
+    def evaluate_for(self, outer_schema, outer_row, catalog, env) -> Truth:
+        inner_env = env_with_row(env, outer_schema, outer_row)
+        for _ in self.subquery.matching_rows(catalog, inner_env):
+            return Truth.of(not self.negated)
+        return Truth.of(self.negated)
+
+    def __repr__(self) -> str:
+        symbol = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"({symbol} {self.subquery!r})"
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class ScalarComparison(SubqueryPredicate):
+    """``x φ S`` where S must yield at most one row (else a run-time error).
+
+    When the subquery block carries an ``aggregate``, S is the aggregate
+    value (always exactly one row, possibly NULL) — the
+    ``σ[B.x φ π[f(R.y)]σ[θ](R)]B`` form of Table 1.
+    """
+
+    op: str
+    outer: Expression
+    subquery: Subquery
+    is_predicate = True
+
+    def references(self) -> set[str]:
+        return self.outer.references()
+
+    def outer_references(self) -> set[str]:
+        return self.outer.references()
+
+    def evaluate_for(self, outer_schema, outer_row, catalog, env) -> Truth:
+        inner_env = env_with_row(env, outer_schema, outer_row)
+        values = self.subquery.values(catalog, inner_env)
+        if self.subquery.aggregate is not None:
+            state = self.subquery.aggregate.make_accumulator()
+            for value in values:
+                state.add(value)
+            scalar = state.result()
+        else:
+            if len(values) > 1:
+                raise CardinalityError(
+                    f"scalar subquery returned {len(values)} rows"
+                )
+            scalar = values[0] if values else None
+        closed = substitute_free(self.outer, outer_schema, env)
+        outer_value = closed.bind(outer_schema)(outer_row)
+        return Comparison(self.op, Literal(outer_value), Literal(scalar)).bind(
+            Schema(())
+        )(())
+
+    def __repr__(self) -> str:
+        return f"({self.outer!r} {self.op} {self.subquery!r})"
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class QuantifiedComparison(SubqueryPredicate):
+    """``x φ_some S`` / ``x φ_all S`` with full SQL 3-valued semantics.
+
+    SOME: TRUE if the comparison is TRUE for at least one subquery row;
+    FALSE if S is empty or the comparison is FALSE for every row;
+    UNKNOWN otherwise.  ALL is the dual (TRUE on empty S — the footnote-2
+    case that breaks the MAX shortcut).
+    """
+
+    op: str
+    quantifier: str  # "some" | "all"
+    outer: Expression
+    subquery: Subquery
+    is_predicate = True
+
+    def __post_init__(self):
+        if self.quantifier not in ("some", "all"):
+            raise ExpressionError(f"bad quantifier {self.quantifier!r}")
+
+    def references(self) -> set[str]:
+        return self.outer.references()
+
+    def outer_references(self) -> set[str]:
+        return self.outer.references()
+
+    def evaluate_for(self, outer_schema, outer_row, catalog, env) -> Truth:
+        inner_env = env_with_row(env, outer_schema, outer_row)
+        closed = substitute_free(self.outer, outer_schema, env)
+        outer_value = closed.bind(outer_schema)(outer_row)
+        saw_unknown = False
+        saw_any = False
+        empty_schema = Schema(())
+        for value in self.subquery.values(catalog, inner_env):
+            saw_any = True
+            verdict = Comparison(
+                self.op, Literal(outer_value), Literal(value)
+            ).bind(empty_schema)(())
+            if self.quantifier == "some":
+                if verdict is Truth.TRUE:
+                    return Truth.TRUE
+                if verdict is Truth.UNKNOWN:
+                    saw_unknown = True
+            else:  # all
+                if verdict is Truth.FALSE:
+                    return Truth.FALSE
+                if verdict is Truth.UNKNOWN:
+                    saw_unknown = True
+        if self.quantifier == "some":
+            if not saw_any:
+                return Truth.FALSE
+            return Truth.UNKNOWN if saw_unknown else Truth.FALSE
+        if not saw_any:
+            return Truth.TRUE
+        return Truth.UNKNOWN if saw_unknown else Truth.TRUE
+
+    def __repr__(self) -> str:
+        return f"({self.outer!r} {self.op}_{self.quantifier} {self.subquery!r})"
+
+
+def in_predicate(outer: Expression, subquery: Subquery) -> QuantifiedComparison:
+    """``x IN S  ≡  x =_some S`` (the paper's Section 2.1 definition)."""
+    return QuantifiedComparison("=", "some", outer, subquery)
+
+
+def not_in_predicate(outer: Expression, subquery: Subquery) -> QuantifiedComparison:
+    """``x NOT IN S  ≡  x <>_all S``."""
+    return QuantifiedComparison("<>", "all", outer, subquery)
+
+
+def evaluate_predicate(
+    predicate: Expression,
+    schema: Schema,
+    row: Row,
+    catalog: Catalog,
+    env: Environment,
+) -> Truth:
+    """Evaluate a (possibly nested) predicate for one tuple.
+
+    This is the semantic definition of nested query evaluation: ordinary
+    comparisons are closed against the environment and evaluated; subquery
+    leaves re-run their subquery for this tuple (tuple iteration).
+    """
+    if isinstance(predicate, SubqueryPredicate):
+        return predicate.evaluate_for(schema, row, catalog, env)
+    if isinstance(predicate, And):
+        left = evaluate_predicate(predicate.left, schema, row, catalog, env)
+        if left is Truth.FALSE:
+            return Truth.FALSE
+        right = evaluate_predicate(predicate.right, schema, row, catalog, env)
+        return left.and_(right)
+    if isinstance(predicate, Or):
+        left = evaluate_predicate(predicate.left, schema, row, catalog, env)
+        if left is Truth.TRUE:
+            return Truth.TRUE
+        right = evaluate_predicate(predicate.right, schema, row, catalog, env)
+        return left.or_(right)
+    if isinstance(predicate, Not):
+        return evaluate_predicate(
+            predicate.operand, schema, row, catalog, env
+        ).not_()
+    closed = substitute_free(predicate, schema, env)
+    return closed.bind(schema)(row)
+
+
+@dataclass
+class NestedSelect:
+    """``σ[W] child`` where W may contain subquery predicates.
+
+    This type implements the :class:`~repro.algebra.operators.Operator`
+    protocol, so nested selections compose with the flat algebra (and may
+    appear as subquery sources — linearly nested queries).
+    """
+
+    child: Any  # Operator
+    predicate: Expression
+
+    def children(self):
+        return (self.child,)
+
+    def schema(self, catalog: Catalog) -> Schema:
+        return self.child.schema(catalog)
+
+    def evaluate(self, catalog: Catalog) -> Relation:
+        return self.evaluate_in(catalog, {})
+
+    def evaluate_in(self, catalog: Catalog, env: Environment) -> Relation:
+        """Tuple-iteration evaluation under an enclosing environment."""
+        source = self.child.evaluate(catalog)
+        stats = IOStats.ambient()
+        stats.record_scan(len(source))
+        rows = []
+        for row in source.rows:
+            stats.predicate_evals += 1
+            verdict = evaluate_predicate(
+                self.predicate, source.schema, row, catalog, env
+            )
+            if verdict.is_true:
+                rows.append(row)
+        stats.tuples_output += len(rows)
+        return Relation(source.schema, rows, validate=False)
+
+
+def collect_subquery_predicates(predicate: Expression) -> list[SubqueryPredicate]:
+    """All subquery leaves of a predicate tree, left to right."""
+    if isinstance(predicate, SubqueryPredicate):
+        return [predicate]
+    if isinstance(predicate, (And, Or)):
+        return collect_subquery_predicates(
+            predicate.left
+        ) + collect_subquery_predicates(predicate.right)
+    if isinstance(predicate, Not):
+        return collect_subquery_predicates(predicate.operand)
+    return []
+
+
+def has_subqueries(predicate: Expression) -> bool:
+    return bool(collect_subquery_predicates(predicate))
+
+
+def free_references(
+    subquery: Subquery, catalog: Catalog
+) -> set[str]:
+    """References in a block's predicate that its own source cannot resolve.
+
+    These are the paper's *free references*; a predicate containing one is a
+    *correlation predicate*.  Nested blocks are scanned recursively (their
+    own sources extend the local scope), which is how *non-neighboring*
+    predicates are discovered.
+    """
+    schema = subquery.source_schema(catalog)
+    return _free_references_in(subquery.predicate, schema, catalog) | (
+        _free_references_in(subquery.item, schema, catalog)
+        if subquery.item is not None
+        else set()
+    ) | (
+        _free_references_in(subquery.aggregate.argument, schema, catalog)
+        if subquery.aggregate is not None and subquery.aggregate.argument is not None
+        else set()
+    )
+
+
+def _free_references_in(
+    predicate: Expression, schema: Schema, catalog: Catalog
+) -> set[str]:
+    if isinstance(predicate, SubqueryPredicate):
+        free = {
+            ref
+            for ref in predicate.outer_references()
+            if not schema.has(ref)
+        }
+        inner_schema = predicate.subquery.source_schema(catalog)
+        # References free in the inner block that this block also cannot
+        # resolve remain free here (non-neighboring candidates).
+        for ref in free_references(predicate.subquery, catalog):
+            if not schema.has(ref):
+                free.add(ref)
+        del inner_schema
+        return free
+    if isinstance(predicate, (And, Or)):
+        return _free_references_in(predicate.left, schema, catalog) | (
+            _free_references_in(predicate.right, schema, catalog)
+        )
+    if isinstance(predicate, Not):
+        return _free_references_in(predicate.operand, schema, catalog)
+    return {ref for ref in predicate.references() if not schema.has(ref)}

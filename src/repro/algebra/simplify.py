@@ -1,0 +1,155 @@
+"""Predicate simplification: constant folding and identity elimination.
+
+The translator and the coalescing rewrites produce conditions with
+redundant structure — ``TRUE AND θ`` from empty-predicate subqueries,
+literal-only comparisons from environment substitution, double wrapping
+from De Morgan passes.  The simplifier normalizes these before the GMDJ
+evaluator compiles them, which both tidies EXPLAIN output and removes
+per-tuple work.
+
+All rules are exact under three-valued logic:
+
+* literal φ literal      → TRUE/FALSE/UNKNOWN literal
+* TRUE AND p / p AND TRUE → p;   FALSE AND p → FALSE
+* FALSE OR p / p OR FALSE → p;   TRUE OR p → TRUE
+* NOT literal            → folded;   NOT comparison → complemented
+* arithmetic over literals → folded literal
+* x IS NULL over a literal → folded
+
+(UNKNOWN literals are *not* collapsed in AND/OR — ``UNKNOWN AND p`` is
+FALSE when p is FALSE, so it must survive as an operand.)
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    And,
+    Arithmetic,
+    Coalesce,
+    Comparison,
+    Expression,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    TruthLiteral,
+)
+from repro.algebra.truth import Truth
+from repro.storage.schema import Schema
+
+_EMPTY = Schema(())
+
+
+def _is_truth(expression: Expression, value: Truth) -> bool:
+    return (isinstance(expression, TruthLiteral)
+            and expression.value is value)
+
+
+def simplify(expression: Expression) -> Expression:
+    """Return an equivalent, usually smaller, expression."""
+    if isinstance(expression, Comparison):
+        left = simplify(expression.left)
+        right = simplify(expression.right)
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            try:
+                verdict = Comparison(expression.op, left, right).bind(_EMPTY)(())
+            except Exception:
+                return Comparison(expression.op, left, right)
+            return TruthLiteral(verdict)
+        return Comparison(expression.op, left, right)
+    if isinstance(expression, And):
+        left = simplify(expression.left)
+        right = simplify(expression.right)
+        if _is_truth(left, Truth.FALSE) or _is_truth(right, Truth.FALSE):
+            return TruthLiteral(Truth.FALSE)
+        if _is_truth(left, Truth.TRUE):
+            return right
+        if _is_truth(right, Truth.TRUE):
+            return left
+        return And(left, right)
+    if isinstance(expression, Or):
+        left = simplify(expression.left)
+        right = simplify(expression.right)
+        if _is_truth(left, Truth.TRUE) or _is_truth(right, Truth.TRUE):
+            return TruthLiteral(Truth.TRUE)
+        if _is_truth(left, Truth.FALSE):
+            return right
+        if _is_truth(right, Truth.FALSE):
+            return left
+        return Or(left, right)
+    if isinstance(expression, Not):
+        operand = simplify(expression.operand)
+        if isinstance(operand, TruthLiteral):
+            return TruthLiteral(operand.value.not_())
+        if isinstance(operand, Comparison):
+            return operand.complemented()
+        if isinstance(operand, Not):
+            return operand.operand
+        return Not(operand)
+    if isinstance(expression, Arithmetic):
+        left = simplify(expression.left)
+        right = simplify(expression.right)
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            value = Arithmetic(expression.op, left, right).bind(_EMPTY)(())
+            return Literal(value)
+        return Arithmetic(expression.op, left, right)
+    if isinstance(expression, IsNull):
+        operand = simplify(expression.operand)
+        if isinstance(operand, Literal):
+            is_null = operand.value is None
+            return TruthLiteral(
+                Truth.of(is_null != expression.negated)
+            )
+        return IsNull(operand, expression.negated)
+    if isinstance(expression, Coalesce):
+        first = simplify(expression.first)
+        second = simplify(expression.second)
+        if isinstance(first, Literal):
+            if first.value is not None:
+                return first
+            return second
+        return Coalesce(first, second)
+    return expression
+
+
+def simplify_plan(plan):
+    """Simplify every condition in an operator tree, in place of nodes.
+
+    Covers the condition-bearing nodes the translator emits: Select,
+    Join, GMDJ blocks, and fused SelectGMDJ selections.
+    """
+    import dataclasses
+
+    from repro.algebra.operators import Join, Select
+    from repro.algebra.rewrite import transform_bottom_up
+    from repro.gmdj.evaluate import SelectGMDJ
+    from repro.gmdj.operator import GMDJ, ThetaBlock
+
+    def step(node):
+        if isinstance(node, Select):
+            simplified = simplify(node.predicate)
+            if not simplified.same_as(node.predicate):
+                return Select(node.child, simplified)
+            return node
+        if isinstance(node, Join):
+            simplified = simplify(node.condition)
+            if not simplified.same_as(node.condition):
+                return dataclasses.replace(node, condition=simplified)
+            return node
+        if isinstance(node, GMDJ):
+            blocks = [
+                ThetaBlock(block.aggregates, simplify(block.condition))
+                for block in node.blocks
+            ]
+            if all(new.condition.same_as(old.condition)
+                   for new, old in zip(blocks, node.blocks)):
+                return node
+            return GMDJ(node.base, node.detail, blocks)
+        if isinstance(node, SelectGMDJ):
+            simplified = simplify(node.selection)
+            if not simplified.same_as(node.selection):
+                return SelectGMDJ(node.gmdj, simplified, node.rule)
+            return node
+        return node
+
+    return transform_bottom_up(plan, step)

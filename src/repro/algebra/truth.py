@@ -1,0 +1,53 @@
+"""SQL three-valued logic.
+
+Every predicate in the library evaluates to a :class:`Truth` value.  The
+paper's correctness argument (Theorem 3.1) leans on *where-clause
+truncation*: a tuple whose predicate evaluates to FALSE **or** UNKNOWN is
+discarded, so it suffices for the GMDJ rewrite to select a tuple exactly
+when the subquery predicate returns TRUE.  Getting UNKNOWN right is what
+makes the ``ALL``-via-``MAX`` shortcut in the paper's footnote 2 wrong and
+the counting rewrite correct.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Truth(enum.Enum):
+    """Kleene three-valued logic value."""
+
+    TRUE = 1
+    FALSE = 0
+    UNKNOWN = -1
+
+    @staticmethod
+    def of(flag: bool) -> "Truth":
+        return Truth.TRUE if flag else Truth.FALSE
+
+    @property
+    def is_true(self) -> bool:
+        """True only for TRUE — implements where-clause truncation."""
+        return self is Truth.TRUE
+
+    def and_(self, other: "Truth") -> "Truth":
+        if self is Truth.FALSE or other is Truth.FALSE:
+            return Truth.FALSE
+        if self is Truth.UNKNOWN or other is Truth.UNKNOWN:
+            return Truth.UNKNOWN
+        return Truth.TRUE
+
+    def or_(self, other: "Truth") -> "Truth":
+        if self is Truth.TRUE or other is Truth.TRUE:
+            return Truth.TRUE
+        if self is Truth.UNKNOWN or other is Truth.UNKNOWN:
+            return Truth.UNKNOWN
+        return Truth.FALSE
+
+    def not_(self) -> "Truth":
+        if self is Truth.UNKNOWN:
+            return Truth.UNKNOWN
+        return Truth.FALSE if self is Truth.TRUE else Truth.TRUE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Truth.{self.name}"

@@ -1,0 +1,13 @@
+"""Baseline subquery evaluation strategies the paper compares against."""
+
+from repro.baselines.join_unnest import JoinUnnester, evaluate_join_unnest
+from repro.baselines.native import evaluate_native
+from repro.baselines.nested_loop import LoopEvaluator, evaluate_naive
+
+__all__ = [
+    "JoinUnnester",
+    "LoopEvaluator",
+    "evaluate_join_unnest",
+    "evaluate_naive",
+    "evaluate_native",
+]

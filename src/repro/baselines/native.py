@@ -1,0 +1,34 @@
+"""The "native" baseline: a conventional engine's smart nested loop.
+
+The paper's experiments ran the nested queries in a commercial DBMS's
+native mode and observed three behaviours (Section 5):
+
+* a **specialized EXISTS algorithm** — stop scanning the inner block at the
+  first match (good on Figure 2's workload when indexes help, very poor
+  without indexes on Figure 5);
+* a **smart nested loop for ALL** — discard the outer tuple as soon as one
+  inner tuple falsifies the comparison, "essentially a form of tuple
+  completion" (the reason native wins the basic-GMDJ on Figure 4);
+* **index-assisted correlation lookups** — equality correlation predicates
+  probe an index on the inner table instead of scanning it.
+
+:func:`evaluate_native` reproduces exactly those three behaviours on top of
+the shared :class:`~repro.baselines.nested_loop.LoopEvaluator`.  Whether
+indexes are used depends on what the catalog actually holds, so dropping
+indexes (as the Figure 5 experiment does) degrades this baseline the same
+way it degraded the paper's target DBMS.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import Operator
+from repro.baselines.nested_loop import LoopEvaluator
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+
+
+def evaluate_native(query: Operator, catalog: Catalog,
+                    use_indexes: bool = True) -> Relation:
+    """Evaluate with early termination and (optionally) index probes."""
+    evaluator = LoopEvaluator(catalog, early_exit=True, use_indexes=use_indexes)
+    return evaluator.evaluate(query)

@@ -1,0 +1,317 @@
+"""Tuple-iteration semantics — the naive nested-loop baseline.
+
+This is the paper's "naive approach" (Section 1): for every outer tuple,
+every subquery is re-evaluated with a full scan of its source.  Unlike the
+reference evaluator in :mod:`repro.algebra.nested` (which is free to
+short-circuit because it only defines semantics), this baseline is
+deliberately exhaustive: it scans the complete inner relation per outer
+tuple, because that is the behaviour whose cost the paper's experiments
+measure for the "native" nested-loop mode on comparison-predicate queries
+(Figure 3).
+
+The smart variant with early termination and index-assisted correlation
+lookups — the behaviour the paper attributes to the target DBMS's
+specialized EXISTS/ALL algorithms — lives in :mod:`repro.baselines.native`.
+Both share :class:`LoopEvaluator`, differing only in its switches.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algebra.expressions import Column, Comparison, Expression, Literal
+from repro.algebra.nested import (
+    Environment,
+    Exists,
+    NestedSelect,
+    QuantifiedComparison,
+    ScalarComparison,
+    SubqueryPredicate,
+    Subquery,
+    env_with_row,
+    substitute_free,
+)
+from repro.algebra.operators import Operator, ScanTable
+from repro.algebra.truth import Truth
+from repro.algebra.expressions import And, Not, Or
+from repro.errors import CardinalityError
+from repro.storage.catalog import Catalog
+from repro.storage.iostats import IOStats
+from repro.storage.relation import Relation, Row
+from repro.storage.schema import Schema
+
+
+class LoopEvaluator:
+    """Nested-loop evaluation with configurable smartness.
+
+    ``early_exit``   stop scanning an inner block as soon as the subquery
+                     predicate's outcome is decided (EXISTS on first
+                     match, ALL on first violation, ...).
+    ``use_indexes``  when the inner block is a plain table scan and the
+                     catalog holds a hash index matching an equality
+                     correlation conjunct, probe the index instead of
+                     scanning — the index-assisted correlation lookup of a
+                     conventional engine.
+    """
+
+    def __init__(self, catalog: Catalog, early_exit: bool = False,
+                 use_indexes: bool = False):
+        self.catalog = catalog
+        self.early_exit = early_exit
+        self.use_indexes = use_indexes
+
+    # -- entry point -------------------------------------------------------------
+
+    def evaluate(self, query: Operator) -> Relation:
+        """Evaluate a query, applying this loop strategy to every
+        NestedSelect in the tree (wrappers like Project/OrderBy pass
+        through unchanged)."""
+        return self._rewrite(query).evaluate(self.catalog)
+
+    def _rewrite(self, operator):
+        from repro.algebra.operators import TableValue
+        from repro.algebra.rewrite import map_children
+
+        rebuilt = map_children(operator, self._rewrite)
+        if isinstance(rebuilt, NestedSelect):
+            return TableValue(self._evaluate_nested(rebuilt, {}))
+        return rebuilt
+
+    def _evaluate_nested(self, nested: NestedSelect, env: Environment) -> Relation:
+        child = nested.child
+        if isinstance(child, NestedSelect):
+            source = self._evaluate_nested(child, env)
+        else:
+            source = child.evaluate(self.catalog)
+        stats = IOStats.ambient()
+        stats.record_scan(len(source))
+        rows = []
+        for row in source.rows:
+            if self._predicate(nested.predicate, source.schema, row, env).is_true:
+                rows.append(row)
+        stats.tuples_output += len(rows)
+        return Relation(source.schema, rows, validate=False)
+
+    # -- predicate evaluation ------------------------------------------------------
+
+    def _predicate(self, predicate: Expression, schema: Schema, row: Row,
+                   env: Environment) -> Truth:
+        stats = IOStats.ambient()
+        if isinstance(predicate, SubqueryPredicate):
+            return self._subquery_predicate(predicate, schema, row, env)
+        if isinstance(predicate, And):
+            left = self._predicate(predicate.left, schema, row, env)
+            if left is Truth.FALSE:
+                return Truth.FALSE
+            return left.and_(self._predicate(predicate.right, schema, row, env))
+        if isinstance(predicate, Or):
+            left = self._predicate(predicate.left, schema, row, env)
+            if left is Truth.TRUE:
+                return Truth.TRUE
+            return left.or_(self._predicate(predicate.right, schema, row, env))
+        if isinstance(predicate, Not):
+            return self._predicate(predicate.operand, schema, row, env).not_()
+        stats.predicate_evals += 1
+        return substitute_free(predicate, schema, env).bind(schema)(row)
+
+    def _subquery_predicate(self, leaf: SubqueryPredicate, schema: Schema,
+                            row: Row, env: Environment) -> Truth:
+        inner_env = env_with_row(env, schema, row)
+        if isinstance(leaf, Exists):
+            return self._exists(leaf, inner_env)
+        if isinstance(leaf, ScalarComparison):
+            return self._scalar(leaf, schema, row, env, inner_env)
+        if isinstance(leaf, QuantifiedComparison):
+            return self._quantified(leaf, schema, row, env, inner_env)
+        raise TypeError(f"unknown subquery predicate {leaf!r}")
+
+    # -- inner block access ----------------------------------------------------------
+
+    def _closed_predicate(self, predicate: Expression, schema: Schema,
+                          env: Environment):
+        """Compile a subquery-free predicate once per outer tuple.
+
+        Returns a ``row -> Truth`` closure, or None when the predicate
+        contains nested subquery leaves (those need per-row recursion).
+        """
+        from repro.algebra.nested import collect_subquery_predicates
+
+        if collect_subquery_predicates(predicate):
+            return None
+        return substitute_free(predicate, schema, env).bind(schema)
+
+    def _inner_rows(self, subquery: Subquery, env: Environment):
+        """Yield (row, schema) for inner tuples satisfying the block's θ.
+
+        The access path depends on ``use_indexes``: an equality correlation
+        conjunct over an indexed attribute turns the scan into a probe.
+        """
+        stats = IOStats.ambient()
+        source = subquery.source
+        if self.use_indexes and isinstance(source, ScanTable):
+            probed = self._try_index_probe(subquery, source, env)
+            if probed is not None:
+                yield from probed
+                return
+        relation = source.evaluate(self.catalog)
+        stats.record_scan(len(relation))
+        closed = self._closed_predicate(subquery.predicate, relation.schema, env)
+        if closed is not None:
+            for inner_row in relation.rows:
+                stats.predicate_evals += 1
+                if closed(inner_row).is_true:
+                    yield inner_row, relation.schema
+            return
+        for inner_row in relation.rows:
+            if self._predicate(
+                subquery.predicate, relation.schema, inner_row, env
+            ).is_true:
+                yield inner_row, relation.schema
+
+    def _try_index_probe(self, subquery: Subquery, source: ScanTable,
+                         env: Environment):
+        """Probe a catalog hash index for an equality correlation conjunct.
+
+        Returns None when no usable index exists (caller falls back to a
+        scan).  Only simple conjunctive predicates qualify — mirroring the
+        restrictions of a conventional engine's index-correlation rewrite.
+        """
+        from repro.algebra.expressions import conjuncts_of
+
+        table = self.catalog.table(source.table_name)
+        alias_schema = source.schema(self.catalog)
+        for conjunct in conjuncts_of(subquery.predicate):
+            if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+                continue
+            for inner_side, outer_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if not isinstance(inner_side, Column):
+                    continue
+                if not alias_schema.has(inner_side.reference):
+                    continue
+                outer_refs = outer_side.references()
+                if any(alias_schema.has(ref) for ref in outer_refs):
+                    continue
+                bare = alias_schema.field_of(inner_side.reference).name
+                index = self.catalog.hash_index(source.table_name, (bare,))
+                if index is None:
+                    continue
+                # Outer side must be closed by the environment.
+                if not all(ref in env for ref in outer_refs):
+                    continue
+                empty = Schema(())
+                value = substitute_free(outer_side, empty, env).bind(empty)(())
+                candidates = index.probe((value,))
+                closed = self._closed_predicate(
+                    subquery.predicate, alias_schema, env
+                )
+
+                def generator():
+                    stats = IOStats.ambient()
+                    for stored_row in candidates:
+                        if closed is not None:
+                            stats.predicate_evals += 1
+                            keep = closed(stored_row).is_true
+                        else:
+                            keep = self._predicate(
+                                subquery.predicate, alias_schema, stored_row,
+                                env,
+                            ).is_true
+                        if keep:
+                            yield stored_row, alias_schema
+
+                return generator()
+        return None
+
+    # -- the three predicate families ----------------------------------------------------
+
+    def _exists(self, leaf: Exists, inner_env: Environment) -> Truth:
+        found = False
+        for _ in self._inner_rows(leaf.subquery, inner_env):
+            found = True
+            if self.early_exit:
+                break
+        if leaf.negated:
+            return Truth.of(not found)
+        return Truth.of(found)
+
+    def _outer_value(self, leaf, schema: Schema, row: Row, env: Environment) -> Any:
+        closed = substitute_free(leaf.outer, schema, env)
+        return closed.bind(schema)(row)
+
+    def _item_value(self, subquery: Subquery, inner_row: Row,
+                    inner_schema: Schema, inner_env: Environment) -> Any:
+        item = subquery.item
+        if item is None and subquery.aggregate is not None:
+            item = subquery.aggregate.argument
+        if item is None:
+            return None
+        closed = substitute_free(item, inner_schema, inner_env)
+        return closed.bind(inner_schema)(inner_row)
+
+    def _scalar(self, leaf: ScalarComparison, schema, row, env, inner_env) -> Truth:
+        subquery = leaf.subquery
+        outer_value = self._outer_value(leaf, schema, row, env)
+        empty = Schema(())
+        if subquery.aggregate is not None:
+            state = subquery.aggregate.make_accumulator()
+            for inner_row, inner_schema in self._inner_rows(subquery, inner_env):
+                state.add(self._item_value(subquery, inner_row, inner_schema,
+                                           inner_env))
+            return Comparison(
+                leaf.op, Literal(outer_value), Literal(state.result())
+            ).bind(empty)(())
+        values = []
+        for inner_row, inner_schema in self._inner_rows(subquery, inner_env):
+            values.append(
+                self._item_value(subquery, inner_row, inner_schema, inner_env)
+            )
+            if len(values) > 1:
+                raise CardinalityError("scalar subquery returned multiple rows")
+        scalar = values[0] if values else None
+        return Comparison(leaf.op, Literal(outer_value), Literal(scalar)).bind(
+            empty
+        )(())
+
+    def _quantified(self, leaf: QuantifiedComparison, schema, row, env,
+                    inner_env) -> Truth:
+        subquery = leaf.subquery
+        outer_value = self._outer_value(leaf, schema, row, env)
+        empty = Schema(())
+        saw_any = False
+        saw_unknown = False
+        decided: Truth | None = None
+        for inner_row, inner_schema in self._inner_rows(subquery, inner_env):
+            saw_any = True
+            value = self._item_value(subquery, inner_row, inner_schema, inner_env)
+            verdict = Comparison(
+                leaf.op, Literal(outer_value), Literal(value)
+            ).bind(empty)(())
+            if leaf.quantifier == "some":
+                if verdict is Truth.TRUE:
+                    decided = Truth.TRUE
+                elif verdict is Truth.UNKNOWN:
+                    saw_unknown = True
+            else:
+                if verdict is Truth.FALSE:
+                    decided = Truth.FALSE
+                elif verdict is Truth.UNKNOWN:
+                    saw_unknown = True
+            if decided is not None and self.early_exit:
+                return decided
+        if decided is not None:
+            return decided
+        if leaf.quantifier == "some":
+            if not saw_any:
+                return Truth.FALSE
+            return Truth.UNKNOWN if saw_unknown else Truth.FALSE
+        if not saw_any:
+            return Truth.TRUE
+        return Truth.UNKNOWN if saw_unknown else Truth.TRUE
+
+
+def evaluate_naive(query: Operator, catalog: Catalog) -> Relation:
+    """Evaluate with exhaustive tuple-iteration semantics (no smarts)."""
+    return LoopEvaluator(catalog, early_exit=False, use_indexes=False).evaluate(query)

@@ -1,0 +1,68 @@
+"""Sweep execution: run one workload under several strategies and check
+that they agree before trusting any timing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.workloads import Workload
+from repro.engine.executor import profile
+from repro.engine.stats import ExecutionReport
+from repro.errors import ReproError
+
+
+@dataclass
+class ComparisonResult:
+    """Reports for one workload point, keyed by strategy."""
+
+    workload: Workload
+    reports: dict[str, ExecutionReport] = field(default_factory=dict)
+    failures: dict[str, str] = field(default_factory=dict)
+
+    def work(self, strategy: str) -> int | None:
+        report = self.reports.get(strategy)
+        return report.total_work if report else None
+
+    def elapsed_ms(self, strategy: str) -> float | None:
+        report = self.reports.get(strategy)
+        return report.elapsed_seconds * 1000 if report else None
+
+
+def compare_strategies(
+    workload: Workload,
+    strategies: list[str],
+    check_equivalence: bool = True,
+) -> ComparisonResult:
+    """Profile the workload under each strategy.
+
+    Strategies that legitimately cannot handle a workload (e.g. join
+    unnesting on a disjunctive predicate) are recorded under ``failures``
+    rather than aborting the sweep — matching how the paper reports the
+    join baseline as infeasible on Figure 4.
+
+    When ``check_equivalence`` is set, all successful strategies must
+    return the same bag of rows; a mismatch raises immediately because a
+    wrong answer invalidates the whole comparison.
+    """
+    result = ComparisonResult(workload)
+    reference = None
+    reference_strategy = None
+    for strategy in strategies:
+        try:
+            report = profile(workload.query, workload.catalog, strategy)
+        except ReproError as exc:
+            result.failures[strategy] = str(exc)
+            continue
+        result.reports[strategy] = report
+        if check_equivalence:
+            if reference is None:
+                reference = report.result
+                reference_strategy = strategy
+            elif not reference.bag_equal(report.result):
+                raise AssertionError(
+                    f"strategy {strategy!r} disagrees with "
+                    f"{reference_strategy!r} on workload {workload.name} "
+                    f"{workload.params}: {len(report.result)} vs "
+                    f"{len(reference)} rows"
+                )
+    return result

@@ -1,0 +1,39 @@
+"""Deterministic workload generators (TPC-R style and IP-flow warehouse)."""
+
+from repro.data.netflow import (
+    NetflowConfig,
+    build_netflow_catalog,
+    generate_flows,
+    generate_hours,
+    generate_users,
+)
+from repro.data.rng import make_rng
+from repro.data.tpcr import (
+    TpcrSizes,
+    build_tpcr_catalog,
+    generate_customer,
+    generate_lineitem,
+    generate_nation,
+    generate_orders,
+    generate_part,
+    generate_region,
+    generate_supplier,
+)
+
+__all__ = [
+    "NetflowConfig",
+    "TpcrSizes",
+    "build_netflow_catalog",
+    "build_tpcr_catalog",
+    "generate_customer",
+    "generate_flows",
+    "generate_hours",
+    "generate_lineitem",
+    "generate_nation",
+    "generate_orders",
+    "generate_part",
+    "generate_region",
+    "generate_supplier",
+    "generate_users",
+    "make_rng",
+]

@@ -1,0 +1,130 @@
+"""The paper's motivating IP-flow data warehouse (Section 2.3).
+
+Schema::
+
+    Flow (SourceIP, DestIP, Protocol, StartTime, EndTime, NumPackets,
+          NumBytes)
+    Hours(HourDescription, StartInterval, EndInterval)
+    User (AccountNumber, Name, IPAddress)
+
+``StartTime``/intervals are integer minutes; each Hours row covers one
+60-minute interval.  Flows are generated with a configurable share of
+HTTP traffic, a configurable set of "interesting" destination IPs (the
+167/168/169 addresses of Examples 2.2 and 2.3), and user IPs drawn from
+the User table so that the activity queries (Example 3.3) have non-empty
+answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.rng import make_rng
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+from repro.storage.types import DataType
+
+SPECIAL_DESTS = ("167.167.167.0", "168.168.168.0", "169.169.169.0")
+PROTOCOLS = ("HTTP", "FTP", "SMTP", "DNS", "SSH")
+
+
+@dataclass
+class NetflowConfig:
+    """Knobs for one generated warehouse."""
+
+    flows: int = 5000
+    hours: int = 24
+    users: int = 50
+    extra_source_ips: int = 30  # IPs with traffic but no user account
+    http_share: float = 0.55
+    special_dest_share: float = 0.15
+    seed: int = 7
+    protocols: tuple = field(default=PROTOCOLS)
+
+
+def generate_hours(count: int) -> Relation:
+    """``count`` consecutive 60-minute intervals starting at minute 0."""
+    rows = [(i + 1, i * 60, (i + 1) * 60) for i in range(count)]
+    return Relation.from_columns(
+        [("HourDescription", DataType.INTEGER),
+         ("StartInterval", DataType.INTEGER),
+         ("EndInterval", DataType.INTEGER)],
+        rows, name="Hours",
+    )
+
+
+def generate_users(count: int, seed: int = 7) -> Relation:
+    rows = [
+        (1000 + i, f"user-{i}", f"10.1.{i // 250}.{i % 250}")
+        for i in range(count)
+    ]
+    return Relation.from_columns(
+        [("AccountNumber", DataType.INTEGER), ("Name", DataType.STRING),
+         ("IPAddress", DataType.STRING)],
+        rows, name="User",
+    )
+
+
+def generate_flows(config: NetflowConfig, user_ips: list[str]) -> Relation:
+    rng = make_rng(config.seed, "flows")
+    horizon = config.hours * 60
+    source_pool = list(user_ips) + [
+        f"10.9.{i // 250}.{i % 250}" for i in range(config.extra_source_ips)
+    ]
+    # Each source talks to its own subset of the special destinations, so
+    # the Example 2.3 query ("traffic to 168 but none to 167/169") has a
+    # non-trivial answer instead of every busy IP hitting all three.
+    allowed_specials = {
+        ip: rng.sample(SPECIAL_DESTS, rng.randint(1, len(SPECIAL_DESTS)))
+        for ip in source_pool
+    }
+    rows = []
+    for _ in range(config.flows):
+        start = rng.randrange(horizon)
+        duration = rng.randint(1, 30)
+        protocol = (
+            "HTTP" if rng.random() < config.http_share
+            else rng.choice([p for p in config.protocols if p != "HTTP"])
+        )
+        source = rng.choice(source_pool)
+        dest = (
+            rng.choice(allowed_specials[source])
+            if rng.random() < config.special_dest_share
+            else f"172.16.{rng.randint(0, 16)}.{rng.randint(1, 250)}"
+        )
+        rows.append(
+            (
+                source,
+                dest,
+                protocol,
+                start,
+                start + duration,
+                rng.randint(1, 2000),
+                rng.randint(64, 1_500_000),
+            )
+        )
+    return Relation.from_columns(
+        [("SourceIP", DataType.STRING), ("DestIP", DataType.STRING),
+         ("Protocol", DataType.STRING), ("StartTime", DataType.INTEGER),
+         ("EndTime", DataType.INTEGER), ("NumPackets", DataType.INTEGER),
+         ("NumBytes", DataType.INTEGER)],
+        rows, name="Flow",
+    )
+
+
+def build_netflow_catalog(config: NetflowConfig | None = None,
+                          indexes: bool = True) -> Catalog:
+    """Generate the complete IP-flow warehouse of Section 2.3."""
+    config = config or NetflowConfig()
+    catalog = Catalog()
+    users = generate_users(config.users, config.seed)
+    catalog.create_table("User", users)
+    catalog.create_table("Hours", generate_hours(config.hours))
+    user_ips = users.column("IPAddress")
+    catalog.create_table("Flow", generate_flows(config, user_ips))
+    if indexes:
+        catalog.create_hash_index("Flow", ["SourceIP"])
+        catalog.create_hash_index("Flow", ["DestIP"])
+        catalog.create_hash_index("User", ["IPAddress"])
+        catalog.create_sorted_index("Flow", "StartTime")
+    return catalog

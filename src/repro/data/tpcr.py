@@ -1,0 +1,197 @@
+"""A deterministic, scaled-down TPC-R style data generator.
+
+The paper derived its four test databases (50–200 MB) from the TPC(R)
+``dbgen`` program.  This module generates the same table shapes at
+laptop scale: the *ratios* between outer-block and inner-block sizes in
+each experiment match the paper's (e.g. Figure 2's 1000-row outer block
+against 300k–1.2M-row inner blocks becomes 1000 against scaled-down inner
+tables), which is what the reproduced performance shapes depend on.
+
+Value distributions follow dbgen's spirit: uniform keys, skew-free
+numeric attributes over fixed ranges, small categorical domains.  Dates
+are encoded as integer day numbers to keep the type system simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.rng import make_rng
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+from repro.storage.types import DataType
+
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+BRANDS = tuple(f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6))
+NATIONS = (
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+)
+
+
+def generate_nation() -> Relation:
+    """The fixed 25-row nation table."""
+    return Relation.from_columns(
+        [("nationkey", DataType.INTEGER), ("name", DataType.STRING),
+         ("regionkey", DataType.INTEGER)],
+        [(i, name, i % 5) for i, name in enumerate(NATIONS)],
+        name="nation",
+    )
+
+
+def generate_region() -> Relation:
+    return Relation.from_columns(
+        [("regionkey", DataType.INTEGER), ("name", DataType.STRING)],
+        [(0, "AFRICA"), (1, "AMERICA"), (2, "ASIA"), (3, "EUROPE"),
+         (4, "MIDDLE EAST")],
+        name="region",
+    )
+
+
+def generate_customer(count: int, seed: int = 1) -> Relation:
+    rng = make_rng(seed, "customer")
+    rows = [
+        (
+            key,
+            f"Customer#{key:09d}",
+            rng.randrange(len(NATIONS)),
+            round(rng.uniform(-999.99, 9999.99), 2),
+            rng.choice(SEGMENTS),
+        )
+        for key in range(1, count + 1)
+    ]
+    return Relation.from_columns(
+        [("custkey", DataType.INTEGER), ("name", DataType.STRING),
+         ("nationkey", DataType.INTEGER), ("acctbal", DataType.FLOAT),
+         ("mktsegment", DataType.STRING)],
+        rows, name="customer",
+    )
+
+
+def generate_orders(count: int, customer_count: int, seed: int = 1) -> Relation:
+    rng = make_rng(seed, "orders")
+    rows = [
+        (
+            key,
+            rng.randint(1, customer_count),
+            round(rng.uniform(850.0, 450000.0), 2),
+            rng.randint(0, 2400),  # day number within the 1992–1998 window
+            rng.choice(PRIORITIES),
+        )
+        for key in range(1, count + 1)
+    ]
+    return Relation.from_columns(
+        [("orderkey", DataType.INTEGER), ("custkey", DataType.INTEGER),
+         ("totalprice", DataType.FLOAT), ("orderdate", DataType.INTEGER),
+         ("orderpriority", DataType.STRING)],
+        rows, name="orders",
+    )
+
+
+def generate_part(count: int, seed: int = 1) -> Relation:
+    rng = make_rng(seed, "part")
+    rows = [
+        (
+            key,
+            f"part {key}",
+            rng.choice(BRANDS),
+            round(900 + (key % 1000) + rng.uniform(0, 100), 2),
+            rng.randint(1, 50),
+        )
+        for key in range(1, count + 1)
+    ]
+    return Relation.from_columns(
+        [("partkey", DataType.INTEGER), ("name", DataType.STRING),
+         ("brand", DataType.STRING), ("retailprice", DataType.FLOAT),
+         ("size", DataType.INTEGER)],
+        rows, name="part",
+    )
+
+
+def generate_supplier(count: int, seed: int = 1) -> Relation:
+    rng = make_rng(seed, "supplier")
+    rows = [
+        (
+            key,
+            f"Supplier#{key:09d}",
+            rng.randrange(len(NATIONS)),
+            round(rng.uniform(-999.99, 9999.99), 2),
+        )
+        for key in range(1, count + 1)
+    ]
+    return Relation.from_columns(
+        [("suppkey", DataType.INTEGER), ("name", DataType.STRING),
+         ("nationkey", DataType.INTEGER), ("acctbal", DataType.FLOAT)],
+        rows, name="supplier",
+    )
+
+
+def generate_lineitem(count: int, order_count: int, part_count: int,
+                      supplier_count: int, seed: int = 1) -> Relation:
+    rng = make_rng(seed, "lineitem")
+    rows = [
+        (
+            rng.randint(1, order_count),
+            rng.randint(1, part_count),
+            rng.randint(1, supplier_count),
+            rng.randint(1, 50),
+            round(rng.uniform(900.0, 100000.0), 2),
+            round(rng.uniform(0.0, 0.1), 2),
+        )
+        for _ in range(count)
+    ]
+    return Relation.from_columns(
+        [("orderkey", DataType.INTEGER), ("partkey", DataType.INTEGER),
+         ("suppkey", DataType.INTEGER), ("quantity", DataType.INTEGER),
+         ("extendedprice", DataType.FLOAT), ("discount", DataType.FLOAT)],
+        rows, name="lineitem",
+    )
+
+
+@dataclass
+class TpcrSizes:
+    """Row counts for one generated database."""
+
+    customers: int = 1000
+    orders: int = 10000
+    lineitems: int = 20000
+    parts: int = 2000
+    suppliers: int = 100
+
+
+def build_tpcr_catalog(sizes: TpcrSizes | None = None, seed: int = 1,
+                       indexes: bool = True) -> Catalog:
+    """Generate a full catalog with (optionally) the paper's indexes.
+
+    "All important attributes were indexed in the experiments, except when
+    explicitly dropped to study the stability of the algorithms" — the
+    correlation keys get hash indexes here; drop them with
+    ``catalog.drop_all_indexes()`` for the no-index runs.
+    """
+    sizes = sizes or TpcrSizes()
+    catalog = Catalog()
+    catalog.create_table("region", generate_region())
+    catalog.create_table("nation", generate_nation())
+    catalog.create_table("customer", generate_customer(sizes.customers, seed))
+    catalog.create_table(
+        "orders", generate_orders(sizes.orders, sizes.customers, seed)
+    )
+    catalog.create_table("part", generate_part(sizes.parts, seed))
+    catalog.create_table("supplier", generate_supplier(sizes.suppliers, seed))
+    catalog.create_table(
+        "lineitem",
+        generate_lineitem(sizes.lineitems, sizes.orders, sizes.parts,
+                          sizes.suppliers, seed),
+    )
+    if indexes:
+        catalog.create_hash_index("customer", ["custkey"])
+        catalog.create_hash_index("orders", ["custkey"])
+        catalog.create_hash_index("orders", ["orderkey"])
+        catalog.create_hash_index("lineitem", ["orderkey"])
+        catalog.create_hash_index("part", ["partkey"])
+        catalog.create_hash_index("supplier", ["suppkey"])
+    return catalog

@@ -1,0 +1,21 @@
+"""Query engine: database façade, strategy planner, executor, reports."""
+
+from repro.engine.database import Database
+from repro.engine.executor import execute, profile
+from repro.engine.planner import STRATEGIES, contains_nested_select, make_executor
+from repro.engine.statistics import ColumnStatistics, TableStatistics, analyze_catalog, analyze_table
+from repro.engine.stats import ExecutionReport
+
+__all__ = [
+    "ColumnStatistics",
+    "Database",
+    "TableStatistics",
+    "analyze_catalog",
+    "analyze_table",
+    "ExecutionReport",
+    "STRATEGIES",
+    "contains_nested_select",
+    "execute",
+    "make_executor",
+    "profile",
+]

@@ -1,0 +1,119 @@
+"""The user-facing database façade.
+
+:class:`Database` bundles a catalog with table/index DDL, query execution
+under any strategy, EXPLAIN output, and (once the SQL frontend is bound)
+textual SQL.  This is the object the examples and benchmarks construct.
+
+>>> from repro import Database, DataType
+>>> db = Database()
+>>> _ = db.create_table("T", [("K", DataType.INTEGER)], [(1,), (2,)])
+>>> len(db.execute_sql("SELECT K FROM T WHERE K > 1"))
+1
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.algebra.operators import Operator
+from repro.algebra.printer import explain as explain_plan
+from repro.engine.executor import execute, profile
+from repro.engine.planner import STRATEGIES
+from repro.engine.stats import ExecutionReport
+from repro.errors import PlanError
+from repro.storage.catalog import Catalog
+from repro.storage.csvio import load_csv
+from repro.storage.relation import Relation
+from repro.storage.types import DataType
+from repro.unnesting.translate import subquery_to_gmdj
+
+
+class Database:
+    """An in-process OLAP database with GMDJ-based subquery processing."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+
+    # -- DDL -----------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, DataType]],
+        rows: Iterable[Sequence[Any]] = (),
+    ) -> Relation:
+        """Create a table from ``(name, dtype)`` pairs and initial rows."""
+        relation = Relation.from_columns(columns, rows, name=name)
+        return self.catalog.create_table(name, relation)
+
+    def register(self, name: str, relation: Relation) -> Relation:
+        """Install an existing relation as a table (replaces silently)."""
+        return self.catalog.replace_table(name, relation)
+
+    def load_csv(self, name: str, path) -> Relation:
+        """Create a table from a CSV written by ``repro.storage.save_csv``."""
+        return self.catalog.create_table(name, load_csv(path, name=name))
+
+    def create_index(self, table: str, attribute: str) -> None:
+        """Create a single-attribute hash index (conventional engines'
+        correlation lookups and indexed joins use these)."""
+        self.catalog.create_hash_index(table, [attribute])
+
+    def drop_indexes(self, table: str | None = None) -> int:
+        """Drop indexes to study strategy stability (Figure 5)."""
+        return self.catalog.drop_all_indexes(table)
+
+    def table(self, name: str) -> Relation:
+        return self.catalog.table(name)
+
+    # -- queries ----------------------------------------------------------------
+
+    def execute(self, query: Operator, strategy: str = "auto") -> Relation:
+        """Evaluate an algebra query (flat or nested) under a strategy."""
+        return execute(query, self.catalog, strategy)
+
+    def profile(self, query: Operator, strategy: str = "auto") -> ExecutionReport:
+        """Evaluate and return timing plus work counters."""
+        return profile(query, self.catalog, strategy)
+
+    def explain(self, query: Operator, strategy: str = "auto") -> str:
+        """Render the plan that the given strategy would execute."""
+        if strategy in ("auto", "gmdj_optimized"):
+            return explain_plan(subquery_to_gmdj(query, self.catalog, optimize=True))
+        if strategy == "gmdj":
+            return explain_plan(subquery_to_gmdj(query, self.catalog))
+        if strategy in STRATEGIES:
+            return explain_plan(query)
+        raise PlanError(f"unknown strategy {strategy!r}")
+
+    def explain_analyze(self, query: Operator,
+                        strategy: str = "auto") -> str:
+        """EXPLAIN plus actual execution: plan text and measured counters."""
+        plan_text = self.explain(query, strategy)
+        report = self.profile(query, strategy)
+        counters = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(report.counters.items())
+            if value
+        )
+        return (
+            f"{plan_text}\n"
+            f"-- rows: {report.row_count}  "
+            f"time: {report.elapsed_seconds * 1000:.2f} ms\n"
+            f"-- {counters}"
+        )
+
+    # -- SQL ------------------------------------------------------------------------
+
+    def sql(self, text: str) -> Operator:
+        """Parse and bind a SQL query into a (possibly nested) algebra tree."""
+        from repro.sql import compile_sql
+
+        return compile_sql(text, self.catalog)
+
+    def execute_sql(self, text: str, strategy: str = "auto") -> Relation:
+        """Parse, bind, and evaluate a SQL query."""
+        return self.execute(self.sql(text), strategy)
+
+    def profile_sql(self, text: str, strategy: str = "auto") -> ExecutionReport:
+        return self.profile(self.sql(text), strategy)

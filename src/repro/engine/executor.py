@@ -1,0 +1,33 @@
+"""Query execution with timing and work accounting."""
+
+from __future__ import annotations
+
+import time
+
+from repro.algebra.operators import Operator
+from repro.engine.planner import make_executor
+from repro.engine.stats import ExecutionReport
+from repro.storage.catalog import Catalog
+from repro.storage.iostats import collect
+
+
+def execute(query: Operator, catalog: Catalog, strategy: str = "auto"):
+    """Evaluate ``query`` under ``strategy``; returns the result relation."""
+    return make_executor(query, catalog, strategy)()
+
+
+def profile(
+    query: Operator, catalog: Catalog, strategy: str = "auto"
+) -> ExecutionReport:
+    """Evaluate ``query`` and capture wall-clock time and work counters."""
+    runner = make_executor(query, catalog, strategy)
+    with collect() as stats:
+        started = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - started
+    return ExecutionReport(
+        strategy=strategy,
+        elapsed_seconds=elapsed,
+        counters=stats.snapshot(),
+        result=result,
+    )

@@ -1,0 +1,87 @@
+"""Table statistics: cardinalities and per-column profiles.
+
+A conventional cost-based optimizer keeps per-column statistics; this
+module computes the subset the cost model consumes — row counts, distinct
+counts, NULL counts, and min/max — with a single pass per table.
+
+>>> from repro.storage import Relation, DataType
+>>> r = Relation.from_columns([("k", DataType.INTEGER)], [(1,), (1,), (None,)])
+>>> analyze_table(r).columns["k"].distinct_count
+1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.catalog import Catalog
+from repro.storage.iostats import IOStats
+from repro.storage.relation import Relation
+
+
+@dataclass
+class ColumnStatistics:
+    """Profile of one column (NULLs excluded from distinct/min/max)."""
+
+    distinct_count: int = 0
+    null_count: int = 0
+    minimum: object = None
+    maximum: object = None
+
+    def selectivity_of_equality(self, row_count: int) -> float:
+        """Estimated fraction of rows matching one equality literal."""
+        non_null = row_count - self.null_count
+        if non_null <= 0 or self.distinct_count == 0:
+            return 0.0
+        return 1.0 / self.distinct_count
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for one table."""
+
+    row_count: int = 0
+    columns: dict = field(default_factory=dict)
+
+    def matches_per_key(self, column: str) -> float:
+        """Expected rows per distinct value of ``column``."""
+        stats = self.columns.get(column)
+        if stats is None or stats.distinct_count == 0:
+            return float(self.row_count)
+        return (self.row_count - stats.null_count) / stats.distinct_count
+
+
+def analyze_table(relation: Relation) -> TableStatistics:
+    """Profile every column of a relation in one scan."""
+    IOStats.ambient().record_scan(len(relation))
+    table_stats = TableStatistics(row_count=len(relation))
+    distinct: list[set] = [set() for _ in relation.schema]
+    nulls = [0] * len(relation.schema)
+    minima: list = [None] * len(relation.schema)
+    maxima: list = [None] * len(relation.schema)
+    for row in relation.rows:
+        for position, value in enumerate(row):
+            if value is None:
+                nulls[position] += 1
+                continue
+            distinct[position].add(value)
+            if minima[position] is None or value < minima[position]:
+                minima[position] = value
+            if maxima[position] is None or value > maxima[position]:
+                maxima[position] = value
+    for position, column in enumerate(relation.schema.fields):
+        table_stats.columns[column.name] = ColumnStatistics(
+            distinct_count=len(distinct[position]),
+            null_count=nulls[position],
+            minimum=minima[position],
+            maximum=maxima[position],
+        )
+    return table_stats
+
+
+def analyze_catalog(catalog: Catalog) -> dict:
+    """Profile every table of a catalog: ``{table_name: TableStatistics}``."""
+    return {
+        name: analyze_table(catalog.table(name))
+        for name in catalog.table_names()
+    }

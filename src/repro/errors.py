@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  The hierarchy mirrors the major subsystems: storage,
+algebra/type checking, SQL parsing and binding, and query planning.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """Schema construction or attribute resolution failed."""
+
+
+class AmbiguousAttributeError(SchemaError):
+    """An attribute reference matched more than one column."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute reference matched no column."""
+
+
+class TypeCheckError(ReproError):
+    """A value or expression does not conform to the expected type."""
+
+
+class CatalogError(ReproError):
+    """A catalog operation referenced a missing or duplicate object."""
+
+
+class ExpressionError(ReproError):
+    """An expression is malformed or cannot be evaluated."""
+
+
+class CardinalityError(ReproError):
+    """A scalar subquery (or comparison subquery) returned more than one row.
+
+    This is the run-time exception the SQL standard mandates for scalar
+    subqueries; the paper notes handling it is orthogonal to the rewrite
+    (Section 3.1), so we surface it explicitly.
+    """
+
+
+class TranslationError(ReproError):
+    """The unnesting algorithm could not translate a nested expression."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL lexer or parser rejected the input text."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(ReproError):
+    """The SQL binder could not resolve names against the catalog."""
+
+
+class PlanError(ReproError):
+    """The planner could not produce a physical plan for the request."""

@@ -1,0 +1,41 @@
+"""The GMDJ operator, its evaluator, and the Section-4 optimizations."""
+
+from repro.gmdj.chunked import detail_scans_required, evaluate_gmdj_chunked
+from repro.gmdj.coalesce import coalesce_plan, merge_stacked, pull_up_base_selection
+from repro.gmdj.completion import CompletionRule, derive_completion_rule
+from repro.gmdj.evaluate import SelectGMDJ, run_gmdj
+from repro.gmdj.operator import GMDJ, ThetaBlock, md
+from repro.gmdj.optimize import fuse_completion, optimize_plan, push_base_selections
+from repro.gmdj.parallel import evaluate_gmdj_partitioned, partition_rows
+from repro.gmdj.pushdown import (
+    embed_base_in_detail,
+    pull_join_out_of_base,
+    push_join_into_base,
+)
+from repro.gmdj.to_sql import expression_to_sql, gmdj_to_sql, plan_to_sql
+
+__all__ = [
+    "CompletionRule",
+    "GMDJ",
+    "SelectGMDJ",
+    "ThetaBlock",
+    "coalesce_plan",
+    "derive_completion_rule",
+    "detail_scans_required",
+    "evaluate_gmdj_chunked",
+    "embed_base_in_detail",
+    "evaluate_gmdj_partitioned",
+    "expression_to_sql",
+    "fuse_completion",
+    "gmdj_to_sql",
+    "md",
+    "merge_stacked",
+    "optimize_plan",
+    "push_base_selections",
+    "partition_rows",
+    "plan_to_sql",
+    "pull_join_out_of_base",
+    "pull_up_base_selection",
+    "push_join_into_base",
+    "run_gmdj",
+]

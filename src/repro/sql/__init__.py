@@ -1,0 +1,7 @@
+"""SQL frontend: lexer, parser, and binder for the subquery SQL subset."""
+
+from repro.sql.binder import Binder, compile_sql
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import Parser, parse_sql
+
+__all__ = ["Binder", "Parser", "Token", "compile_sql", "parse_sql", "tokenize"]

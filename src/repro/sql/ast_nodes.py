@@ -1,0 +1,191 @@
+"""Abstract syntax for the SQL subset.
+
+The AST is deliberately close to SQL's surface structure; all semantic
+work (scoping, subquery classification, algebra construction) happens in
+:mod:`repro.sql.binder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SqlNode:
+    """Base class for all SQL AST nodes."""
+
+
+# -- scalar expressions --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef(SqlNode):
+    """``name`` or ``qualifier.name``."""
+
+    qualifier: str | None
+    name: str
+
+    @property
+    def reference(self) -> str:
+        if self.qualifier is None:
+            return self.name
+        return f"{self.qualifier}.{self.name}"
+
+
+@dataclass(frozen=True)
+class NumberLiteral(SqlNode):
+    text: str
+
+    @property
+    def value(self):
+        return float(self.text) if "." in self.text else int(self.text)
+
+
+@dataclass(frozen=True)
+class StringLiteral(SqlNode):
+    value: str
+
+
+@dataclass(frozen=True)
+class NullLiteral(SqlNode):
+    pass
+
+
+@dataclass(frozen=True)
+class BinaryOp(SqlNode):
+    """Arithmetic: ``+ - * /``."""
+
+    op: str
+    left: SqlNode
+    right: SqlNode
+
+
+@dataclass(frozen=True)
+class FunctionCall(SqlNode):
+    """``count(*)``, ``sum(expr)``, ... — only aggregates are supported."""
+
+    name: str  # lowercased
+    argument: SqlNode | None  # None encodes ``*``
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(SqlNode):
+    """``(SELECT ...)`` used in expression position.
+
+    In a comparison's right operand this is the classic scalar subquery
+    predicate; in a SELECT list it becomes an APPLY (one value computed
+    per outer row).
+    """
+
+    query: "SelectStatement"
+
+
+# -- predicates ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison(SqlNode):
+    """``left φ right`` or ``left φ SOME|ALL (subquery)``."""
+
+    op: str
+    left: SqlNode
+    right: SqlNode  # expression or SelectStatement
+    quantifier: str | None = None  # None | "some" | "all"
+
+
+@dataclass(frozen=True)
+class InPredicate(SqlNode):
+    expression: SqlNode
+    query: "SelectStatement"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ExistsPredicate(SqlNode):
+    query: "SelectStatement"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNullPredicate(SqlNode):
+    expression: SqlNode
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BetweenPredicate(SqlNode):
+    expression: SqlNode
+    low: SqlNode
+    high: SqlNode
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class NotPredicate(SqlNode):
+    operand: SqlNode
+
+
+@dataclass(frozen=True)
+class AndPredicate(SqlNode):
+    left: SqlNode
+    right: SqlNode
+
+
+@dataclass(frozen=True)
+class OrPredicate(SqlNode):
+    left: SqlNode
+    right: SqlNode
+
+
+# -- query structure --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(SqlNode):
+    expression: SqlNode
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef(SqlNode):
+    name: str
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem(SqlNode):
+    expression: SqlNode
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement(SqlNode):
+    """One SELECT block; ``items`` empty means ``SELECT *``."""
+
+    items: tuple[SelectItem, ...]
+    tables: tuple[TableRef, ...]
+    where: SqlNode | None = None
+    distinct: bool = False
+    group_by: tuple[ColumnRef, ...] = field(default=())
+    having: SqlNode | None = None
+    order_by: tuple[OrderItem, ...] = field(default=())
+    limit: int | None = None
+    offset: int = 0
+
+    @property
+    def is_star(self) -> bool:
+        return not self.items
+
+
+@dataclass(frozen=True)
+class CompoundSelect(SqlNode):
+    """``left UNION|EXCEPT|INTERSECT [ALL] right``.
+
+    Chains left-associatively: ``a UNION b EXCEPT c`` parses as
+    ``(a UNION b) EXCEPT c``.
+    """
+
+    operator: str  # "union" | "except" | "intersect"
+    all: bool
+    left: "SelectStatement | CompoundSelect"
+    right: SelectStatement

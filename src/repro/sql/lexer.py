@@ -1,0 +1,109 @@
+"""SQL lexer for the subquery-oriented SQL subset.
+
+Produces a flat token stream for the recursive-descent parser.  Keywords
+are case-insensitive; identifiers keep their original spelling.  String
+literals use single quotes with ``''`` as the escape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "OR", "NOT", "EXISTS",
+    "IN", "IS", "NULL", "SOME", "ANY", "ALL", "AS", "GROUP", "BY",
+    "ORDER", "ASC", "DESC", "HAVING", "BETWEEN", "LIMIT", "OFFSET",
+    "UNION", "EXCEPT", "INTERSECT",
+}
+
+#: Multi-character operators first so maximal munch applies.
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".",
+             "*", "+", "-", "/")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | OP | EOF
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "OP" and self.text == op
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens; raises :class:`SQLSyntaxError` on junk."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            newline = text.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            pieces: list[str] = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError("unterminated string literal", i)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        pieces.append("'")
+                        j += 2
+                        continue
+                    break
+                pieces.append(text[j])
+                j += 1
+            tokens.append(Token("STRING", "".join(pieces), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit terminates the number
+                    # (e.g. ``t.1`` is malformed anyway, but ``1.x`` never
+                    # happens; qualified refs never start with a digit).
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", "<>" if op == "!=" else op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,30 @@
+"""Storage substrate: types, schemas, relations, indexes, catalog, I/O."""
+
+from repro.storage.catalog import Catalog
+from repro.storage.csvio import load_catalog, load_csv, save_catalog, save_csv
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.iostats import IOStats, TUPLES_PER_PAGE, collect
+from repro.storage.relation import Relation, Row
+from repro.storage.schema import Field, Schema
+from repro.storage.types import NULL, DataType, common_type, comparable
+
+__all__ = [
+    "Catalog",
+    "DataType",
+    "Field",
+    "HashIndex",
+    "IOStats",
+    "NULL",
+    "Relation",
+    "Row",
+    "Schema",
+    "SortedIndex",
+    "TUPLES_PER_PAGE",
+    "collect",
+    "common_type",
+    "comparable",
+    "load_catalog",
+    "load_csv",
+    "save_catalog",
+    "save_csv",
+]

@@ -1,0 +1,94 @@
+"""CSV import/export for relations.
+
+The format is deliberately simple: a header row of ``name:type`` cells,
+then data rows.  Empty cells are NULL.  This is enough to persist generated
+workloads between benchmark runs and to let examples ship small datasets.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import SchemaError
+from repro.storage.relation import Relation
+from repro.storage.schema import Field, Schema
+from repro.storage.types import DataType
+
+
+def _header_cell(field: Field) -> str:
+    return f"{field.full_name}:{field.dtype.value}"
+
+
+def _parse_header_cell(cell: str) -> Field:
+    name, sep, type_name = cell.rpartition(":")
+    if not sep:
+        raise SchemaError(f"malformed CSV header cell {cell!r}; want name:type")
+    try:
+        dtype = DataType(type_name)
+    except ValueError:
+        raise SchemaError(f"unknown type {type_name!r} in CSV header") from None
+    qualifier: str | None
+    if "." in name:
+        qualifier, _, bare = name.partition(".")
+    else:
+        qualifier, bare = None, name
+    return Field(bare, dtype, qualifier)
+
+
+def save_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation to ``path`` with a typed header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_header_cell(field) for field in relation.schema)
+        for row in relation.rows:
+            writer.writerow("" if value is None else value for value in row)
+
+
+def save_catalog(catalog, directory: str | Path) -> list[Path]:
+    """Write every table of a catalog as ``<directory>/<table>.csv``.
+
+    Indexes are not persisted (they are cheap to rebuild and their
+    presence is an experimental variable in this library).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in catalog.table_names():
+        path = directory / f"{name}.csv"
+        save_csv(catalog.table(name), path)
+        written.append(path)
+    return written
+
+
+def load_catalog(directory: str | Path):
+    """Build a catalog from every ``*.csv`` in a directory."""
+    from repro.storage.catalog import Catalog
+
+    directory = Path(directory)
+    catalog = Catalog()
+    for path in sorted(directory.glob("*.csv")):
+        catalog.create_table(path.stem, load_csv(path))
+    return catalog
+
+
+def load_csv(path: str | Path, name: str | None = None) -> Relation:
+    """Read a relation written by :func:`save_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty; expected a header row") from None
+        schema = Schema(_parse_header_cell(cell) for cell in header)
+        rows: Iterable = (
+            tuple(
+                field.dtype.parse(cell)
+                for field, cell in zip(schema.fields, row)
+            )
+            for row in reader
+        )
+        return Relation(schema, rows, name=name or path.stem)

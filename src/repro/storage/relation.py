@@ -1,0 +1,173 @@
+"""Relations: ordered multisets of typed tuples.
+
+A :class:`Relation` couples a :class:`~repro.storage.schema.Schema` with a
+list of rows (plain Python tuples).  SQL bag semantics apply throughout —
+duplicates are preserved and ``distinct()`` is explicit.  SQL NULL is the
+Python value ``None``.
+
+Scanning a relation through :meth:`Relation.scan` reports page and tuple
+counts into the ambient :class:`~repro.storage.iostats.IOStats`; iteration
+via ``__iter__`` is free and intended for cheap in-memory inspection (tests,
+pretty-printing).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.storage.iostats import IOStats
+from repro.storage.schema import Field, Schema
+from repro.storage.types import DataType
+
+Row = tuple
+
+
+class Relation:
+    """A typed, ordered multiset of tuples."""
+
+    __slots__ = ("schema", "rows", "name")
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Iterable[Sequence[Any]] = (),
+        name: str | None = None,
+        validate: bool = True,
+    ):
+        self.schema = schema
+        self.name = name
+        if validate:
+            self.rows: list[Row] = [self._check_row(row) for row in rows]
+        else:
+            self.rows = [tuple(row) for row in rows]
+
+    def _check_row(self, row: Sequence[Any]) -> Row:
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema arity "
+                f"{len(self.schema)}: {row!r}"
+            )
+        return tuple(
+            field.dtype.validate(value)
+            for field, value in zip(self.schema.fields, row)
+        )
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def from_columns(
+        pairs: Sequence[tuple[str, DataType]],
+        rows: Iterable[Sequence[Any]] = (),
+        name: str | None = None,
+        qualifier: str | None = None,
+    ) -> "Relation":
+        """Build a relation from ``(name, dtype)`` pairs and row data."""
+        schema = Schema(Field(n, t, qualifier) for n, t in pairs)
+        return Relation(schema, rows, name=name)
+
+    def insert(self, row: Sequence[Any]) -> None:
+        self.rows.append(self._check_row(row))
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    # -- basic properties ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        label = self.name or "relation"
+        return f"<Relation {label} {len(self.schema)} cols x {len(self.rows)} rows>"
+
+    def arity(self) -> int:
+        return len(self.schema)
+
+    # -- accounted access ----------------------------------------------------
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate all rows, charging a full relation scan to IOStats."""
+        IOStats.ambient().record_scan(len(self.rows))
+        return iter(self.rows)
+
+    # -- bag comparisons -----------------------------------------------------
+
+    def as_multiset(self) -> Counter:
+        """Rows as a Counter, for order-insensitive bag comparison."""
+        return Counter(self.rows)
+
+    def bag_equal(self, other: "Relation") -> bool:
+        """True when both relations hold the same multiset of rows.
+
+        Schemas are compared by attribute *names only* (qualifiers and
+        declared types may legitimately differ between two plans computing
+        the same query).
+        """
+        if len(self.schema) != len(other.schema):
+            return False
+        return self.as_multiset() == other.as_multiset()
+
+    # -- convenience transforms (used by tests and examples) ------------------
+
+    def rename(self, qualifier: str) -> "Relation":
+        """A view of this relation with every field re-qualified."""
+        return Relation(self.schema.rename(qualifier), self.rows, name=self.name,
+                        validate=False)
+
+    def distinct(self) -> "Relation":
+        seen: set[Row] = set()
+        out: list[Row] = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return Relation(self.schema, out, name=self.name, validate=False)
+
+    def sorted_by(self, *references: str) -> "Relation":
+        """Rows ordered by the given attributes (NULLs first)."""
+        indexes = [self.schema.index_of(ref) for ref in references]
+
+        def key(row: Row):
+            return tuple(
+                (row[i] is not None, row[i]) for i in indexes
+            )
+
+        return Relation(self.schema, sorted(self.rows, key=key),
+                        name=self.name, validate=False)
+
+    def column(self, reference: str) -> list[Any]:
+        """All values of one attribute, in row order."""
+        index = self.schema.index_of(reference)
+        return [row[index] for row in self.rows]
+
+    def filter_rows(self, predicate: Callable[[Row], bool]) -> "Relation":
+        """Plain-Python row filter (testing helper, not an operator)."""
+        return Relation(self.schema, [r for r in self.rows if predicate(r)],
+                        name=self.name, validate=False)
+
+    # -- display ---------------------------------------------------------------
+
+    def pretty(self, limit: int = 20) -> str:
+        """A fixed-width textual rendering of the first ``limit`` rows."""
+        headers = [f.full_name for f in self.schema.fields]
+        shown = self.rows[:limit]
+        cells = [[("NULL" if v is None else str(v)) for v in row] for row in shown]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in cells), 1)
+            if cells else len(headers[i])
+            for i in range(len(headers))
+        ]
+        def fmt(values: Sequence[str]) -> str:
+            return " | ".join(v.ljust(w) for v, w in zip(values, widths))
+
+        lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+        lines.extend(fmt(row) for row in cells)
+        if len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join(lines)

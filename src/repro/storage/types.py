@@ -1,0 +1,103 @@
+"""Value types for the storage engine.
+
+The engine supports four scalar types plus SQL NULL (represented by Python
+``None``).  Values are ordinary Python objects; :class:`DataType` carries the
+declared column type and provides validation and coercion used by the schema
+layer, the CSV reader, and the expression type checker.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import TypeCheckError
+
+#: The Python value used for SQL NULL throughout the library.
+NULL = None
+
+
+class DataType(enum.Enum):
+    """Declared type of a column."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    BOOLEAN = "boolean"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+    def validate(self, value: Any) -> Any:
+        """Check ``value`` against this type, returning the value.
+
+        ``None`` (SQL NULL) is valid for every type.  Integers are accepted
+        for FLOAT columns (widened on the fly); ``bool`` is *not* accepted
+        for INTEGER columns even though ``bool`` subclasses ``int``.
+        """
+        if value is NULL:
+            return value
+        if self is DataType.INTEGER:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeCheckError(f"expected INTEGER, got {value!r}")
+        elif self is DataType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeCheckError(f"expected FLOAT, got {value!r}")
+            return float(value)
+        elif self is DataType.STRING:
+            if not isinstance(value, str):
+                raise TypeCheckError(f"expected STRING, got {value!r}")
+        elif self is DataType.BOOLEAN:
+            if not isinstance(value, bool):
+                raise TypeCheckError(f"expected BOOLEAN, got {value!r}")
+        return value
+
+    def parse(self, text: str) -> Any:
+        """Parse a CSV field into a value of this type.
+
+        The empty string is read as NULL.
+        """
+        if text == "":
+            return NULL
+        if self is DataType.INTEGER:
+            return int(text)
+        if self is DataType.FLOAT:
+            return float(text)
+        if self is DataType.BOOLEAN:
+            lowered = text.strip().lower()
+            if lowered in ("true", "t", "1"):
+                return True
+            if lowered in ("false", "f", "0"):
+                return False
+            raise TypeCheckError(f"cannot parse BOOLEAN from {text!r}")
+        return text
+
+    @staticmethod
+    def infer(value: Any) -> "DataType":
+        """Infer the type of a Python value (NULL has no type and raises)."""
+        if isinstance(value, bool):
+            return DataType.BOOLEAN
+        if isinstance(value, int):
+            return DataType.INTEGER
+        if isinstance(value, float):
+            return DataType.FLOAT
+        if isinstance(value, str):
+            return DataType.STRING
+        raise TypeCheckError(f"cannot infer a column type for {value!r}")
+
+
+def common_type(left: DataType, right: DataType) -> DataType:
+    """Return the widened type of a binary arithmetic/comparison pair."""
+    if left is right:
+        return left
+    if left.is_numeric and right.is_numeric:
+        return DataType.FLOAT
+    raise TypeCheckError(f"incompatible types: {left.value} vs {right.value}")
+
+
+def comparable(left: DataType, right: DataType) -> bool:
+    """True when values of the two types may be compared with <, =, etc."""
+    if left is right:
+        return True
+    return left.is_numeric and right.is_numeric

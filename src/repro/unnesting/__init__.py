@@ -1,0 +1,13 @@
+"""Algorithm SubqueryToGMDJ: translating nested queries into GMDJ plans."""
+
+from repro.unnesting.normalize import push_down_negations
+from repro.unnesting.rules import LeafMapping, NameGenerator, map_leaf
+from repro.unnesting.translate import subquery_to_gmdj
+
+__all__ = [
+    "LeafMapping",
+    "NameGenerator",
+    "map_leaf",
+    "push_down_negations",
+    "subquery_to_gmdj",
+]

@@ -1,0 +1,113 @@
+"""Predicate normalization (the first stage of Algorithm SubqueryToGMDJ).
+
+De Morgan's laws push negations down to atomic predicates, and negations
+in front of subquery predicates are eliminated using the rules listed in
+the paper's algorithm box::
+
+    ¬(t φ S)       ⇒  t φ̄ S
+    ¬(t φ_some S)  ⇒  t φ̄_all S
+    ¬(t φ_all S)   ⇒  t φ̄_some S
+    ¬(∃ S)         ⇒  ∄ S          (and vice versa)
+
+All of these are exact under three-valued logic (NOT UNKNOWN = UNKNOWN on
+both sides), which is what makes NULLs in the data "handled correctly"
+(Theorem 3.5's premise).  Ordinary comparisons are complemented the same
+way; a residual ``NOT`` may remain only over predicates with no cheaper
+complement (e.g. ``NOT (x IS NULL)`` becomes ``x IS NOT NULL`` though, so
+in practice the result is negation-free above the atoms).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    And,
+    Comparison,
+    Expression,
+    IsNull,
+    Not,
+    Or,
+    TruthLiteral,
+)
+from repro.algebra.nested import (
+    Exists,
+    QuantifiedComparison,
+    ScalarComparison,
+)
+from repro.algebra.truth import Truth
+from repro.algebra.expressions import COMPLEMENT
+
+
+def push_down_negations(predicate: Expression) -> Expression:
+    """Return an equivalent predicate with ¬ eliminated above the atoms."""
+    return _normalize(predicate, negated=False)
+
+
+def _normalize(predicate: Expression, negated: bool) -> Expression:
+    if isinstance(predicate, Not):
+        return _normalize(predicate.operand, not negated)
+    if isinstance(predicate, And):
+        left = _normalize(predicate.left, negated)
+        right = _normalize(predicate.right, negated)
+        return Or(left, right) if negated else And(left, right)
+    if isinstance(predicate, Or):
+        left = _normalize(predicate.left, negated)
+        right = _normalize(predicate.right, negated)
+        return And(left, right) if negated else Or(left, right)
+    if not negated:
+        return _normalize_leaf(predicate)
+    return _complement_leaf(predicate)
+
+
+def _normalize_leaf(predicate: Expression) -> Expression:
+    """Normalize subquery bodies inside a non-negated leaf."""
+    if isinstance(predicate, (Exists, ScalarComparison, QuantifiedComparison)):
+        return _with_normalized_subquery(predicate)
+    return predicate
+
+
+def _complement_leaf(predicate: Expression) -> Expression:
+    if isinstance(predicate, Comparison):
+        return predicate.complemented()
+    if isinstance(predicate, IsNull):
+        return IsNull(predicate.operand, not predicate.negated)
+    if isinstance(predicate, TruthLiteral):
+        return TruthLiteral(predicate.value.not_())
+    if isinstance(predicate, Exists):
+        return _with_normalized_subquery(
+            Exists(predicate.subquery, not predicate.negated)
+        )
+    if isinstance(predicate, ScalarComparison):
+        return _with_normalized_subquery(
+            ScalarComparison(
+                COMPLEMENT[predicate.op], predicate.outer, predicate.subquery
+            )
+        )
+    if isinstance(predicate, QuantifiedComparison):
+        flipped = "all" if predicate.quantifier == "some" else "some"
+        return _with_normalized_subquery(
+            QuantifiedComparison(
+                COMPLEMENT[predicate.op], flipped, predicate.outer,
+                predicate.subquery,
+            )
+        )
+    # No known complement: keep an explicit NOT (still correct, just
+    # opaque to the later rewrite stages).
+    return Not(predicate)
+
+
+def _with_normalized_subquery(leaf):
+    """Normalize the predicate inside a subquery leaf, recursively."""
+    from repro.algebra.nested import Subquery
+
+    subquery = leaf.subquery
+    normalized = push_down_negations(subquery.predicate)
+    if normalized is subquery.predicate:
+        return leaf
+    rebuilt = Subquery(
+        subquery.source, normalized, subquery.item, subquery.aggregate
+    )
+    if isinstance(leaf, Exists):
+        return Exists(rebuilt, leaf.negated)
+    if isinstance(leaf, ScalarComparison):
+        return ScalarComparison(leaf.op, leaf.outer, rebuilt)
+    return QuantifiedComparison(leaf.op, leaf.quantifier, leaf.outer, rebuilt)

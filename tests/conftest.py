@@ -1,0 +1,49 @@
+"""Shared fixtures: small catalogs used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import Catalog, DataType, Relation
+
+
+@pytest.fixture
+def figure1_catalog() -> Catalog:
+    """The exact Hours/Flow tables of the paper's Figure 1."""
+    catalog = Catalog()
+    catalog.create_table("Hours", Relation.from_columns(
+        [("HourDsc", DataType.INTEGER), ("StartInterval", DataType.INTEGER),
+         ("EndInterval", DataType.INTEGER)],
+        [(1, 0, 60), (2, 61, 120), (3, 121, 180)],
+    ))
+    catalog.create_table("Flow", Relation.from_columns(
+        [("StartTime", DataType.INTEGER), ("Protocol", DataType.STRING),
+         ("NumBytes", DataType.INTEGER)],
+        [(43, "HTTP", 12), (86, "HTTP", 36), (99, "FTP", 48),
+         (132, "HTTP", 24), (156, "HTTP", 24), (161, "FTP", 48)],
+    ))
+    return catalog
+
+
+@pytest.fixture
+def kv_catalog() -> Catalog:
+    """B(K, X) / R(K, Y) with NULLs — the generic subquery playground."""
+    catalog = Catalog()
+    catalog.create_table("B", Relation.from_columns(
+        [("K", DataType.INTEGER), ("X", DataType.INTEGER)],
+        [(0, 5), (1, None), (2, 9), (3, 1), (4, 7), (5, 3)],
+    ))
+    catalog.create_table("R", Relation.from_columns(
+        [("K", DataType.INTEGER), ("Y", DataType.INTEGER)],
+        [(0, 3), (0, 8), (1, 4), (2, None), (2, 2), (4, 7), (4, 7),
+         (6, 1)],
+    ))
+    return catalog
+
+
+def make_catalog(**tables) -> Catalog:
+    """Build a catalog from ``name=(columns, rows)`` keyword pairs."""
+    catalog = Catalog()
+    for name, (columns, rows) in tables.items():
+        catalog.create_table(name, Relation.from_columns(columns, rows))
+    return catalog

@@ -1,0 +1,81 @@
+"""Unit tests for repro.algebra.analysis (condition factoring)."""
+
+from repro.algebra.analysis import (
+    factor_condition,
+    is_trivially_true,
+    refers_only_to,
+)
+from repro.algebra.expressions import TRUE, col, lit
+from repro.storage.schema import Field, Schema
+from repro.storage.types import DataType
+
+LEFT = Schema([Field("k", DataType.INTEGER, "B"),
+               Field("x", DataType.INTEGER, "B")])
+RIGHT = Schema([Field("k", DataType.INTEGER, "R"),
+                Field("y", DataType.INTEGER, "R")])
+
+
+class TestRefersOnlyTo:
+    def test_positive(self):
+        assert refers_only_to(col("B.k") + col("B.x"), LEFT)
+
+    def test_negative(self):
+        assert not refers_only_to(col("B.k") + col("R.y"), LEFT)
+
+    def test_literal_refers_to_nothing(self):
+        assert refers_only_to(lit(5), LEFT)
+
+
+class TestFactorCondition:
+    def test_pure_equality(self):
+        factored = factor_condition(col("B.k") == col("R.k"), LEFT, RIGHT)
+        assert factored.has_equality
+        assert factored.residual is None
+        assert len(factored.left_keys) == 1
+
+    def test_reversed_equality_orientation(self):
+        factored = factor_condition(col("R.k") == col("B.k"), LEFT, RIGHT)
+        assert factored.has_equality
+        assert factored.left_keys[0].references() == {"B.k"}
+        assert factored.right_keys[0].references() == {"R.k"}
+
+    def test_mixed_condition(self):
+        condition = (col("B.k") == col("R.k")) & (col("R.y") > lit(5))
+        factored = factor_condition(condition, LEFT, RIGHT)
+        assert factored.has_equality
+        assert factored.residual is not None
+
+    def test_no_equality(self):
+        factored = factor_condition(col("B.k") != col("R.k"), LEFT, RIGHT)
+        assert not factored.has_equality
+        assert factored.residual is not None
+
+    def test_true_literal_dropped(self):
+        condition = TRUE & (col("B.k") == col("R.k"))
+        factored = factor_condition(condition, LEFT, RIGHT)
+        assert factored.has_equality
+        assert factored.residual is None
+
+    def test_expression_keys(self):
+        condition = (col("B.k") + lit(1)) == col("R.k")
+        factored = factor_condition(condition, LEFT, RIGHT)
+        assert factored.has_equality
+
+    def test_same_side_equality_stays_residual(self):
+        condition = col("B.k") == col("B.x")
+        factored = factor_condition(condition, LEFT, RIGHT)
+        assert not factored.has_equality
+        assert factored.residual is not None
+
+    def test_multiple_equalities(self):
+        condition = (col("B.k") == col("R.k")) & (col("B.x") == col("R.y"))
+        factored = factor_condition(condition, LEFT, RIGHT)
+        assert len(factored.left_keys) == 2
+
+
+class TestTriviallyTrue:
+    def test_true(self):
+        assert is_trivially_true(TRUE)
+
+    def test_comparison_is_not(self):
+        assert not is_trivially_true(col("B.k") == lit(1))

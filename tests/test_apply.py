@@ -1,0 +1,123 @@
+"""Tests for the APPLY operator and its GMDJ-based correlation removal."""
+
+import pytest
+
+from repro.algebra.aggregates import agg
+from repro.algebra.apply_op import Apply, apply_to_gmdj
+from repro.algebra.expressions import col, lit
+from repro.algebra.nested import Exists, Subquery
+from repro.algebra.operators import ScanTable
+from repro.errors import CardinalityError, PlanError, TranslationError
+from repro.storage import Catalog, DataType, Relation
+
+
+@pytest.fixture
+def catalog(kv_catalog) -> Catalog:
+    return kv_catalog
+
+
+def sub(item=None, aggregate=None, predicate=None):
+    return Subquery(ScanTable("R", "r"),
+                    predicate if predicate is not None
+                    else col("r.K") == col("b.K"),
+                    item=item, aggregate=aggregate)
+
+
+class TestApplySemantics:
+    def test_semi(self, catalog):
+        result = Apply(ScanTable("B", "b"), sub(), "semi").evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [0, 1, 2, 4]
+
+    def test_anti(self, catalog):
+        result = Apply(ScanTable("B", "b"), sub(), "anti").evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [3, 5]
+
+    def test_aggregate_extends_schema(self, catalog):
+        apply = Apply(ScanTable("B", "b"),
+                      sub(aggregate=agg("sum", col("r.Y"), "s")),
+                      "aggregate", output_name="total")
+        result = apply.evaluate(catalog)
+        assert result.schema.names == ("b.K", "b.X", "total")
+        values = {row[0]: row[2] for row in result.rows}
+        assert values[0] == 11 and values[3] is None
+
+    def test_scalar(self, catalog):
+        unique = sub(item=col("r.Y"),
+                     predicate=(col("r.K") == col("b.K"))
+                     & (col("r.Y") == lit(4)))
+        result = Apply(ScanTable("B", "b"), unique, "scalar",
+                       output_name="v").evaluate(catalog)
+        values = {row[0]: row[2] for row in result.rows}
+        assert values[1] == 4 and values[0] is None
+
+    def test_scalar_cardinality_error(self, catalog):
+        apply = Apply(ScanTable("B", "b"), sub(item=col("r.Y")), "scalar")
+        with pytest.raises(CardinalityError):
+            apply.evaluate(catalog)
+
+    def test_bad_mode(self):
+        with pytest.raises(PlanError):
+            Apply(ScanTable("B", "b"), sub(), "cross")
+
+    def test_scalar_needs_item(self):
+        with pytest.raises(PlanError):
+            Apply(ScanTable("B", "b"), sub(), "scalar")
+
+    def test_aggregate_needs_aggregate(self):
+        with pytest.raises(PlanError):
+            Apply(ScanTable("B", "b"), sub(item=col("r.Y")), "aggregate")
+
+    def test_output_preserved_for_duplicates(self):
+        catalog = Catalog()
+        catalog.create_table("B", Relation.from_columns(
+            [("K", DataType.INTEGER), ("X", DataType.INTEGER)],
+            [(1, 1), (1, 1)],
+        ))
+        catalog.create_table("R", Relation.from_columns(
+            [("K", DataType.INTEGER), ("Y", DataType.INTEGER)], [(1, 2)],
+        ))
+        result = Apply(ScanTable("B", "b"), sub(), "semi").evaluate(catalog)
+        assert len(result) == 2
+
+
+class TestApplyToGmdj:
+    @pytest.mark.parametrize("mode", ["semi", "anti"])
+    def test_semi_anti_rewrite_equivalent(self, catalog, mode):
+        apply = Apply(ScanTable("B", "b"), sub(), mode)
+        rewritten = apply_to_gmdj(apply, catalog)
+        assert apply.evaluate(catalog).bag_equal(rewritten.evaluate(catalog))
+
+    def test_aggregate_rewrite_equivalent(self, catalog):
+        apply = Apply(ScanTable("B", "b"),
+                      sub(aggregate=agg("avg", col("r.Y"), "a")),
+                      "aggregate", output_name="avgy")
+        rewritten = apply_to_gmdj(apply, catalog)
+        assert apply.evaluate(catalog).bag_equal(rewritten.evaluate(catalog))
+        assert rewritten.schema(catalog).names == ("b.K", "b.X", "avgy")
+
+    def test_scalar_rewrite_rejected(self, catalog):
+        apply = Apply(ScanTable("B", "b"), sub(item=col("r.Y")), "scalar")
+        with pytest.raises(TranslationError):
+            apply_to_gmdj(apply, catalog)
+
+    def test_nested_predicate_rejected(self, catalog):
+        nested = Subquery(
+            ScanTable("R", "r1"),
+            (col("r1.K") == col("b.K"))
+            & Exists(Subquery(ScanTable("R", "r2"),
+                              col("r2.K") == col("r1.K"))),
+        )
+        apply = Apply(ScanTable("B", "b"), nested, "semi")
+        with pytest.raises(TranslationError):
+            apply_to_gmdj(apply, catalog)
+
+    def test_rewrite_does_fewer_scans(self, catalog):
+        from repro.storage import collect
+
+        apply = Apply(ScanTable("B", "b"), sub(), "semi")
+        rewritten = apply_to_gmdj(apply, catalog)
+        with collect() as loop_stats:
+            apply.evaluate(catalog)
+        with collect() as gmdj_stats:
+            rewritten.evaluate(catalog)
+        assert gmdj_stats.relation_scans < loop_stats.relation_scans

@@ -1,0 +1,203 @@
+"""Tests for the baseline strategies (naive, native, join unnesting)."""
+
+import pytest
+
+from repro.algebra.aggregates import agg
+from repro.algebra.expressions import IsNull, TRUE, col, lit
+from repro.algebra.nested import (
+    Exists,
+    NestedSelect,
+    QuantifiedComparison,
+    ScalarComparison,
+    Subquery,
+    in_predicate,
+    not_in_predicate,
+)
+from repro.algebra.operators import Project, ScanTable
+from repro.baselines import (
+    evaluate_join_unnest,
+    evaluate_naive,
+    evaluate_native,
+)
+from repro.errors import TranslationError
+from repro.storage import Catalog, DataType, Relation, collect
+
+
+def b_scan():
+    return ScanTable("B", "b")
+
+
+def r_sub(predicate=None, item=None, aggregate=None, alias="r"):
+    default = col(f"{alias}.K") == col("b.K")
+    return Subquery(ScanTable("R", alias),
+                    predicate if predicate is not None else default,
+                    item=item, aggregate=aggregate)
+
+
+QUERIES = {
+    "exists": lambda: NestedSelect(b_scan(), Exists(r_sub())),
+    "not_exists": lambda: NestedSelect(b_scan(), Exists(r_sub(), negated=True)),
+    "some": lambda: NestedSelect(
+        b_scan(),
+        QuantifiedComparison("<", "some", col("b.X"), r_sub(item=col("r.Y"))),
+    ),
+    "all": lambda: NestedSelect(
+        b_scan(),
+        QuantifiedComparison("<", "all", col("b.X"), r_sub(item=col("r.Y"))),
+    ),
+    "in": lambda: NestedSelect(
+        b_scan(),
+        in_predicate(col("b.X"), Subquery(ScanTable("R", "r"), TRUE,
+                                          item=col("r.Y"))),
+    ),
+    "not_in": lambda: NestedSelect(
+        b_scan(),
+        not_in_predicate(col("b.X"),
+                         Subquery(ScanTable("R", "r"),
+                                  IsNull(col("r.Y"), negated=True),
+                                  item=col("r.Y"))),
+    ),
+    "agg": lambda: NestedSelect(
+        b_scan(),
+        ScalarComparison(">", col("b.X"),
+                         r_sub(aggregate=agg("avg", col("r.Y"), "a"))),
+    ),
+    "count": lambda: NestedSelect(
+        b_scan(),
+        ScalarComparison("=", lit(0),
+                         r_sub(aggregate=agg("count", None, "c"))),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_all_baselines_agree(name, kv_catalog):
+    query = QUERIES[name]()
+    expected = query.evaluate(kv_catalog)
+    assert expected.bag_equal(evaluate_naive(QUERIES[name](), kv_catalog)), "naive"
+    assert expected.bag_equal(evaluate_native(QUERIES[name](), kv_catalog)), "native"
+    assert expected.bag_equal(
+        evaluate_join_unnest(QUERIES[name](), kv_catalog)
+    ), "join"
+
+
+class TestNativeSmarts:
+    def test_early_exit_reduces_work(self, kv_catalog):
+        query = QUERIES["exists"]()
+        with collect() as naive_stats:
+            evaluate_naive(query, kv_catalog)
+        with collect() as native_stats:
+            evaluate_native(query, kv_catalog, use_indexes=False)
+        assert native_stats.predicate_evals <= naive_stats.predicate_evals
+
+    def test_index_probes_used_when_available(self, kv_catalog):
+        kv_catalog.create_hash_index("R", ["K"])
+        query = QUERIES["exists"]()
+        with collect() as stats:
+            evaluate_native(query, kv_catalog, use_indexes=True)
+        assert stats.index_probes > 0
+
+    def test_no_index_probes_without_indexes(self, kv_catalog):
+        query = QUERIES["exists"]()
+        with collect() as stats:
+            evaluate_native(query, kv_catalog, use_indexes=True)
+        assert stats.index_probes == 0
+
+    def test_indexed_and_unindexed_agree(self, kv_catalog):
+        kv_catalog.create_hash_index("R", ["K"])
+        for name in QUERIES:
+            query = QUERIES[name]()
+            indexed = evaluate_native(query, kv_catalog, use_indexes=True)
+            plain = evaluate_native(QUERIES[name](), kv_catalog,
+                                    use_indexes=False)
+            assert indexed.bag_equal(plain), name
+
+
+class TestJoinUnnesting:
+    def test_disjunction_rejected(self, kv_catalog):
+        query = NestedSelect(b_scan(),
+                             Exists(r_sub()) | (col("b.X") > lit(1)))
+        with pytest.raises(TranslationError):
+            evaluate_join_unnest(query, kv_catalog)
+
+    def test_non_neighboring_rejected(self, kv_catalog):
+        inner = Exists(Subquery(ScanTable("R", "r2"),
+                                col("r2.Y") == col("b.X")))
+        outer = Subquery(ScanTable("R", "r1"),
+                         (col("r1.K") == col("b.K")) & inner)
+        query = NestedSelect(b_scan(), Exists(outer))
+        with pytest.raises(TranslationError):
+            evaluate_join_unnest(query, kv_catalog)
+
+    def test_linear_neighboring_supported(self, kv_catalog):
+        inner = Exists(Subquery(ScanTable("R", "r2"),
+                                col("r2.K") == col("r1.K")))
+        outer = Subquery(ScanTable("R", "r1"),
+                         (col("r1.K") == col("b.K")) & inner)
+        query = NestedSelect(b_scan(), Exists(outer))
+        expected = query.evaluate(kv_catalog)
+        assert expected.bag_equal(evaluate_join_unnest(query, kv_catalog))
+
+    def test_uncorrelated_exists(self, kv_catalog):
+        query = NestedSelect(
+            b_scan(), Exists(Subquery(ScanTable("R", "r"), col("r.Y") > lit(6)))
+        )
+        expected = query.evaluate(kv_catalog)
+        assert expected.bag_equal(evaluate_join_unnest(query, kv_catalog))
+
+    def test_uncorrelated_aggregate(self, kv_catalog):
+        query = NestedSelect(
+            b_scan(),
+            ScalarComparison(">", col("b.X"),
+                             Subquery(ScanTable("R", "r"), TRUE,
+                                      aggregate=agg("avg", col("r.Y"), "a"))),
+        )
+        expected = query.evaluate(kv_catalog)
+        assert expected.bag_equal(evaluate_join_unnest(query, kv_catalog))
+
+    def test_count_bug_fixed(self, kv_catalog):
+        # Empty groups must compare as count = 0, not NULL (Kim's bug).
+        query = QUERIES["count"]()
+        expected = query.evaluate(kv_catalog)
+        result = evaluate_join_unnest(query, kv_catalog)
+        assert expected.bag_equal(result)
+        assert len(result) > 0  # B keys 3 and 5 have empty ranges
+
+    def test_all_null_escape(self):
+        # ALL with NULL inner values: the anti-join must treat UNKNOWN
+        # comparisons as disqualifying.
+        catalog = Catalog()
+        catalog.create_table("B", Relation.from_columns(
+            [("K", DataType.INTEGER), ("X", DataType.INTEGER)], [(1, 5)],
+        ))
+        catalog.create_table("R", Relation.from_columns(
+            [("K", DataType.INTEGER), ("Y", DataType.INTEGER)],
+            [(1, None), (1, 1)],
+        ))
+        query = QUERIES["all"]()
+        expected = query.evaluate(catalog)
+        assert expected.bag_equal(evaluate_join_unnest(query, catalog))
+        assert len(expected) == 0
+
+    def test_merge_joins_without_indexes(self, kv_catalog):
+        query = QUERIES["exists"]()
+        expected = query.evaluate(kv_catalog)
+        result = evaluate_join_unnest(query, kv_catalog, use_indexes=False)
+        assert expected.bag_equal(result)
+
+
+class TestWrappedQueries:
+    def test_baselines_handle_projection_wrappers(self, kv_catalog):
+        query = Project(NestedSelect(b_scan(), Exists(r_sub())), ["b.K"])
+        expected = query.evaluate(kv_catalog)
+        assert expected.bag_equal(evaluate_naive(query, kv_catalog))
+        assert expected.bag_equal(evaluate_native(query, kv_catalog))
+        assert expected.bag_equal(evaluate_join_unnest(query, kv_catalog))
+
+    def test_flat_queries_pass_through(self, kv_catalog):
+        from repro.algebra.operators import Select
+
+        query = Select(b_scan(), col("b.X") > lit(3))
+        expected = query.evaluate(kv_catalog)
+        assert expected.bag_equal(evaluate_naive(query, kv_catalog))
+        assert expected.bag_equal(evaluate_join_unnest(query, kv_catalog))

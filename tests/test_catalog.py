@@ -1,0 +1,104 @@
+"""Unit tests for repro.storage.catalog."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage import Catalog, DataType, Relation
+
+
+def _table(n: int = 3) -> Relation:
+    return Relation.from_columns(
+        [("k", DataType.INTEGER), ("v", DataType.INTEGER)],
+        [(i, i * 10) for i in range(n)],
+    )
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog()
+    cat.create_table("T", _table())
+    return cat
+
+
+class TestTables:
+    def test_create_and_lookup(self, catalog):
+        assert len(catalog.table("T")) == 3
+
+    def test_create_sets_name(self, catalog):
+        assert catalog.table("T").name == "T"
+
+    def test_duplicate_create_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.create_table("T", _table())
+
+    def test_missing_table(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.table("missing")
+
+    def test_has_table(self, catalog):
+        assert catalog.has_table("T")
+        assert not catalog.has_table("U")
+
+    def test_table_names_sorted(self, catalog):
+        catalog.create_table("A", _table())
+        assert catalog.table_names() == ["A", "T"]
+
+    def test_drop_table(self, catalog):
+        catalog.drop_table("T")
+        assert not catalog.has_table("T")
+
+    def test_drop_missing_table(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.drop_table("nope")
+
+    def test_replace_table_overwrites(self, catalog):
+        catalog.replace_table("T", _table(7))
+        assert len(catalog.table("T")) == 7
+
+
+class TestIndexes:
+    def test_create_and_fetch_hash_index(self, catalog):
+        catalog.create_hash_index("T", ["k"])
+        assert catalog.hash_index("T", ["k"]) is not None
+
+    def test_missing_hash_index_is_none(self, catalog):
+        assert catalog.hash_index("T", ["k"]) is None
+
+    def test_duplicate_hash_index_rejected(self, catalog):
+        catalog.create_hash_index("T", ["k"])
+        with pytest.raises(CatalogError):
+            catalog.create_hash_index("T", ["k"])
+
+    def test_sorted_index(self, catalog):
+        catalog.create_sorted_index("T", "v")
+        assert catalog.sorted_index("T", "v") is not None
+
+    def test_indexed_attributes(self, catalog):
+        catalog.create_hash_index("T", ["k"])
+        catalog.create_sorted_index("T", "v")
+        catalog.create_hash_index("T", ["k", "v"])  # composite: not single
+        assert catalog.indexed_attributes("T") == {"k", "v"}
+
+    def test_drop_all_indexes(self, catalog):
+        catalog.create_hash_index("T", ["k"])
+        catalog.create_sorted_index("T", "v")
+        assert catalog.drop_all_indexes() == 2
+        assert catalog.hash_index("T", ["k"]) is None
+
+    def test_drop_indexes_of_one_table(self, catalog):
+        catalog.create_table("U", _table())
+        catalog.create_hash_index("T", ["k"])
+        catalog.create_hash_index("U", ["k"])
+        assert catalog.drop_all_indexes("T") == 1
+        assert catalog.hash_index("U", ["k"]) is not None
+
+    def test_replace_table_invalidates_indexes(self, catalog):
+        catalog.create_hash_index("T", ["k"])
+        catalog.replace_table("T", _table(5))
+        assert catalog.hash_index("T", ["k"]) is None
+
+    def test_drop_table_drops_indexes(self, catalog):
+        catalog.create_hash_index("T", ["k"])
+        catalog.drop_table("T")
+        catalog.create_table("T", _table())
+        assert catalog.hash_index("T", ["k"]) is None

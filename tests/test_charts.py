@@ -1,0 +1,47 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+from repro.bench.charts import BAR_WIDTH, ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_rendering(self):
+        text = ascii_chart(
+            "Demo", ["n=10", "n=20"],
+            {"gmdj": [100.0, 200.0], "naive": [10000.0, 40000.0]},
+        )
+        assert "Demo" in text
+        assert "n=10:" in text and "n=20:" in text
+        assert text.count("gmdj") == 2
+
+    def test_log_scaling_orders_bars(self):
+        text = ascii_chart(
+            "Demo", ["p"],
+            {"small": [10.0], "large": [100000.0]},
+        )
+        lines = {line.split("|")[0].strip(): line.split("|")[1]
+                 for line in text.splitlines() if "|" in line}
+        assert lines["small"].count("#") < lines["large"].count("#")
+
+    def test_max_value_fills_bar(self):
+        text = ascii_chart("Demo", ["p"], {"a": [1.0], "b": [1000.0]})
+        big_line = [l for l in text.splitlines() if l.strip().startswith("b")][0]
+        assert big_line.count("#") == BAR_WIDTH
+
+    def test_infeasible_marker(self):
+        text = ascii_chart(
+            "Demo", ["p"], {"a": [5.0], "b": [math.inf]},
+        )
+        assert "infeasible" in text
+
+    def test_all_equal_values(self):
+        text = ascii_chart("Demo", ["p", "q"], {"a": [7.0, 7.0]})
+        assert "#" in text
+
+    def test_no_data(self):
+        assert "(no data)" in ascii_chart("Demo", ["p"], {"a": [None]})
+
+    def test_values_annotated(self):
+        text = ascii_chart("Demo", ["p"], {"a": [1234.0]})
+        assert "1,234" in text

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import load_data_directory, main
+from repro.engine import Database
+from repro.storage import DataType, Relation, save_csv
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    flow = Relation.from_columns(
+        [("SourceIP", DataType.STRING), ("NumBytes", DataType.INTEGER)],
+        [("10.0.0.1", 100), ("10.0.0.2", 50), ("10.0.0.1", 25)],
+    )
+    users = Relation.from_columns(
+        [("IPAddress", DataType.STRING)], [("10.0.0.1",)],
+    )
+    save_csv(flow, tmp_path / "flow.csv")
+    save_csv(users, tmp_path / "users.csv")
+    return tmp_path
+
+
+def run_cli(args):
+    out = io.StringIO()
+    code = main(args, out=out)
+    return code, out.getvalue()
+
+
+class TestLoading:
+    def test_load_data_directory(self, data_dir):
+        db = Database()
+        names = load_data_directory(db, data_dir)
+        assert names == ["flow", "users"]
+        assert len(db.table("flow")) == 3
+
+
+class TestExecution:
+    def test_simple_query(self, data_dir):
+        code, out = run_cli(
+            ["SELECT SourceIP FROM flow WHERE NumBytes > 30",
+             "--data", str(data_dir)]
+        )
+        assert code == 0
+        assert "10.0.0.1" in out and "10.0.0.2" in out
+
+    def test_subquery_with_strategy(self, data_dir):
+        code, out = run_cli(
+            ["SELECT f.SourceIP FROM flow f WHERE EXISTS "
+             "(SELECT * FROM users u WHERE u.IPAddress = f.SourceIP)",
+             "--data", str(data_dir), "--strategy", "gmdj_optimized"]
+        )
+        assert code == 0
+        assert out.count("10.0.0.1") == 2
+        assert "10.0.0.2" not in out
+
+    def test_profile_output(self, data_dir):
+        code, out = run_cli(
+            ["SELECT SourceIP FROM flow", "--data", str(data_dir),
+             "--profile"]
+        )
+        assert code == 0
+        assert "rows=" in out and "work=" in out
+
+    def test_explain(self, data_dir):
+        code, out = run_cli(
+            ["SELECT f.SourceIP FROM flow f WHERE EXISTS "
+             "(SELECT * FROM users u WHERE u.IPAddress = f.SourceIP)",
+             "--data", str(data_dir), "--explain"]
+        )
+        assert code == 0
+        assert "GMDJ" in out
+
+    def test_index_flag(self, data_dir):
+        code, out = run_cli(
+            ["SELECT f.SourceIP FROM flow f WHERE EXISTS "
+             "(SELECT * FROM users u WHERE u.IPAddress = f.SourceIP)",
+             "--data", str(data_dir), "--index", "users.IPAddress",
+             "--strategy", "native"]
+        )
+        assert code == 0
+        assert "10.0.0.1" in out
+
+    def test_limit(self, data_dir):
+        code, out = run_cli(
+            ["SELECT SourceIP FROM flow", "--data", str(data_dir),
+             "--limit", "1"]
+        )
+        assert code == 0
+        assert "more rows" in out
+
+
+class TestErrors:
+    def test_sql_error_is_exit_1(self, data_dir):
+        code, _ = run_cli(["SELECT FROM nothing", "--data", str(data_dir)])
+        assert code == 1
+
+    def test_unknown_table_is_exit_1(self, data_dir):
+        code, _ = run_cli(["SELECT x FROM missing", "--data", str(data_dir)])
+        assert code == 1
+
+    def test_missing_directory_is_exit_2(self, tmp_path):
+        code, _ = run_cli(["SELECT 1 FROM x",
+                           "--data", str(tmp_path / "nope")])
+        assert code == 2
+
+    def test_empty_directory_is_exit_2(self, tmp_path):
+        code, _ = run_cli(["SELECT 1 FROM x", "--data", str(tmp_path)])
+        assert code == 2
+
+    def test_bad_index_spec_is_exit_2(self, data_dir):
+        code, _ = run_cli(["SELECT SourceIP FROM flow",
+                           "--data", str(data_dir), "--index", "flow"])
+        assert code == 2
+
+
+class TestEmitSql:
+    def test_emit_sql_outputs_case_aggregation(self, data_dir):
+        code, out = run_cli(
+            ["SELECT f.SourceIP FROM flow f WHERE EXISTS "
+             "(SELECT * FROM users u WHERE u.IPAddress = f.SourceIP)",
+             "--data", str(data_dir), "--emit-sql"]
+        )
+        assert code == 0
+        assert "COUNT(CASE WHEN" in out
+        assert "LEFT OUTER JOIN" in out

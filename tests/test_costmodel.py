@@ -1,0 +1,124 @@
+"""Tests for the cost model and cost-based strategy selection."""
+
+import pytest
+
+from repro.algebra.expressions import col, lit
+from repro.algebra.nested import Exists, NestedSelect, Subquery, QuantifiedComparison
+from repro.algebra.operators import ScanTable
+from repro.engine import Database
+from repro.engine.costmodel import choose_strategy, estimate_costs
+from repro.storage import DataType
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.create_table(
+        "small", [("K", DataType.INTEGER)], [(i,) for i in range(20)]
+    )
+    database.create_table(
+        "big", [("K", DataType.INTEGER), ("V", DataType.INTEGER)],
+        [(i % 20, i) for i in range(2000)],
+    )
+    return database
+
+
+def exists_query():
+    return NestedSelect(
+        ScanTable("small", "b"),
+        Exists(Subquery(ScanTable("big", "r"), col("r.K") == col("b.K"))),
+    )
+
+
+def all_diamond_query():
+    return NestedSelect(
+        ScanTable("small", "b"),
+        QuantifiedComparison(
+            ">", "all", col("b.K"),
+            Subquery(ScanTable("big", "r"), col("r.K") != col("b.K"),
+                     item=col("r.V")),
+        ),
+    )
+
+
+class TestEstimates:
+    def test_every_strategy_estimated(self, db):
+        estimate = estimate_costs(exists_query(), db.catalog)
+        assert set(estimate.costs) == {
+            "naive", "native", "unnest_join", "gmdj", "gmdj_optimized"
+        }
+
+    def test_naive_always_worst_on_correlated(self, db):
+        estimate = estimate_costs(exists_query(), db.catalog)
+        worst = max(estimate.costs.values())
+        assert estimate.costs["naive"] == worst
+
+    def test_leaf_profile_detects_equality(self, db):
+        estimate = estimate_costs(exists_query(), db.catalog)
+        assert estimate.leaves[0].has_equality_correlation
+        assert not estimate.leaves[0].correlation_indexed
+
+    def test_leaf_profile_detects_index(self, db):
+        db.create_index("big", "K")
+        estimate = estimate_costs(exists_query(), db.catalog)
+        assert estimate.leaves[0].correlation_indexed
+
+    def test_inequality_correlation_poisons_join(self, db):
+        estimate = estimate_costs(all_diamond_query(), db.catalog)
+        assert estimate.costs["unnest_join"] > estimate.costs["gmdj_optimized"]
+        assert not estimate.leaves[0].has_equality_correlation
+
+    def test_flat_query_trivial_estimate(self, db):
+        from repro.algebra.operators import Select
+
+        estimate = estimate_costs(
+            Select(ScanTable("small", "b"), col("b.K") > lit(1)), db.catalog
+        )
+        assert estimate.costs == {"gmdj": 0.0}
+
+
+class TestChoice:
+    def test_indexed_exists_prefers_native(self, db):
+        db.create_index("big", "K")
+        assert choose_strategy(exists_query(), db.catalog) == "native"
+
+    def test_unindexed_exists_avoids_native_and_naive(self, db):
+        choice = choose_strategy(exists_query(), db.catalog)
+        assert choice in ("gmdj", "gmdj_optimized", "unnest_join")
+
+    def test_diamond_all_prefers_gmdj_or_native(self, db):
+        choice = choose_strategy(all_diamond_query(), db.catalog)
+        assert choice in ("gmdj_optimized", "native")
+        assert choice != "unnest_join"
+
+    def test_multi_subquery_same_table_prefers_coalesced_gmdj(self, db):
+        predicate = (
+            Exists(Subquery(ScanTable("big", "r1"),
+                            col("r1.K") == col("b.K")))
+            & Exists(Subquery(ScanTable("big", "r2"),
+                              (col("r2.K") == col("b.K"))
+                              & (col("r2.V") > lit(500))), negated=True)
+        )
+        query = NestedSelect(ScanTable("small", "b"), predicate)
+        estimate = estimate_costs(query, db.catalog)
+        assert (estimate.costs["gmdj_optimized"]
+                < estimate.costs["unnest_join"])
+        assert (estimate.costs["gmdj_optimized"] < estimate.costs["gmdj"])
+
+
+class TestCostBasedStrategy:
+    def test_cost_based_executes_correctly(self, db):
+        expected = db.execute(exists_query(), "naive")
+        result = db.execute(exists_query(), "cost_based")
+        assert expected.bag_equal(result)
+
+    def test_cost_based_on_flat_query(self, db):
+        from repro.algebra.operators import Select
+
+        query = Select(ScanTable("small", "b"), col("b.K") > lit(15))
+        assert len(db.execute(query, "cost_based")) == 4
+
+    def test_cost_based_with_index(self, db):
+        db.create_index("big", "K")
+        expected = db.execute(exists_query(), "naive")
+        assert expected.bag_equal(db.execute(exists_query(), "cost_based"))

@@ -1,0 +1,84 @@
+"""Unit tests for repro.storage.csvio."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import DataType, Relation, load_csv, save_csv
+from repro.storage.schema import Field, Schema
+
+
+@pytest.fixture
+def relation() -> Relation:
+    schema = Schema([
+        Field("k", DataType.INTEGER, "T"),
+        Field("name", DataType.STRING),
+        Field("score", DataType.FLOAT),
+        Field("ok", DataType.BOOLEAN),
+    ])
+    return Relation(schema, [
+        (1, "alice", 3.5, True),
+        (2, None, None, False),
+        (None, "bob", 0.0, None),
+    ])
+
+
+class TestRoundTrip:
+    def test_rows_survive(self, relation, tmp_path):
+        path = tmp_path / "t.csv"
+        save_csv(relation, path)
+        loaded = load_csv(path)
+        assert loaded.bag_equal(relation)
+
+    def test_schema_survives(self, relation, tmp_path):
+        path = tmp_path / "t.csv"
+        save_csv(relation, path)
+        loaded = load_csv(path)
+        assert loaded.schema.names == relation.schema.names
+        assert loaded.schema.field_of("T.k").dtype is DataType.INTEGER
+
+    def test_name_defaults_to_stem(self, relation, tmp_path):
+        path = tmp_path / "flows.csv"
+        save_csv(relation, path)
+        assert load_csv(path).name == "flows"
+
+    def test_explicit_name(self, relation, tmp_path):
+        path = tmp_path / "x.csv"
+        save_csv(relation, path)
+        assert load_csv(path, name="custom").name == "custom"
+
+
+class TestNullHandling:
+    def test_nulls_round_trip(self, relation, tmp_path):
+        path = tmp_path / "t.csv"
+        save_csv(relation, path)
+        loaded = load_csv(path)
+        assert loaded.rows[1][1] is None
+        assert loaded.rows[2][0] is None
+
+    def test_empty_string_becomes_null(self, tmp_path):
+        # A deliberate lossy corner: empty strings read back as NULL.
+        lossy = Relation.from_columns([("s", DataType.STRING)], [("",)])
+        path = tmp_path / "t.csv"
+        save_csv(lossy, path)
+        loaded = load_csv(path)
+        assert loaded.rows[0][0] is None
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("justaname\n1\n")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+    def test_unknown_type_in_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x:decimal\n1\n")
+        with pytest.raises(SchemaError):
+            load_csv(path)

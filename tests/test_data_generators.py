@@ -1,0 +1,116 @@
+"""Tests for the deterministic data generators."""
+
+from repro.data import (
+    NetflowConfig,
+    TpcrSizes,
+    build_netflow_catalog,
+    build_tpcr_catalog,
+    generate_customer,
+    generate_hours,
+    generate_nation,
+    generate_orders,
+    generate_users,
+    make_rng,
+)
+from repro.data.netflow import SPECIAL_DESTS
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(1, "x").random()
+        b = make_rng(1, "x").random()
+        assert a == b
+
+    def test_streams_decorrelated(self):
+        assert make_rng(1, "x").random() != make_rng(1, "y").random()
+
+
+class TestTpcr:
+    def test_customer_deterministic(self):
+        first = generate_customer(50, seed=3)
+        second = generate_customer(50, seed=3)
+        assert first.bag_equal(second)
+
+    def test_customer_seed_sensitivity(self):
+        assert not generate_customer(50, seed=3).bag_equal(
+            generate_customer(50, seed=4)
+        )
+
+    def test_growing_preserves_prefix(self):
+        # dbgen-like: row i depends only on the seed and i, so a larger
+        # table extends a smaller one.
+        small = generate_customer(10, seed=3)
+        large = generate_customer(20, seed=3)
+        assert large.rows[:10] == small.rows
+
+    def test_orders_reference_customers(self):
+        orders = generate_orders(200, customer_count=30, seed=3)
+        assert all(1 <= row[1] <= 30 for row in orders.rows)
+
+    def test_nation_fixed(self):
+        assert len(generate_nation()) == 25
+
+    def test_catalog_has_all_tables(self):
+        catalog = build_tpcr_catalog(TpcrSizes(
+            customers=10, orders=20, lineitems=30, parts=10, suppliers=5
+        ))
+        assert set(catalog.table_names()) == {
+            "region", "nation", "customer", "orders", "part", "supplier",
+            "lineitem",
+        }
+
+    def test_catalog_indexes_present(self):
+        catalog = build_tpcr_catalog(TpcrSizes(
+            customers=10, orders=20, lineitems=30, parts=10, suppliers=5
+        ))
+        assert catalog.hash_index("orders", ("custkey",)) is not None
+
+    def test_catalog_without_indexes(self):
+        catalog = build_tpcr_catalog(TpcrSizes(
+            customers=10, orders=20, lineitems=30, parts=10, suppliers=5
+        ), indexes=False)
+        assert catalog.hash_index("orders", ("custkey",)) is None
+
+
+class TestNetflow:
+    def test_hours_cover_horizon(self):
+        hours = generate_hours(5)
+        assert hours.rows[0] == (1, 0, 60)
+        assert hours.rows[-1] == (5, 240, 300)
+
+    def test_users_have_unique_ips(self):
+        users = generate_users(30)
+        ips = users.column("IPAddress")
+        assert len(set(ips)) == 30
+
+    def test_flows_deterministic(self):
+        config = NetflowConfig(flows=100, seed=5)
+        first = build_netflow_catalog(config).table("Flow")
+        second = build_netflow_catalog(config).table("Flow")
+        assert first.bag_equal(second)
+
+    def test_flow_times_within_horizon(self):
+        config = NetflowConfig(flows=200, hours=6, seed=5)
+        flow = build_netflow_catalog(config).table("Flow")
+        horizon = 6 * 60
+        assert all(0 <= row[3] < horizon for row in flow.rows)
+
+    def test_special_dests_appear(self):
+        config = NetflowConfig(flows=500, special_dest_share=0.3, seed=5)
+        flow = build_netflow_catalog(config).table("Flow")
+        dests = set(flow.column("DestIP"))
+        assert dests & set(SPECIAL_DESTS)
+
+    def test_user_ips_generate_traffic(self):
+        config = NetflowConfig(flows=500, users=10, extra_source_ips=0,
+                               seed=5)
+        catalog = build_netflow_catalog(config)
+        sources = set(catalog.table("Flow").column("SourceIP"))
+        user_ips = set(catalog.table("User").column("IPAddress"))
+        assert sources <= user_ips
+
+    def test_http_share_roughly_respected(self):
+        config = NetflowConfig(flows=2000, http_share=0.7, seed=5)
+        flow = build_netflow_catalog(config).table("Flow")
+        share = sum(1 for p in flow.column("Protocol") if p == "HTTP") / len(flow)
+        assert 0.6 < share < 0.8

@@ -1,0 +1,110 @@
+"""Tests for DISTINCT aggregates through every layer."""
+
+import pytest
+
+from repro.algebra.aggregates import AggregateSpec, agg
+from repro.algebra.expressions import col
+from repro.algebra.operators import GroupBy, ScanTable
+from repro.engine import Database
+from repro.errors import ExpressionError, SQLSyntaxError
+from repro.gmdj import evaluate_gmdj_partitioned, md
+from repro.storage import DataType
+
+
+def spec(function, distinct=True, name="v"):
+    return AggregateSpec(function, col("r.Y"), name, distinct)
+
+
+def feed(specification, values):
+    accumulator = specification.make_accumulator()
+    for value in values:
+        accumulator.add(value)
+    return accumulator.result()
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.create_table(
+        "B", [("K", DataType.INTEGER)], [(1,), (2,)],
+    )
+    database.create_table(
+        "R", [("K", DataType.INTEGER), ("Y", DataType.INTEGER)],
+        [(1, 5), (1, 5), (1, 7), (2, None), (2, 3), (2, 3)],
+    )
+    return database
+
+
+class TestAccumulators:
+    def test_count_distinct(self):
+        assert feed(spec("count"), [1, 1, 2, None, 2]) == 2
+
+    def test_sum_distinct(self):
+        assert feed(spec("sum"), [5, 5, 7]) == 12
+
+    def test_avg_distinct(self):
+        assert feed(spec("avg"), [2, 2, 4]) == 3.0
+
+    def test_distinct_empty_input(self):
+        assert feed(spec("count"), []) == 0
+        assert feed(spec("sum"), [None, None]) is None
+
+    def test_distinct_merge(self):
+        left = spec("count").make_accumulator()
+        right = spec("count").make_accumulator()
+        for value in (1, 2):
+            left.add(value)
+        for value in (2, 3):
+            right.add(value)
+        left.merge(right)
+        assert left.result() == 3
+
+    def test_count_distinct_star_rejected(self):
+        with pytest.raises(ExpressionError):
+            AggregateSpec("count", None, "c", distinct=True)
+
+
+class TestThroughOperators:
+    def test_groupby_distinct(self, db):
+        plan = GroupBy(ScanTable("R", "r"), ["r.K"],
+                       [agg("count", col("r.Y"), "plain"),
+                        AggregateSpec("count", col("r.Y"), "uniq", True)])
+        result = plan.evaluate(db.catalog)
+        rows = {row[0]: (row[1], row[2]) for row in result.rows}
+        assert rows[1] == (3, 2)
+        assert rows[2] == (2, 1)
+
+    def test_gmdj_distinct(self, db):
+        plan = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[AggregateSpec("count", col("r.Y"), "uniq", True)]],
+                  [col("b.K") == col("r.K")])
+        result = plan.evaluate(db.catalog)
+        assert dict(result.rows) == {1: 2, 2: 1}
+
+    def test_partitioned_falls_back_but_is_correct(self, db):
+        plan = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[AggregateSpec("sum", col("r.Y"), "s", True)]],
+                  [col("b.K") == col("r.K")])
+        single = plan.evaluate(db.catalog)
+        partitioned = evaluate_gmdj_partitioned(plan, db.catalog, 3)
+        assert single.bag_equal(partitioned)
+
+
+class TestThroughSQL:
+    def test_select_count_distinct(self, db):
+        result = db.execute_sql(
+            "SELECT r.K, count(DISTINCT r.Y) AS u FROM R r GROUP BY r.K"
+        )
+        assert dict(result.rows) == {1: 2, 2: 1}
+
+    def test_scalar_subquery_with_distinct(self, db):
+        sql = ("SELECT b.K FROM B b WHERE 2 = "
+               "(SELECT count(DISTINCT r.Y) FROM R r WHERE r.K = b.K)")
+        reference = db.execute_sql(sql, "naive")
+        assert sorted(row[0] for row in reference.rows) == [1]
+        for strategy in ("gmdj", "gmdj_optimized"):
+            assert reference.bag_equal(db.execute_sql(sql, strategy))
+
+    def test_distinct_star_rejected(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.sql("SELECT count(DISTINCT *) FROM R")

@@ -1,0 +1,166 @@
+"""Tests for the engine: Database façade, planner, executor, reports."""
+
+import pytest
+
+from repro.algebra.expressions import col, lit
+from repro.algebra.nested import Exists, NestedSelect, Subquery
+from repro.algebra.operators import ScanTable, Select
+from repro.engine import (
+    Database,
+    STRATEGIES,
+    contains_nested_select,
+    execute,
+    make_executor,
+    profile,
+)
+from repro.errors import BindError, CatalogError, PlanError
+from repro.storage import DataType
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.create_table(
+        "B", [("K", DataType.INTEGER), ("X", DataType.INTEGER)],
+        [(0, 5), (1, 2), (2, 9), (3, 1)],
+    )
+    database.create_table(
+        "R", [("K", DataType.INTEGER), ("Y", DataType.INTEGER)],
+        [(0, 3), (0, 8), (2, 2), (5, 4)],
+    )
+    return database
+
+
+def nested_query():
+    return NestedSelect(
+        ScanTable("B", "b"),
+        Exists(Subquery(ScanTable("R", "r"), col("r.K") == col("b.K"))),
+    )
+
+
+class TestDatabaseDDL:
+    def test_create_table(self, db):
+        assert len(db.table("B")) == 4
+
+    def test_create_index_and_drop(self, db):
+        db.create_index("R", "K")
+        assert db.catalog.hash_index("R", ["K"]) is not None
+        assert db.drop_indexes() == 1
+
+    def test_register_replaces(self, db):
+        from repro.storage import Relation
+
+        db.register("B", Relation.from_columns([("Z", DataType.INTEGER)],
+                                                [(1,)]))
+        assert db.table("B").schema.names == ("Z",)
+
+    def test_load_csv(self, db, tmp_path):
+        from repro.storage import save_csv
+
+        path = tmp_path / "t.csv"
+        save_csv(db.table("B"), path)
+        loaded = db.load_csv("B2", path)
+        assert loaded.bag_equal(db.table("B"))
+
+    def test_missing_table(self, db):
+        with pytest.raises(CatalogError):
+            db.table("missing")
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", [s for s in STRATEGIES if s != "auto"])
+    def test_every_strategy_agrees(self, db, strategy):
+        expected = db.execute(nested_query(), "naive")
+        assert expected.bag_equal(db.execute(nested_query(), strategy))
+
+    def test_auto_on_nested(self, db):
+        expected = db.execute(nested_query(), "naive")
+        assert expected.bag_equal(db.execute(nested_query(), "auto"))
+
+    def test_auto_on_flat(self, db):
+        query = Select(ScanTable("B", "b"), col("b.X") > lit(2))
+        assert len(db.execute(query, "auto")) == 2
+
+    def test_unknown_strategy(self, db):
+        with pytest.raises(PlanError):
+            db.execute(nested_query(), "quantum")
+
+    def test_contains_nested_select(self):
+        assert contains_nested_select(nested_query())
+        assert not contains_nested_select(ScanTable("B", "b"))
+
+    def test_module_level_execute(self, db):
+        result = execute(nested_query(), db.catalog, "gmdj")
+        assert len(result) == 2
+
+
+class TestProfile:
+    def test_profile_report_fields(self, db):
+        report = db.profile(nested_query(), "gmdj")
+        assert report.strategy == "gmdj"
+        assert report.row_count == 2
+        assert report.elapsed_seconds >= 0
+        assert report.pages_read > 0
+
+    def test_profile_counters_isolated(self, db):
+        first = db.profile(nested_query(), "gmdj")
+        second = db.profile(nested_query(), "gmdj")
+        assert first.counters["pages_read"] == second.counters["pages_read"]
+
+    def test_summary_string(self, db):
+        text = db.profile(nested_query(), "gmdj").summary()
+        assert "gmdj" in text and "rows=" in text
+
+    def test_total_work_positive(self, db):
+        assert db.profile(nested_query(), "naive").total_work > 0
+
+    def test_module_level_profile(self, db):
+        report = profile(nested_query(), db.catalog, "native")
+        assert report.result is not None
+
+
+class TestExplain:
+    def test_explain_optimized_mentions_gmdj(self, db):
+        text = db.explain(nested_query())
+        assert "GMDJ" in text or "SelectGMDJ" in text
+
+    def test_explain_plain_strategy_shows_nested(self, db):
+        text = db.explain(nested_query(), "naive")
+        assert "NestedSelect" in text
+
+    def test_explain_gmdj(self, db):
+        text = db.explain(nested_query(), "gmdj")
+        assert "GMDJ" in text
+
+    def test_explain_unknown_strategy(self, db):
+        with pytest.raises(PlanError):
+            db.explain(nested_query(), "nope")
+
+
+class TestSQLIntegration:
+    def test_execute_sql(self, db):
+        result = db.execute_sql(
+            "SELECT b.K FROM B b WHERE EXISTS "
+            "(SELECT * FROM R r WHERE r.K = b.K)"
+        )
+        assert sorted(row[0] for row in result.rows) == [0, 2]
+
+    def test_execute_sql_strategy(self, db):
+        sql = ("SELECT b.K FROM B b WHERE b.X > "
+               "(SELECT AVG(r.Y) FROM R r WHERE r.K = b.K)")
+        for strategy in ("naive", "unnest_join", "gmdj_optimized"):
+            assert sorted(
+                row[0] for row in db.execute_sql(sql, strategy).rows
+            ) == [2]
+
+    def test_profile_sql(self, db):
+        report = db.profile_sql("SELECT K FROM B WHERE K > 1")
+        assert report.row_count == 2
+
+    def test_sql_bind_error(self, db):
+        with pytest.raises(BindError):
+            db.execute_sql("SELECT * FROM nonexistent")
+
+    def test_make_executor_returns_callable(self, db):
+        runner = make_executor(nested_query(), db.catalog, "gmdj")
+        assert len(runner()) == 2

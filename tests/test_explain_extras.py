@@ -1,0 +1,74 @@
+"""Tests for EXPLAIN rendering of the extension operators and
+explain_analyze."""
+
+import pytest
+
+from repro.algebra.apply_op import Apply
+from repro.algebra.expressions import col, lit
+from repro.algebra.nested import Exists, NestedSelect, Subquery
+from repro.algebra.operators import (
+    Intersect,
+    Limit,
+    OrderBy,
+    ScanTable,
+)
+from repro.algebra.printer import explain
+from repro.engine import Database
+from repro.storage import DataType
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.create_table("T", [("k", DataType.INTEGER)], [(1,), (2,)])
+    database.create_table("U", [("k", DataType.INTEGER)], [(2,), (3,)])
+    return database
+
+
+class TestPrinterExtras:
+    def test_intersect(self):
+        text = explain(Intersect(ScanTable("T"), ScanTable("U")))
+        assert text.startswith("Intersect ALL")
+
+    def test_order_by(self):
+        text = explain(OrderBy(ScanTable("T"), [("T.k", True)]))
+        assert "OrderBy [T.k DESC]" in text
+
+    def test_limit_with_offset(self):
+        text = explain(Limit(ScanTable("T"), 5, offset=2))
+        assert "Limit 5 OFFSET 2" in text
+
+    def test_apply(self):
+        node = Apply(
+            ScanTable("T", "t"),
+            Subquery(ScanTable("U", "u"), col("u.k") == col("t.k")),
+            "semi",
+        )
+        text = explain(node)
+        assert text.startswith("Apply semi")
+        assert "Scan T -> t" in text
+
+    def test_sql_compound_plan_renders(self, db):
+        plan = db.sql("SELECT k FROM T EXCEPT SELECT k FROM U")
+        text = explain(plan)
+        assert "Difference DISTINCT" in text
+
+
+class TestExplainAnalyze:
+    def test_contains_plan_and_counters(self, db):
+        query = NestedSelect(
+            ScanTable("T", "t"),
+            Exists(Subquery(ScanTable("U", "u"), col("u.k") == col("t.k"))),
+        )
+        text = db.explain_analyze(query, "gmdj")
+        assert "GMDJ" in text
+        assert "rows: 1" in text
+        assert "tuples_scanned=" in text
+
+    def test_respects_strategy(self, db):
+        query = NestedSelect(
+            ScanTable("T", "t"),
+            Exists(Subquery(ScanTable("U", "u"), col("u.k") == col("t.k"))),
+        )
+        text = db.explain_analyze(query, "naive")
+        assert "NestedSelect" in text

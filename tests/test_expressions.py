@@ -1,0 +1,214 @@
+"""Unit tests for repro.algebra.expressions."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    And,
+    Coalesce,
+    Column,
+    Comparison,
+    FALSE,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    TRUE,
+    TruthLiteral,
+    col,
+    conjoin,
+    conjuncts_of,
+    disjoin,
+    lit,
+)
+from repro.algebra.truth import Truth
+from repro.errors import ExpressionError
+from repro.storage.schema import Field, Schema
+from repro.storage.types import DataType
+
+SCHEMA = Schema([
+    Field("a", DataType.INTEGER, "T"),
+    Field("b", DataType.INTEGER, "T"),
+    Field("s", DataType.STRING, "T"),
+])
+ROW = (3, 7, "x")
+NULL_ROW = (None, 7, None)
+
+
+def run(expr, row=ROW):
+    return expr.bind(SCHEMA)(row)
+
+
+class TestLiterals:
+    def test_literal_value(self):
+        assert run(lit(42)) == 42
+
+    def test_null_literal(self):
+        assert run(lit(None)) is None
+
+    def test_truth_literal(self):
+        assert run(TRUE) is Truth.TRUE
+        assert run(FALSE) is Truth.FALSE
+
+    def test_references_empty(self):
+        assert lit(1).references() == set()
+
+
+class TestColumns:
+    def test_qualified_lookup(self):
+        assert run(col("T.b")) == 7
+
+    def test_bare_lookup(self):
+        assert run(col("a")) == 3
+
+    def test_qualifier_property(self):
+        assert col("T.a").qualifier == "T"
+        assert col("a").qualifier is None
+
+    def test_bare_name(self):
+        assert col("T.a").bare_name == "a"
+
+    def test_requalified(self):
+        assert col("T.a").requalified("U").reference == "U.a"
+
+    def test_references(self):
+        assert col("T.a").references() == {"T.a"}
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert run(col("a") + col("b")) == 10
+
+    def test_mixed_literal(self):
+        assert run(col("a") * lit(2)) == 6
+
+    def test_sub_and_div(self):
+        assert run((col("b") - col("a")) / lit(2)) == 2.0
+
+    def test_null_propagates(self):
+        assert run(col("a") + col("b"), NULL_ROW) is None
+
+    def test_division_by_zero_yields_null(self):
+        assert run(col("a") / lit(0)) is None
+
+    def test_references_union(self):
+        assert (col("a") + col("b")).references() == {"a", "b"}
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("op,expected", [
+        ("=", Truth.FALSE), ("<>", Truth.TRUE), ("<", Truth.TRUE),
+        ("<=", Truth.TRUE), (">", Truth.FALSE), (">=", Truth.FALSE),
+    ])
+    def test_all_operators(self, op, expected):
+        assert run(Comparison(op, col("a"), col("b"))) is expected
+
+    def test_null_operand_unknown(self):
+        assert run(col("a") == col("b"), NULL_ROW) is Truth.UNKNOWN
+        assert run(col("a") != col("b"), NULL_ROW) is Truth.UNKNOWN
+
+    def test_string_comparison(self):
+        assert run(col("s") == lit("x")) is Truth.TRUE
+
+    def test_string_number_mismatch_raises(self):
+        with pytest.raises(ExpressionError):
+            run(col("s") > lit(1))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("~", col("a"), col("b"))
+
+    def test_complemented(self):
+        comparison = Comparison("<", col("a"), col("b"))
+        assert run(comparison.complemented()) is Truth.FALSE
+        assert comparison.complemented().op == ">="
+
+    def test_mirrored(self):
+        mirrored = Comparison("<", col("a"), col("b")).mirrored()
+        assert mirrored.op == ">"
+        assert run(mirrored) is Truth.TRUE  # b > a
+
+    def test_complement_involution(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            comparison = Comparison(op, col("a"), col("b"))
+            assert comparison.complemented().complemented().op == op
+
+
+class TestBooleans:
+    def test_and_short_circuits_false(self):
+        # The right side would raise on evaluation; FALSE on the left must
+        # prevent that (mirrors engine short-circuiting).
+        bad = col("s") > lit(1)
+        assert run(And(FALSE, bad)) is Truth.FALSE
+
+    def test_or_short_circuits_true(self):
+        bad = col("s") > lit(1)
+        assert run(Or(TRUE, bad)) is Truth.TRUE
+
+    def test_and_unknown(self):
+        unknown = col("a") == lit(None)
+        assert run(And(TRUE, unknown)) is Truth.UNKNOWN
+        assert run(And(unknown, FALSE)) is Truth.FALSE
+
+    def test_not(self):
+        assert run(Not(col("a") < col("b"))) is Truth.FALSE
+
+    def test_dsl_operators(self):
+        assert run((col("a") < col("b")) & (col("s") == lit("x"))) is Truth.TRUE
+        assert run((col("a") > col("b")) | (col("s") == lit("x"))) is Truth.TRUE
+        assert run(~(col("a") < col("b"))) is Truth.FALSE
+
+    def test_and_requires_predicates(self):
+        with pytest.raises(ExpressionError):
+            col("a") & col("b")
+
+
+class TestIsNull:
+    def test_is_null_true(self):
+        assert run(IsNull(col("a")), NULL_ROW) is Truth.TRUE
+
+    def test_is_null_false(self):
+        assert run(IsNull(col("a"))) is Truth.FALSE
+
+    def test_is_not_null(self):
+        assert run(IsNull(col("a"), negated=True)) is Truth.TRUE
+
+    def test_never_unknown(self):
+        assert run(IsNull(col("a")), NULL_ROW) in (Truth.TRUE, Truth.FALSE)
+
+
+class TestCoalesce:
+    def test_first_non_null(self):
+        assert run(Coalesce(col("a"), lit(0)), NULL_ROW) == 0
+
+    def test_first_wins_when_present(self):
+        assert run(Coalesce(col("a"), lit(0))) == 3
+
+    def test_both_null(self):
+        assert run(Coalesce(col("a"), lit(None)), NULL_ROW) is None
+
+
+class TestHelpers:
+    def test_conjoin_empty_is_true(self):
+        assert run(conjoin([])) is Truth.TRUE
+
+    def test_conjoin_single(self):
+        assert run(conjoin([col("a") < col("b")])) is Truth.TRUE
+
+    def test_disjoin_empty_is_false(self):
+        assert run(disjoin([])) is Truth.FALSE
+
+    def test_conjuncts_of_flattens(self):
+        predicate = conjoin([TRUE, col("a") < col("b"), IsNull(col("s"))])
+        assert len(conjuncts_of(predicate)) == 3
+
+    def test_conjuncts_of_leaf(self):
+        leaf = col("a") < col("b")
+        assert conjuncts_of(leaf) == [leaf]
+
+    def test_same_as(self):
+        assert (col("a") < lit(1)).same_as(col("a") < lit(1))
+        assert not (col("a") < lit(1)).same_as(col("a") < lit(2))
+
+    def test_expressions_are_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(col("a"))

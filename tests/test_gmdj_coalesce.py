@@ -1,0 +1,147 @@
+"""Unit tests for GMDJ coalescing (Proposition 4.1)."""
+
+import pytest
+
+from repro.algebra.aggregates import agg, count_star
+from repro.algebra.expressions import Column, Comparison, Literal, col, lit
+from repro.algebra.operators import Project, ScanTable, Select
+from repro.gmdj import (
+    GMDJ,
+    coalesce_plan,
+    md,
+    merge_stacked,
+    pull_up_base_selection,
+)
+from repro.storage import Catalog, DataType, Relation, collect
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog()
+    cat.create_table("B", Relation.from_columns(
+        [("K", DataType.INTEGER)], [(i,) for i in range(10)],
+    ))
+    cat.create_table("R", Relation.from_columns(
+        [("K", DataType.INTEGER), ("V", DataType.INTEGER)],
+        [(i % 10, i) for i in range(60)],
+    ))
+    return cat
+
+
+def stacked():
+    inner = md(ScanTable("B", "b"), ScanTable("R", "r1"),
+               [[count_star("c1")]],
+               [(col("b.K") == col("r1.K")) & (col("r1.V") < lit(30))])
+    return md(inner, ScanTable("R", "r2"), [[count_star("c2")]],
+              [(col("b.K") == col("r2.K")) & (col("r2.V") >= lit(30))])
+
+
+class TestMergeStacked:
+    def test_merges_same_table(self, catalog):
+        merged = merge_stacked(stacked())
+        assert merged is not None
+        assert len(merged.blocks) == 2
+        assert isinstance(merged.base, ScanTable)
+
+    def test_merged_equivalent(self, catalog):
+        original = stacked().evaluate(catalog)
+        merged = merge_stacked(stacked()).evaluate(catalog)
+        assert original.bag_equal(merged)
+
+    def test_merge_requalifies_conditions(self, catalog):
+        merged = merge_stacked(stacked())
+        # The moved block's condition must now reference r1, not r2.
+        refs = merged.blocks[1].condition.references()
+        assert "r2.K" not in refs and "r2.V" not in refs
+
+    def test_merge_requalifies_aggregate_arguments(self, catalog):
+        inner = md(ScanTable("B", "b"), ScanTable("R", "r1"),
+                   [[count_star("c1")]], [col("b.K") == col("r1.K")])
+        outer = md(inner, ScanTable("R", "r2"),
+                   [[agg("sum", col("r2.V"), "s2")]],
+                   [col("b.K") == col("r2.K")])
+        merged = merge_stacked(outer)
+        assert merged is not None
+        spec = merged.blocks[1].aggregates[0]
+        assert spec.argument.references() == {"r1.V"}
+        assert outer.evaluate(catalog).bag_equal(merged.evaluate(catalog))
+
+    def test_different_tables_not_merged(self):
+        inner = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                   [[count_star("c1")]], [col("b.K") == col("r.K")])
+        outer = md(inner, ScanTable("B", "b2"), [[count_star("c2")]],
+                   [col("b.K") == col("b2.K")])
+        assert merge_stacked(outer) is None
+
+    def test_dependent_condition_not_merged(self):
+        inner = md(ScanTable("B", "b"), ScanTable("R", "r1"),
+                   [[count_star("c1")]], [col("b.K") == col("r1.K")])
+        outer = md(inner, ScanTable("R", "r2"), [[count_star("c2")]],
+                   [(col("b.K") == col("r2.K")) & (col("c1") > lit(0))])
+        assert merge_stacked(outer) is None
+
+    def test_non_gmdj_base_not_merged(self):
+        plan = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[count_star("c")]], [col("b.K") == col("r.K")])
+        assert merge_stacked(plan) is None
+
+
+class TestPullUpSelection:
+    def test_pull_up(self, catalog):
+        inner = md(ScanTable("B", "b"), ScanTable("R", "r1"),
+                   [[count_star("c1")]], [col("b.K") == col("r1.K")])
+        filtered = Select(inner, Comparison(">", Column("c1"), Literal(2)))
+        outer = md(filtered, ScanTable("R", "r2"), [[count_star("c2")]],
+                   [col("b.K") == col("r2.K")])
+        lifted = pull_up_base_selection(outer)
+        assert isinstance(lifted, Select)
+        assert isinstance(lifted.child, GMDJ)
+        assert outer.evaluate(catalog).bag_equal(lifted.evaluate(catalog))
+
+    def test_no_selection_returns_none(self):
+        plan = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[count_star("c")]], [col("b.K") == col("r.K")])
+        assert pull_up_base_selection(plan) is None
+
+
+class TestCoalescePlan:
+    def test_full_pipeline_single_scan(self, catalog):
+        # Three stacked GMDJs over R collapse into one: 1 scan of B + 1 of R.
+        plan = stacked()
+        third = md(plan, ScanTable("R", "r3"), [[count_star("c3")]],
+                   [col("b.K") == col("r3.K")])
+        coalesced = coalesce_plan(third)
+        assert isinstance(coalesced, GMDJ)
+        assert len(coalesced.blocks) == 3
+        with collect() as stats:
+            result = coalesced.evaluate(catalog)
+        assert stats.relation_scans == 2
+        assert result.bag_equal(third.evaluate(catalog))
+
+    def test_selection_between_gmdjs_pulled_and_merged(self, catalog):
+        inner = md(ScanTable("B", "b"), ScanTable("R", "r1"),
+                   [[count_star("c1")]], [col("b.K") == col("r1.K")])
+        filtered = Select(inner, Comparison(">", Column("c1"), Literal(0)))
+        outer = md(filtered, ScanTable("R", "r2"), [[count_star("c2")]],
+                   [col("b.K") == col("r2.K")])
+        coalesced = coalesce_plan(outer)
+        assert isinstance(coalesced, Select)
+        assert isinstance(coalesced.child, GMDJ)
+        assert len(coalesced.child.blocks) == 2
+        assert outer.evaluate(catalog).bag_equal(coalesced.evaluate(catalog))
+
+    def test_stacked_selects_collapse(self, catalog):
+        plan = Select(
+            Select(ScanTable("B", "b"), col("b.K") > lit(2)),
+            col("b.K") < lit(8),
+        )
+        collapsed = coalesce_plan(plan)
+        assert isinstance(collapsed, Select)
+        assert isinstance(collapsed.child, ScanTable)
+        assert plan.evaluate(catalog).bag_equal(collapsed.evaluate(catalog))
+
+    def test_rewrites_under_project(self, catalog):
+        plan = Project(stacked(), ["b.K"])
+        coalesced = coalesce_plan(plan)
+        assert isinstance(coalesced, Project)
+        assert isinstance(coalesced.child, GMDJ)

@@ -1,0 +1,233 @@
+"""Unit tests for base-tuple completion (rule derivation + fused eval)."""
+
+import pytest
+
+from repro.algebra.aggregates import agg, count_star
+from repro.algebra.expressions import Column, Comparison, Literal, col, lit
+from repro.algebra.operators import Project, ScanTable, Select
+from repro.gmdj import (
+    GMDJ,
+    SelectGMDJ,
+    ThetaBlock,
+    derive_completion_rule,
+    fuse_completion,
+    md,
+)
+from repro.storage import Catalog, DataType, Relation, collect
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog()
+    cat.create_table("B", Relation.from_columns(
+        [("K", DataType.INTEGER)], [(i,) for i in range(20)],
+    ))
+    cat.create_table("R", Relation.from_columns(
+        [("K", DataType.INTEGER), ("V", DataType.INTEGER)],
+        [(i % 20, i) for i in range(200)],
+    ))
+    return cat
+
+
+def exists_gmdj():
+    return md(ScanTable("B", "b"), ScanTable("R", "r"),
+              [[count_star("cnt")]], [col("b.K") == col("r.K")])
+
+
+def all_gmdj():
+    theta = col("b.K") != col("r.K")
+    phi = col("b.K") > col("r.V")
+    return md(ScanTable("B", "b"), ScanTable("R", "r"),
+              [[count_star("cnt1")], [count_star("cnt2")]],
+              [theta & phi, theta])
+
+
+class TestRuleDerivation:
+    def test_need_positive(self):
+        rule = derive_completion_rule(
+            Comparison(">", Column("cnt"), Literal(0)), exists_gmdj(), True
+        )
+        assert rule.need_positive == [0]
+        assert rule.can_assure
+
+    def test_need_positive_requires_projection(self):
+        rule = derive_completion_rule(
+            Comparison(">", Column("cnt"), Literal(0)), exists_gmdj(), False
+        )
+        assert rule.need_positive == [0]
+        assert not rule.can_assure
+
+    def test_must_be_zero(self):
+        rule = derive_completion_rule(
+            Comparison("=", Column("cnt"), Literal(0)), exists_gmdj(), False
+        )
+        assert rule.must_be_zero == [0]
+        assert rule.can_doom
+
+    def test_literal_first_normalized(self):
+        rule = derive_completion_rule(
+            Comparison("<", Literal(0), Column("cnt")), exists_gmdj(), True
+        )
+        assert rule.need_positive == [0]
+
+    def test_pair_equal_orients_restrictive_first(self):
+        rule = derive_completion_rule(
+            Comparison("=", Column("cnt1"), Column("cnt2")), all_gmdj(), True
+        )
+        assert rule.pair_equal == [(0, 1)]
+
+    def test_pair_equal_reversed_columns(self):
+        rule = derive_completion_rule(
+            Comparison("=", Column("cnt2"), Column("cnt1")), all_gmdj(), True
+        )
+        assert rule.pair_equal == [(0, 1)]
+
+    def test_unrecognized_conjunct_disables_assurance(self):
+        selection = (Comparison(">", Column("cnt"), Literal(0))
+                     & (col("b.K") > lit(3)))
+        rule = derive_completion_rule(selection, exists_gmdj(), True)
+        assert not rule.exhaustive
+        assert not rule.can_assure
+
+    def test_non_count_aggregate_not_matched(self):
+        gmdj = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[agg("sum", col("r.V"), "s")]], [col("b.K") == col("r.K")])
+        rule = derive_completion_rule(
+            Comparison(">", Column("s"), Literal(0)), gmdj, True
+        )
+        assert not rule.useful
+
+    def test_greater_equal_one_is_need_positive(self):
+        rule = derive_completion_rule(
+            Comparison(">=", Column("cnt"), Literal(1)), exists_gmdj(), True
+        )
+        assert rule.need_positive == [0]
+
+    def test_not_equal_zero_is_need_positive(self):
+        rule = derive_completion_rule(
+            Comparison("<>", Column("cnt"), Literal(0)), exists_gmdj(), True
+        )
+        assert rule.need_positive == [0]
+
+    def test_pair_equal_requires_subset_conditions(self):
+        # Two blocks whose conditions are NOT in a subset relation must
+        # not be paired — the doom rule would be unsound.
+        gmdj = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[count_star("cnt1")], [count_star("cnt2")]],
+                  [col("b.K") == col("r.K"), col("b.K") < col("r.V")])
+        rule = derive_completion_rule(
+            Comparison("=", Column("cnt1"), Column("cnt2")), gmdj, True
+        )
+        assert rule.pair_equal == []
+
+
+class TestFusedEvaluation:
+    def test_doom_equivalent_to_unfused(self, catalog):
+        gmdj = exists_gmdj()
+        selection = Comparison("=", Column("cnt"), Literal(0))
+        rule = derive_completion_rule(selection, gmdj, False)
+        fused = SelectGMDJ(gmdj, selection, rule)
+        unfused = Select(exists_gmdj(), selection)
+        assert fused.evaluate(catalog).bag_equal(unfused.evaluate(catalog))
+
+    def test_pair_equal_equivalent(self, catalog):
+        gmdj = all_gmdj()
+        selection = Comparison("=", Column("cnt1"), Column("cnt2"))
+        rule = derive_completion_rule(selection, gmdj, False)
+        fused = SelectGMDJ(gmdj, selection, rule)
+        unfused = Select(all_gmdj(), selection)
+        assert fused.evaluate(catalog).bag_equal(unfused.evaluate(catalog))
+
+    def test_assured_rows_need_projection(self, catalog):
+        # With assurance active the aggregate columns may be partial, but
+        # the projected base attributes must still be exact.
+        gmdj = exists_gmdj()
+        selection = Comparison(">", Column("cnt"), Literal(0))
+        rule = derive_completion_rule(selection, gmdj, True)
+        assert rule.can_assure
+        fused = Project(SelectGMDJ(gmdj, selection, rule), ["b.K"])
+        unfused = Project(Select(exists_gmdj(), selection), ["b.K"])
+        assert fused.evaluate(catalog).bag_equal(unfused.evaluate(catalog))
+
+    def test_completion_reduces_predicate_evals(self, catalog):
+        gmdj = all_gmdj()
+        selection = Comparison("=", Column("cnt1"), Column("cnt2"))
+        rule = derive_completion_rule(selection, gmdj, False)
+        with collect() as basic_stats:
+            Select(all_gmdj(), selection).evaluate(catalog)
+        with collect() as fused_stats:
+            SelectGMDJ(gmdj, selection, rule).evaluate(catalog)
+        assert fused_stats.predicate_evals < basic_stats.predicate_evals
+        assert fused_stats.completed_tuples > 0
+
+
+class TestFuseRewrite:
+    def test_select_over_gmdj_fused(self):
+        plan = Select(exists_gmdj(),
+                      Comparison("=", Column("cnt"), Literal(0)))
+        fused = fuse_completion(plan)
+        assert isinstance(fused, SelectGMDJ)
+
+    def test_project_select_gmdj_enables_assurance(self):
+        plan = Project(
+            Select(exists_gmdj(), Comparison(">", Column("cnt"), Literal(0))),
+            ["b.K"],
+        )
+        fused = fuse_completion(plan)
+        assert isinstance(fused, Project)
+        assert isinstance(fused.child, SelectGMDJ)
+        assert fused.child.rule.aggregates_projected
+
+    def test_projection_reading_counts_blocks_assurance(self):
+        # When the projection keeps the count column there is nothing a
+        # need-positive rule can do (no dooming, no assurance), so the
+        # plan must be left unfused.
+        plan = Project(
+            Select(exists_gmdj(), Comparison(">", Column("cnt"), Literal(0))),
+            ["b.K", "cnt"],
+        )
+        fused = fuse_completion(plan)
+        assert isinstance(fused.child, Select)
+
+    def test_useless_rule_leaves_plan_alone(self):
+        gmdj = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[agg("sum", col("r.V"), "s")]], [col("b.K") == col("r.K")])
+        plan = Select(gmdj, Comparison(">", Column("s"), Literal(10)))
+        fused = fuse_completion(plan)
+        assert isinstance(fused, Select)
+
+
+class TestThresholdAtoms:
+    """cnt >= k / cnt > k generalizations of Theorem 4.1."""
+
+    def test_ge_k_recognized(self):
+        rule = derive_completion_rule(
+            Comparison(">=", Column("cnt"), Literal(3)), exists_gmdj(), True
+        )
+        assert rule.need_at_least == [(0, 3)]
+        assert rule.can_assure
+        assert rule.thresholds() == {0: 3}
+
+    def test_gt_k_recognized(self):
+        rule = derive_completion_rule(
+            Comparison(">", Column("cnt"), Literal(2)), exists_gmdj(), True
+        )
+        assert rule.need_at_least == [(0, 3)]
+
+    def test_threshold_fused_equivalence(self, catalog):
+        gmdj = exists_gmdj()
+        selection = Comparison(">=", Column("cnt"), Literal(4))
+        rule = derive_completion_rule(selection, gmdj, True)
+        fused = Project(SelectGMDJ(gmdj, selection, rule), ["b.K"])
+        unfused = Project(Select(exists_gmdj(), selection), ["b.K"])
+        assert fused.evaluate(catalog).bag_equal(unfused.evaluate(catalog))
+
+    def test_threshold_assures_mid_scan(self, catalog):
+        gmdj = exists_gmdj()
+        selection = Comparison(">=", Column("cnt"), Literal(2))
+        rule = derive_completion_rule(selection, gmdj, True)
+        with collect() as stats:
+            Project(SelectGMDJ(gmdj, selection, rule), ["b.K"]).evaluate(
+                catalog
+            )
+        assert stats.completed_tuples > 0

@@ -1,0 +1,159 @@
+"""Unit tests for the GMDJ operator and its single-scan evaluator."""
+
+import pytest
+
+from repro.algebra.aggregates import agg, count_star
+from repro.algebra.expressions import TRUE, col, lit
+from repro.algebra.operators import ScanTable, TableValue
+from repro.errors import SchemaError
+from repro.gmdj import GMDJ, ThetaBlock, md
+from repro.storage import Catalog, DataType, Relation, collect
+
+
+class TestFigure1:
+    """The worked example from the paper (Example 2.1 / Figure 1)."""
+
+    def _plan(self):
+        in_hour = (col("F.StartTime") >= col("H.StartInterval")) & (
+            col("F.StartTime") < col("H.EndInterval")
+        )
+        return md(
+            ScanTable("Hours", "H"),
+            ScanTable("Flow", "F"),
+            [[agg("sum", col("F.NumBytes"), "sum1")],
+             [agg("sum", col("F.NumBytes"), "sum2")]],
+            [in_hour & (col("F.Protocol") == lit("HTTP")), in_hour],
+        )
+
+    def test_exact_output(self, figure1_catalog):
+        result = self._plan().evaluate(figure1_catalog)
+        rows = {row[0]: (row[3], row[4]) for row in result.rows}
+        assert rows == {1: (12, 12), 2: (36, 84), 3: (48, 96)}
+
+    def test_single_scan_of_detail(self, figure1_catalog):
+        with collect() as stats:
+            self._plan().evaluate(figure1_catalog)
+        # One scan of Flow + one of Hours, regardless of block count.
+        assert stats.relation_scans == 2
+
+    def test_output_size_bounded_by_base(self, figure1_catalog):
+        result = self._plan().evaluate(figure1_catalog)
+        assert len(result) == len(figure1_catalog.table("Hours"))
+
+    def test_schema(self, figure1_catalog):
+        schema = self._plan().schema(figure1_catalog)
+        assert schema.names == (
+            "H.HourDsc", "H.StartInterval", "H.EndInterval", "sum1", "sum2"
+        )
+
+
+class TestConstruction:
+    def test_duplicate_output_names_rejected(self):
+        block1 = ThetaBlock([count_star("c")], TRUE)
+        block2 = ThetaBlock([count_star("c")], TRUE)
+        with pytest.raises(SchemaError):
+            GMDJ(ScanTable("A"), ScanTable("B"), [block1, block2])
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(SchemaError):
+            GMDJ(ScanTable("A"), ScanTable("B"), [])
+
+    def test_md_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            md(ScanTable("A"), ScanTable("B"), [[count_star("c")]], [TRUE, TRUE])
+
+    def test_output_names(self):
+        plan = md(ScanTable("A"), ScanTable("B"),
+                  [[count_star("c1")], [count_star("c2")]], [TRUE, TRUE])
+        assert plan.output_names() == ["c1", "c2"]
+
+
+@pytest.fixture
+def small_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.create_table("B", Relation.from_columns(
+        [("K", DataType.INTEGER)], [(1,), (2,), (2,), (3,)],
+    ))
+    catalog.create_table("R", Relation.from_columns(
+        [("K", DataType.INTEGER), ("V", DataType.INTEGER)],
+        [(1, 10), (1, 20), (2, 30), (4, 40), (None, 50)],
+    ))
+    return catalog
+
+
+class TestEvaluation:
+    def test_counts_per_base_row(self, small_catalog):
+        plan = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[count_star("cnt")]], [col("b.K") == col("r.K")])
+        result = plan.evaluate(small_catalog)
+        assert [row[1] for row in result.rows] == [2, 1, 1, 0]
+
+    def test_duplicate_base_rows_each_get_counts(self, small_catalog):
+        plan = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[count_star("cnt")]], [col("b.K") == col("r.K")])
+        result = plan.evaluate(small_catalog)
+        assert result.as_multiset()[(2, 1)] == 2
+
+    def test_empty_range_gives_sql_aggregates(self, small_catalog):
+        plan = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[count_star("cnt"), agg("sum", col("r.V"), "s")]],
+                  [col("b.K") == col("r.K")])
+        result = plan.evaluate(small_catalog)
+        last = result.rows[-1]  # K=3 matches nothing
+        assert last == (3, 0, None)
+
+    def test_null_detail_key_matches_nothing(self, small_catalog):
+        plan = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[agg("sum", col("r.V"), "s")]], [col("b.K") == col("r.K")])
+        result = plan.evaluate(small_catalog)
+        assert all(row[1] != 50 and (row[1] is None or row[1] < 50)
+                   for row in result.rows)
+
+    def test_hash_and_scan_paths_agree(self, small_catalog):
+        equality = col("b.K") == col("r.K")
+        # Force the scan path by phrasing the same predicate without a
+        # factorable equality conjunct (<= and >= together).
+        scan_form = (col("b.K") <= col("r.K")) & (col("b.K") >= col("r.K"))
+        hash_result = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                         [[count_star("cnt")]], [equality]).evaluate(small_catalog)
+        scan_result = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                         [[count_star("cnt")]], [scan_form]).evaluate(small_catalog)
+        assert hash_result.bag_equal(scan_result)
+
+    def test_true_condition_counts_all(self, small_catalog):
+        plan = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[count_star("cnt")]], [TRUE])
+        result = plan.evaluate(small_catalog)
+        assert all(row[1] == 5 for row in result.rows)
+
+    def test_empty_base_yields_empty_output(self, small_catalog):
+        empty = TableValue(Relation.from_columns([("K", DataType.INTEGER)], []))
+        plan = md(empty, ScanTable("R", "r"), [[count_star("cnt")]], [TRUE])
+        assert len(plan.evaluate(small_catalog)) == 0
+
+    def test_empty_detail_yields_zero_counts(self, small_catalog):
+        empty = TableValue(Relation.from_columns(
+            [("K", DataType.INTEGER), ("V", DataType.INTEGER)], []
+        ))
+        plan = md(ScanTable("B", "b"), empty, [[count_star("cnt")]], [TRUE])
+        result = plan.evaluate(small_catalog)
+        assert all(row[1] == 0 for row in result.rows)
+
+    def test_multiple_blocks_independent(self, small_catalog):
+        plan = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[count_star("low")], [count_star("high")]],
+                  [(col("b.K") == col("r.K")) & (col("r.V") < lit(25)),
+                   (col("b.K") == col("r.K")) & (col("r.V") >= lit(25))])
+        result = plan.evaluate(small_catalog)
+        first = result.rows[0]  # K=1: V in {10, 20} low, none high
+        assert (first[1], first[2]) == (2, 0)
+
+    def test_aggregate_over_base_and_detail_condition(self, small_catalog):
+        # theta may reference both sides arbitrarily (b.K < r.K).
+        plan = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[count_star("cnt")]], [col("b.K") < col("r.K")])
+        result = plan.evaluate(small_catalog)
+        by_key = {}
+        for row in result.rows:
+            by_key.setdefault(row[0], row[1])
+        assert by_key == {1: 2, 2: 1, 3: 1}

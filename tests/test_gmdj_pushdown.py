@@ -1,0 +1,90 @@
+"""Unit tests for Theorems 3.3 and 3.4 (base-table push-down rules)."""
+
+import pytest
+
+from repro.algebra.aggregates import count_star
+from repro.algebra.expressions import col, lit
+from repro.algebra.operators import Join, Project, ScanTable
+from repro.gmdj import (
+    GMDJ,
+    embed_base_in_detail,
+    md,
+    pull_join_out_of_base,
+    push_join_into_base,
+)
+from repro.storage import Catalog, DataType, Relation
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog()
+    cat.create_table("T", Relation.from_columns(
+        [("tk", DataType.INTEGER)], [(1,), (2,), (3,)],
+    ))
+    cat.create_table("B", Relation.from_columns(
+        [("bk", DataType.INTEGER), ("tk", DataType.INTEGER)],
+        [(10, 1), (11, 2), (12, 2), (13, 9)],
+    ))
+    cat.create_table("R", Relation.from_columns(
+        [("rk", DataType.INTEGER), ("v", DataType.INTEGER)],
+        [(10, 1), (10, 2), (11, 3), (14, 4)],
+    ))
+    return cat
+
+
+def base_gmdj():
+    return md(ScanTable("B", "b"), ScanTable("R", "r"),
+              [[count_star("cnt")]], [col("b.bk") == col("r.rk")])
+
+
+class TestTheorem34:
+    """T ⋈_C MD(B, R, l, θ)  =  MD(T ⋈_C B, R, l, θ)."""
+
+    def test_push_join_into_base_equivalent(self, catalog):
+        join = Join(ScanTable("T", "t"), base_gmdj(),
+                    col("t.tk") == col("b.tk"))
+        pushed = push_join_into_base(join)
+        assert isinstance(pushed, GMDJ)
+        assert join.evaluate(catalog).bag_equal(pushed.evaluate(catalog))
+
+    def test_pull_join_out_of_base_equivalent(self, catalog):
+        pushed = push_join_into_base(
+            Join(ScanTable("T", "t"), base_gmdj(), col("t.tk") == col("b.tk"))
+        )
+        pulled = pull_join_out_of_base(pushed)
+        assert isinstance(pulled, Join)
+        assert pushed.evaluate(catalog).bag_equal(pulled.evaluate(catalog))
+
+    def test_push_requires_join_over_gmdj(self, catalog):
+        join = Join(ScanTable("T", "t"), ScanTable("B", "b"),
+                    col("t.tk") == col("b.tk"))
+        with pytest.raises(TypeError):
+            push_join_into_base(join)
+
+    def test_pull_requires_join_base(self):
+        with pytest.raises(TypeError):
+            pull_join_out_of_base(base_gmdj())
+
+
+class TestTheorem33:
+    """MD(B, R, l, θ)  =  MD(B, B ⋈_θ R, l, θ′)."""
+
+    def test_embed_base_in_detail_equivalent(self, catalog):
+        original = base_gmdj()
+        embedded = embed_base_in_detail(base_gmdj(), catalog)
+        left = Project(original, ["b.bk", "b.tk", "cnt"]).evaluate(catalog)
+        right = Project(embedded, ["b.bk", "b.tk", "cnt"]).evaluate(catalog)
+        assert left.bag_equal(right)
+
+    def test_embedded_detail_is_join(self, catalog):
+        embedded = embed_base_in_detail(base_gmdj(), catalog)
+        assert isinstance(embedded.detail, Join)
+
+    def test_embed_with_theta_condition(self, catalog):
+        gmdj = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[count_star("cnt")]],
+                  [(col("b.bk") == col("r.rk")) & (col("r.v") > lit(1))])
+        embedded = embed_base_in_detail(gmdj, catalog)
+        left = Project(gmdj, ["b.bk", "cnt"]).evaluate(catalog)
+        right = Project(embedded, ["b.bk", "cnt"]).evaluate(catalog)
+        assert left.bag_equal(right)

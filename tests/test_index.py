@@ -1,0 +1,92 @@
+"""Unit tests for repro.storage.index."""
+
+import pytest
+
+from repro.storage import DataType, HashIndex, Relation, SortedIndex, collect
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_columns(
+        [("k", DataType.INTEGER), ("g", DataType.STRING),
+         ("v", DataType.INTEGER)],
+        [(1, "a", 10), (2, "a", 20), (1, "b", 30), (None, "c", 40),
+         (3, None, 50)],
+    )
+
+
+class TestHashIndex:
+    def test_probe_returns_all_matches(self, relation):
+        index = HashIndex(relation, ["k"])
+        assert len(index.probe((1,))) == 2
+
+    def test_probe_miss(self, relation):
+        index = HashIndex(relation, ["k"])
+        assert index.probe((99,)) == []
+
+    def test_null_keys_never_indexed(self, relation):
+        index = HashIndex(relation, ["k"])
+        assert index.probe((None,)) == []
+
+    def test_null_in_composite_key_skipped(self, relation):
+        index = HashIndex(relation, ["k", "g"])
+        assert index.probe((3, None)) == []
+        assert len(index.probe((1, "a"))) == 1
+
+    def test_composite_key(self, relation):
+        index = HashIndex(relation, ["k", "g"])
+        rows = index.probe((1, "b"))
+        assert rows == [(1, "b", 30)]
+
+    def test_contains(self, relation):
+        index = HashIndex(relation, ["k"])
+        assert index.contains((2,))
+        assert not index.contains((9,))
+
+    def test_probe_positions(self, relation):
+        index = HashIndex(relation, ["k"])
+        assert index.probe_positions((1,)) == [0, 2]
+
+    def test_len_counts_distinct_keys(self, relation):
+        index = HashIndex(relation, ["k"])
+        assert len(index) == 3  # keys 1, 2, 3 (NULL excluded)
+
+    def test_probe_charges_stats(self, relation):
+        index = HashIndex(relation, ["k"])
+        with collect() as stats:
+            index.probe((1,))
+        assert stats.index_probes == 1
+
+    def test_build_charges_stats(self, relation):
+        with collect() as stats:
+            HashIndex(relation, ["k"])
+        assert stats.index_builds == 1
+
+
+class TestSortedIndex:
+    def test_range_half_open(self, relation):
+        index = SortedIndex(relation, "v")
+        values = [row[2] for row in index.range(10, 30)]
+        assert values == [10, 20]
+
+    def test_range_inclusive_high(self, relation):
+        index = SortedIndex(relation, "v")
+        values = [row[2] for row in index.range(10, 30, high_inclusive=True)]
+        assert values == [10, 20, 30]
+
+    def test_range_exclusive_low(self, relation):
+        index = SortedIndex(relation, "v")
+        values = [row[2] for row in index.range(10, None, low_inclusive=False)]
+        assert values == [20, 30, 40, 50]
+
+    def test_range_unbounded(self, relation):
+        index = SortedIndex(relation, "v")
+        assert len(list(index.range())) == 5
+
+    def test_equal(self, relation):
+        index = SortedIndex(relation, "k")
+        assert len(list(index.equal(1))) == 2
+
+    def test_null_keys_excluded(self, relation):
+        index = SortedIndex(relation, "k")
+        assert len(index) == 4

@@ -1,0 +1,235 @@
+"""Unit tests for repro.algebra.nested (tuple-iteration semantics)."""
+
+import pytest
+
+from repro.algebra.aggregates import agg
+from repro.algebra.expressions import TRUE, col, lit
+from repro.algebra.nested import (
+    Exists,
+    NestedSelect,
+    QuantifiedComparison,
+    ScalarComparison,
+    Subquery,
+    collect_subquery_predicates,
+    env_with_row,
+    free_references,
+    has_subqueries,
+    in_predicate,
+    not_in_predicate,
+    substitute_free,
+)
+from repro.algebra.operators import ScanTable
+from repro.algebra.truth import Truth
+from repro.errors import CardinalityError, UnknownAttributeError
+from repro.storage import Catalog, DataType, Relation
+from repro.storage.schema import Field, Schema
+
+B_SCHEMA = Schema([Field("K", DataType.INTEGER, "b"),
+                   Field("X", DataType.INTEGER, "b")])
+
+
+def b_scan():
+    return ScanTable("B", "b")
+
+
+def r_sub(predicate=None, item=None, aggregate=None):
+    return Subquery(ScanTable("R", "r"),
+                    predicate if predicate is not None
+                    else col("r.K") == col("b.K"),
+                    item=item, aggregate=aggregate)
+
+
+class TestEnvironment:
+    def test_env_with_row_binds_full_and_bare(self):
+        env = env_with_row({}, B_SCHEMA, (1, 5))
+        assert env["b.K"] == 1
+        assert env["K"] == 1
+
+    def test_inner_shadows_outer(self):
+        outer = env_with_row({}, B_SCHEMA, (1, 5))
+        inner_schema = Schema([Field("K", DataType.INTEGER, "r")])
+        env = env_with_row(outer, inner_schema, (9,))
+        assert env["K"] == 9
+        assert env["b.K"] == 1
+
+    def test_substitute_free_replaces_outer_refs(self):
+        local = Schema([Field("Y", DataType.INTEGER, "r")])
+        env = {"b.K": 7}
+        closed = substitute_free(col("r.Y") == col("b.K"), local, env)
+        assert closed.bind(local)((7,)) is Truth.TRUE
+
+    def test_substitute_free_unresolved_raises(self):
+        local = Schema([Field("Y", DataType.INTEGER, "r")])
+        with pytest.raises(UnknownAttributeError):
+            substitute_free(col("z.Q") == lit(1), local, {})
+
+    def test_local_refs_left_alone(self):
+        local = Schema([Field("Y", DataType.INTEGER, "r")])
+        expr = substitute_free(col("r.Y"), local, {"r.Y": 99})
+        assert expr.references() == {"r.Y"}
+
+
+@pytest.fixture
+def catalog(kv_catalog) -> Catalog:
+    return kv_catalog
+
+
+class TestExists:
+    def test_exists_keeps_matching(self, catalog):
+        query = NestedSelect(b_scan(), Exists(r_sub()))
+        result = query.evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [0, 1, 2, 4]
+
+    def test_not_exists(self, catalog):
+        query = NestedSelect(b_scan(), Exists(r_sub(), negated=True))
+        result = query.evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [3, 5]
+
+    def test_exists_uncorrelated_nonempty(self, catalog):
+        query = NestedSelect(b_scan(), Exists(Subquery(ScanTable("R", "r"),
+                                                       TRUE)))
+        assert len(query.evaluate(catalog)) == 6
+
+    def test_exists_uncorrelated_empty(self, catalog):
+        query = NestedSelect(
+            b_scan(),
+            Exists(Subquery(ScanTable("R", "r"), col("r.Y") > lit(999))),
+        )
+        assert len(query.evaluate(catalog)) == 0
+
+
+class TestScalarComparison:
+    def test_aggregate_comparison(self, catalog):
+        # b.X > sum(r.Y where r.K = b.K)
+        query = NestedSelect(
+            b_scan(),
+            ScalarComparison(">", col("b.X"),
+                             r_sub(aggregate=agg("sum", col("r.Y"), "s"))),
+        )
+        result = query.evaluate(catalog)
+        # B=(0,5): sum=11 no; (2,9): sum=2 yes; (4,7): sum=14 no;
+        # (3,1),(5,3): sum empty = NULL -> UNKNOWN -> dropped.
+        assert sorted(row[0] for row in result.rows) == [2]
+
+    def test_count_on_empty_group_is_zero(self, catalog):
+        query = NestedSelect(
+            b_scan(),
+            ScalarComparison("=", lit(0),
+                             r_sub(aggregate=agg("count", col("r.Y"), "c"))),
+        )
+        result = query.evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [3, 5]
+
+    def test_scalar_multiple_rows_raises(self, catalog):
+        query = NestedSelect(
+            b_scan(),
+            ScalarComparison("=", col("b.X"), r_sub(item=col("r.Y"))),
+        )
+        with pytest.raises(CardinalityError):
+            query.evaluate(catalog)
+
+    def test_scalar_empty_is_unknown(self, catalog):
+        sub = Subquery(ScanTable("R", "r"),
+                       (col("r.K") == col("b.K")) & (col("r.Y") > lit(999)),
+                       item=col("r.Y"))
+        query = NestedSelect(b_scan(),
+                             ScalarComparison("=", col("b.X"), sub))
+        assert len(query.evaluate(catalog)) == 0
+
+
+class TestQuantified:
+    def test_some_true_on_any_match(self, catalog):
+        query = NestedSelect(
+            b_scan(),
+            QuantifiedComparison(">", "some", col("b.X"), r_sub(item=col("r.Y"))),
+        )
+        result = query.evaluate(catalog)
+        # (0,5)>3? yes. (2,9)>2 yes. (4,7)>7 no (=7 twice). (1,NULL) unknown.
+        assert sorted(row[0] for row in result.rows) == [0, 2]
+
+    def test_all_true_on_empty_range(self, catalog):
+        query = NestedSelect(
+            b_scan(),
+            QuantifiedComparison(">", "all", col("b.X"), r_sub(item=col("r.Y"))),
+        )
+        result = query.evaluate(catalog)
+        # Empty ranges (K=3,5) pass; (0,5): 5>3 and 5>8? no; (2,9): 9>NULL
+        # unknown -> dropped; (4,7): 7>7 no; (1,NULL): unknown.
+        assert sorted(row[0] for row in result.rows) == [3, 5]
+
+    def test_all_with_null_item_is_unknown(self, catalog):
+        # K=2 has Y values {NULL, 2}: 9 > 2 true, 9 > NULL unknown -> UNKNOWN.
+        query = NestedSelect(
+            ScanTable("B", "b"),
+            QuantifiedComparison(">", "all", col("b.X"), r_sub(item=col("r.Y"))),
+        )
+        kept = {row[0] for row in query.evaluate(catalog).rows}
+        assert 2 not in kept
+
+    def test_in_predicate_sugar(self, catalog):
+        query = NestedSelect(
+            b_scan(),
+            in_predicate(col("b.X"), Subquery(ScanTable("R", "r"), TRUE,
+                                              item=col("r.Y"))),
+        )
+        result = query.evaluate(catalog)
+        # X values 1, 7, 3 appear among R.Y = {3, 8, 4, NULL, 2, 7, 7, 1}.
+        assert sorted(row[0] for row in result.rows) == [3, 4, 5]
+
+    def test_not_in_with_nulls_is_empty(self, catalog):
+        # R.Y contains NULL, so NOT IN over it can never be TRUE for
+        # non-matching values — the classic SQL trap.
+        query = NestedSelect(
+            b_scan(),
+            not_in_predicate(col("b.X"), Subquery(ScanTable("R", "r"), TRUE,
+                                                  item=col("r.Y"))),
+        )
+        assert len(query.evaluate(catalog)) == 0
+
+    def test_bad_quantifier_rejected(self):
+        with pytest.raises(Exception):
+            QuantifiedComparison("=", "most", col("b.X"), r_sub(item=col("r.Y")))
+
+
+class TestPredicateTreeUtilities:
+    def test_collect_subquery_predicates(self):
+        predicate = Exists(r_sub()) & (col("b.X") > lit(1))
+        assert len(collect_subquery_predicates(predicate)) == 1
+
+    def test_has_subqueries(self):
+        assert has_subqueries(Exists(r_sub()))
+        assert not has_subqueries(col("b.X") > lit(1))
+
+    def test_free_references(self, catalog):
+        sub = r_sub()
+        assert free_references(sub, catalog) == {"b.K"}
+
+    def test_free_references_nested(self, catalog):
+        inner = Subquery(ScanTable("R", "r2"),
+                         (col("r2.K") == col("r.K"))
+                         & (col("r2.Y") == col("b.X")))
+        outer = Subquery(ScanTable("R", "r"),
+                         (col("r.K") == col("b.K")) & Exists(inner))
+        frees = free_references(outer, catalog)
+        assert "b.K" in frees
+        assert "b.X" in frees
+        assert "r.K" not in frees
+
+
+class TestCompositePredicates:
+    def test_conjunction_of_subqueries(self, catalog):
+        predicate = Exists(r_sub()) & (col("b.X") > lit(4))
+        result = NestedSelect(b_scan(), predicate).evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [0, 2, 4]
+
+    def test_disjunction_with_subquery(self, catalog):
+        predicate = Exists(r_sub(), negated=True) | (col("b.X") > lit(8))
+        result = NestedSelect(b_scan(), predicate).evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [2, 3, 5]
+
+    def test_nested_select_composes_with_flat_child(self, catalog):
+        from repro.algebra.operators import Select
+
+        child = Select(b_scan(), col("b.X") > lit(2))
+        result = NestedSelect(child, Exists(r_sub())).evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [0, 2, 4]

@@ -1,0 +1,133 @@
+"""Unit tests for negation push-down (Algorithm SubqueryToGMDJ, stage 1)."""
+
+from repro.algebra.expressions import (
+    And,
+    Comparison,
+    IsNull,
+    Not,
+    Or,
+    TruthLiteral,
+    col,
+    lit,
+)
+from repro.algebra.nested import (
+    Exists,
+    QuantifiedComparison,
+    ScalarComparison,
+    Subquery,
+)
+from repro.algebra.operators import ScanTable
+from repro.algebra.truth import Truth
+from repro.unnesting.normalize import push_down_negations
+
+
+def sub(item=None):
+    return Subquery(ScanTable("R", "r"), col("r.K") == col("b.K"), item=item)
+
+
+class TestDeMorgan:
+    def test_not_and_becomes_or(self):
+        predicate = Not(And(col("a") > lit(1), col("b") > lit(2)))
+        normalized = push_down_negations(predicate)
+        assert isinstance(normalized, Or)
+        assert normalized.left.op == "<="
+
+    def test_not_or_becomes_and(self):
+        predicate = Not(Or(col("a") > lit(1), col("b") > lit(2)))
+        normalized = push_down_negations(predicate)
+        assert isinstance(normalized, And)
+
+    def test_double_negation_cancels(self):
+        leaf = col("a") > lit(1)
+        normalized = push_down_negations(Not(Not(leaf)))
+        assert isinstance(normalized, Comparison)
+        assert normalized.op == ">"
+
+    def test_triple_negation(self):
+        leaf = col("a") > lit(1)
+        normalized = push_down_negations(Not(Not(Not(leaf))))
+        assert normalized.op == "<="
+
+
+class TestLeafComplements:
+    def test_comparison_complemented(self):
+        normalized = push_down_negations(Not(col("a") == lit(1)))
+        assert normalized.op == "<>"
+
+    def test_is_null_flips(self):
+        normalized = push_down_negations(Not(IsNull(col("a"))))
+        assert isinstance(normalized, IsNull)
+        assert normalized.negated
+
+    def test_truth_literal_flips(self):
+        normalized = push_down_negations(Not(TruthLiteral(Truth.TRUE)))
+        assert normalized.value is Truth.FALSE
+
+    def test_not_exists_becomes_exists_negated(self):
+        normalized = push_down_negations(Not(Exists(sub())))
+        assert isinstance(normalized, Exists)
+        assert normalized.negated
+
+    def test_not_not_exists_cancels(self):
+        normalized = push_down_negations(Not(Exists(sub(), negated=True)))
+        assert isinstance(normalized, Exists)
+        assert not normalized.negated
+
+    def test_not_scalar_comparison(self):
+        predicate = Not(ScalarComparison("<", col("b.X"), sub(col("r.Y"))))
+        normalized = push_down_negations(predicate)
+        assert isinstance(normalized, ScalarComparison)
+        assert normalized.op == ">="
+
+    def test_not_some_becomes_all(self):
+        predicate = Not(
+            QuantifiedComparison("=", "some", col("b.X"), sub(col("r.Y")))
+        )
+        normalized = push_down_negations(predicate)
+        assert normalized.quantifier == "all"
+        assert normalized.op == "<>"
+
+    def test_not_all_becomes_some(self):
+        predicate = Not(
+            QuantifiedComparison(">", "all", col("b.X"), sub(col("r.Y")))
+        )
+        normalized = push_down_negations(predicate)
+        assert normalized.quantifier == "some"
+        assert normalized.op == "<="
+
+
+class TestSubqueryBodies:
+    def test_negations_inside_subquery_normalized(self):
+        inner = Subquery(
+            ScanTable("R", "r"),
+            Not(And(col("r.K") == col("b.K"), col("r.Y") > lit(1))),
+        )
+        normalized = push_down_negations(Exists(inner))
+        assert isinstance(normalized.subquery.predicate, Or)
+
+    def test_untouched_predicate_returned_as_is(self):
+        predicate = Exists(sub())
+        assert push_down_negations(predicate) is predicate
+
+
+class TestSemanticPreservation:
+    def test_3vl_equivalence_exhaustive(self):
+        """¬ elimination must be exact under three-valued logic."""
+        from repro.storage.schema import Field, Schema
+        from repro.storage.types import DataType
+
+        schema = Schema([Field("a", DataType.INTEGER),
+                         Field("b", DataType.INTEGER)])
+        rows = [(1, 2), (2, 1), (1, 1), (None, 1), (1, None), (None, None)]
+        forms = [
+            Not(col("a") == col("b")),
+            Not(And(col("a") < col("b"), col("b") < lit(5))),
+            Not(Or(col("a") < col("b"), IsNull(col("a")))),
+            Not(Not(col("a") >= col("b"))),
+        ]
+        for predicate in forms:
+            normalized = push_down_negations(predicate)
+            before = predicate.bind(schema)
+            after = normalized.bind(schema)
+            for row in rows:
+                assert before(row) is after(row), (predicate, row)

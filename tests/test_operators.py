@@ -1,0 +1,295 @@
+"""Unit tests for repro.algebra.operators (the flat algebra)."""
+
+import pytest
+
+from repro.algebra.aggregates import agg, count_star
+from repro.algebra.expressions import Coalesce, col, lit, TRUE
+from repro.algebra.operators import (
+    Difference,
+    Distinct,
+    GroupBy,
+    Join,
+    OrderBy,
+    Project,
+    ProjectItem,
+    Rename,
+    ScanTable,
+    Select,
+    TableValue,
+    Union,
+)
+from repro.errors import PlanError, SchemaError
+from repro.storage import Catalog, DataType, Relation, collect
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog()
+    cat.create_table("L", Relation.from_columns(
+        [("k", DataType.INTEGER), ("x", DataType.INTEGER)],
+        [(1, 10), (2, 20), (2, 20), (3, None), (None, 40)],
+    ))
+    cat.create_table("R", Relation.from_columns(
+        [("k", DataType.INTEGER), ("y", DataType.STRING)],
+        [(1, "a"), (2, "b"), (2, "c"), (4, "d"), (None, "e")],
+    ))
+    return cat
+
+
+class TestScan:
+    def test_scan_renames_with_alias(self, catalog):
+        result = ScanTable("L", "t").evaluate(catalog)
+        assert result.schema.names == ("t.k", "t.x")
+
+    def test_scan_defaults_to_table_name(self, catalog):
+        result = ScanTable("L").evaluate(catalog)
+        assert result.schema.names == ("L.k", "L.x")
+
+    def test_schema_matches_evaluate(self, catalog):
+        node = ScanTable("L", "t")
+        assert node.schema(catalog) == node.evaluate(catalog).schema
+
+
+class TestTableValue:
+    def test_wraps_relation(self, catalog):
+        relation = catalog.table("L")
+        assert len(TableValue(relation).evaluate(catalog)) == 5
+
+    def test_alias(self, catalog):
+        node = TableValue(catalog.table("L"), alias="z")
+        assert node.evaluate(catalog).schema.names == ("z.k", "z.x")
+
+
+class TestSelect:
+    def test_keeps_true_rows_only(self, catalog):
+        result = Select(ScanTable("L", "t"), col("t.x") > lit(15)).evaluate(catalog)
+        assert len(result) == 3
+
+    def test_unknown_rows_discarded(self, catalog):
+        # x is NULL for k=3: comparison is UNKNOWN, row dropped.
+        result = Select(ScanTable("L", "t"), col("t.x") < lit(100)).evaluate(catalog)
+        assert (3, None) not in result.rows
+
+    def test_true_predicate_is_passthrough(self, catalog):
+        with collect() as stats:
+            result = Select(ScanTable("L", "t"), TRUE).evaluate(catalog)
+        assert len(result) == 5
+        assert stats.predicate_evals == 0
+
+    def test_charges_predicate_evals(self, catalog):
+        with collect() as stats:
+            Select(ScanTable("L", "t"), col("t.x") > lit(0)).evaluate(catalog)
+        assert stats.predicate_evals == 5
+
+
+class TestProject:
+    def test_column_projection_preserves_field(self, catalog):
+        result = Project(ScanTable("L", "t"), ["t.x"]).evaluate(catalog)
+        assert result.schema.names == ("t.x",)
+
+    def test_expression_projection(self, catalog):
+        result = Project(
+            ScanTable("L", "t"), [(col("t.x") * lit(2), "double")]
+        ).evaluate(catalog)
+        assert result.schema.names == ("double",)
+        assert result.rows[0] == (20,)
+
+    def test_distinct_projection(self, catalog):
+        result = Project(ScanTable("L", "t"), ["t.k"], distinct=True).evaluate(
+            catalog
+        )
+        assert len(result) == 4  # 1, 2, 3, NULL
+
+    def test_coalesce_in_projection(self, catalog):
+        result = Project(
+            ScanTable("L", "t"), [(Coalesce(col("t.x"), lit(0)), "x0")]
+        ).evaluate(catalog)
+        assert (0,) in result.rows
+
+    def test_bad_item_rejected(self):
+        with pytest.raises(Exception):
+            ProjectItem.of(42)
+
+    def test_schema_agrees_with_evaluate(self, catalog):
+        node = Project(ScanTable("L", "t"), ["t.k", (col("t.x"), "v")])
+        assert node.schema(catalog) == node.evaluate(catalog).schema
+
+
+class TestRenameDistinct:
+    def test_rename(self, catalog):
+        result = Rename(ScanTable("L", "t"), "u").evaluate(catalog)
+        assert result.schema.names == ("u.k", "u.x")
+
+    def test_distinct_removes_duplicates(self, catalog):
+        result = Distinct(ScanTable("L", "t")).evaluate(catalog)
+        assert len(result) == 4
+
+
+class TestUnionDifference:
+    def test_union_all_keeps_duplicates(self, catalog):
+        node = Union(ScanTable("L", "a"), ScanTable("L", "b"))
+        assert len(node.evaluate(catalog)) == 10
+
+    def test_union_distinct(self, catalog):
+        node = Union(ScanTable("L", "a"), ScanTable("L", "b"), distinct=True)
+        assert len(node.evaluate(catalog)) == 4
+
+    def test_union_arity_mismatch(self, catalog):
+        node = Union(ScanTable("L", "a"), Project(ScanTable("L", "b"), ["b.k"]))
+        with pytest.raises(SchemaError):
+            node.evaluate(catalog)
+
+    def test_difference_all_is_bag_difference(self, catalog):
+        one_two = TableValue(Relation.from_columns(
+            [("k", DataType.INTEGER), ("x", DataType.INTEGER)],
+            [(2, 20)],
+        ))
+        node = Difference(ScanTable("L", "t"), one_two)
+        result = node.evaluate(catalog)
+        # One of the two (2, 20) rows survives under EXCEPT ALL.
+        assert result.as_multiset()[(2, 20)] == 1
+
+    def test_difference_distinct(self, catalog):
+        node = Difference(ScanTable("L", "t"), ScanTable("L", "u"),
+                          distinct=True)
+        assert len(node.evaluate(catalog)) == 0
+
+
+class TestJoins:
+    def test_inner_hash_join(self, catalog):
+        node = Join(ScanTable("L", "l"), ScanTable("R", "r"),
+                    col("l.k") == col("r.k"))
+        result = node.evaluate(catalog)
+        # k=1 matches once, each of the two (2,20) rows matches "b" and "c".
+        assert len(result) == 5
+
+    def test_null_keys_never_join(self, catalog):
+        node = Join(ScanTable("L", "l"), ScanTable("R", "r"),
+                    col("l.k") == col("r.k"))
+        result = node.evaluate(catalog)
+        assert all(row[0] is not None for row in result.rows)
+
+    def test_methods_agree(self, catalog):
+        condition = col("l.k") == col("r.k")
+        results = [
+            Join(ScanTable("L", "l"), ScanTable("R", "r"), condition,
+                 method=method).evaluate(catalog)
+            for method in ("nested", "hash", "merge")
+        ]
+        assert results[0].bag_equal(results[1])
+        assert results[0].bag_equal(results[2])
+
+    def test_left_outer_pads_with_nulls(self, catalog):
+        node = Join(ScanTable("L", "l"), ScanTable("R", "r"),
+                    col("l.k") == col("r.k"), kind="left")
+        result = node.evaluate(catalog)
+        padded = [row for row in result.rows if row[2] is None and row[3] is None]
+        assert len(padded) == 2  # k=3 and k=NULL have no match
+
+    def test_semi_join(self, catalog):
+        node = Join(ScanTable("L", "l"), ScanTable("R", "r"),
+                    col("l.k") == col("r.k"), kind="semi")
+        result = node.evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [1, 2, 2]
+        assert result.schema.names == ("l.k", "l.x")
+
+    def test_anti_join(self, catalog):
+        node = Join(ScanTable("L", "l"), ScanTable("R", "r"),
+                    col("l.k") == col("r.k"), kind="anti")
+        result = node.evaluate(catalog)
+        assert len(result) == 2  # k=3 and k=NULL
+
+    def test_theta_join_without_equality_uses_nested(self, catalog):
+        node = Join(ScanTable("L", "l"), ScanTable("R", "r"),
+                    col("l.k") != col("r.k"))
+        result = node.evaluate(catalog)
+        nested = Join(ScanTable("L", "l"), ScanTable("R", "r"),
+                      col("l.k") != col("r.k"), method="nested").evaluate(catalog)
+        assert result.bag_equal(nested)
+
+    def test_hash_join_with_residual(self, catalog):
+        condition = (col("l.k") == col("r.k")) & (col("r.y") == lit("b"))
+        result = Join(ScanTable("L", "l"), ScanTable("R", "r"),
+                      condition).evaluate(catalog)
+        assert len(result) == 2
+
+    def test_hash_method_requires_equality(self, catalog):
+        node = Join(ScanTable("L", "l"), ScanTable("R", "r"),
+                    col("l.k") != col("r.k"), method="hash")
+        with pytest.raises(PlanError):
+            node.evaluate(catalog)
+
+    def test_unknown_kind_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            Join(ScanTable("L", "l"), ScanTable("R", "r"), TRUE, kind="outer")
+
+    def test_merge_join_multi_key(self, catalog):
+        condition = (col("l.k") == col("r.k")) & (col("l.x") > lit(5))
+        merged = Join(ScanTable("L", "l"), ScanTable("R", "r"), condition,
+                      method="merge").evaluate(catalog)
+        hashed = Join(ScanTable("L", "l"), ScanTable("R", "r"), condition,
+                      method="hash").evaluate(catalog)
+        assert merged.bag_equal(hashed)
+
+    def test_semi_schema_excludes_right(self, catalog):
+        node = Join(ScanTable("L", "l"), ScanTable("R", "r"),
+                    col("l.k") == col("r.k"), kind="semi")
+        assert node.schema(catalog).names == ("l.k", "l.x")
+
+
+class TestGroupBy:
+    def test_grouping(self, catalog):
+        node = GroupBy(ScanTable("R", "r"), ["r.k"], [count_star("cnt")])
+        result = node.evaluate(catalog)
+        counts = dict(result.rows)
+        assert counts[2] == 2
+
+    def test_group_keys_include_null_group(self, catalog):
+        node = GroupBy(ScanTable("R", "r"), ["r.k"], [count_star("cnt")])
+        result = node.evaluate(catalog)
+        assert (None, 1) in result.rows
+
+    def test_scalar_aggregate_on_empty_input(self, catalog):
+        empty = TableValue(Relation.from_columns(
+            [("y", DataType.INTEGER)], []
+        ))
+        node = GroupBy(empty, [], [count_star("cnt"),
+                                   agg("sum", col("y"), "total")])
+        result = node.evaluate(catalog)
+        assert result.rows == [(0, None)]
+
+    def test_grouped_empty_input_is_empty(self, catalog):
+        empty = TableValue(Relation.from_columns(
+            [("k", DataType.INTEGER), ("y", DataType.INTEGER)], []
+        ))
+        node = GroupBy(empty, ["k"], [count_star("cnt")])
+        assert len(node.evaluate(catalog)) == 0
+
+    def test_multiple_aggregates(self, catalog):
+        node = GroupBy(ScanTable("L", "l"), ["l.k"],
+                       [count_star("cnt"), agg("max", col("l.x"), "mx")])
+        result = node.evaluate(catalog)
+        rows = {row[0]: row for row in result.rows}
+        assert rows[3] == (3, 1, None)  # count(*)=1, max of NULL = NULL
+
+    def test_schema(self, catalog):
+        node = GroupBy(ScanTable("L", "l"), ["l.k"], [count_star("cnt")])
+        assert node.schema(catalog).names == ("l.k", "cnt")
+
+
+class TestOrderBy:
+    def test_ascending_nulls_first(self, catalog):
+        node = OrderBy(ScanTable("L", "t"), [("t.x", False)])
+        result = node.evaluate(catalog)
+        assert result.rows[0][1] is None
+
+    def test_descending(self, catalog):
+        node = OrderBy(ScanTable("L", "t"), [("t.x", True)])
+        result = node.evaluate(catalog)
+        assert result.rows[0][1] == 40
+
+    def test_stable_multi_key(self, catalog):
+        node = OrderBy(ScanTable("R", "r"), [("r.k", False), ("r.y", True)])
+        result = node.evaluate(catalog)
+        twos = [row[1] for row in result.rows if row[0] == 2]
+        assert twos == ["c", "b"]

@@ -1,0 +1,89 @@
+"""Golden plan-shape tests: the optimizer's output structure is pinned.
+
+These are deliberately brittle in a useful way: accidental changes to
+what the translator/optimizer emit for the paper's flagship queries show
+up here as explicit diffs rather than silent plan regressions.
+"""
+
+import pytest
+
+from repro.algebra.expressions import col, lit
+from repro.algebra.nested import Exists, NestedSelect, Subquery
+from repro.algebra.operators import Project, ScanTable
+from repro.algebra.printer import explain
+from repro.gmdj import GMDJ, SelectGMDJ
+from repro.storage import Catalog, DataType, Relation
+from repro.unnesting import subquery_to_gmdj
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog()
+    cat.create_table("Flow", Relation.from_columns(
+        [("SourceIP", DataType.STRING), ("DestIP", DataType.STRING),
+         ("NumBytes", DataType.INTEGER)],
+        [("a", "x", 1)],
+    ))
+    return cat
+
+
+def example23_query():
+    base = Project(ScanTable("Flow", "F0"), ["F0.SourceIP"], distinct=True)
+
+    def flows_to(dest, alias):
+        return Subquery(
+            ScanTable("Flow", alias),
+            (col(f"{alias}.SourceIP") == col("F0.SourceIP"))
+            & (col(f"{alias}.DestIP") == lit(dest)),
+        )
+
+    return NestedSelect(
+        base,
+        Exists(flows_to("167.167.167.0", "F1"), negated=True)
+        & Exists(flows_to("168.168.168.0", "F2"))
+        & Exists(flows_to("169.169.169.0", "F3"), negated=True),
+    )
+
+
+class TestExample23Shape:
+    def test_unoptimized_stacks_three_gmdjs(self, catalog):
+        plan = subquery_to_gmdj(example23_query(), catalog)
+
+        def count_gmdjs(node):
+            total = int(isinstance(node, GMDJ))
+            for child in getattr(node, "children", lambda: ())():
+                total += count_gmdjs(child)
+            return total
+
+        assert count_gmdjs(plan) == 3
+
+    def test_optimized_is_single_fused_gmdj(self, catalog):
+        plan = subquery_to_gmdj(example23_query(), catalog, optimize=True)
+        # Project -> SelectGMDJ(3 blocks) over the distinct projection.
+        assert isinstance(plan, Project)
+        assert isinstance(plan.child, SelectGMDJ)
+        assert len(plan.child.gmdj.blocks) == 3
+        rule = plan.child.rule
+        assert sorted(rule.must_be_zero) == [0, 2]
+        assert rule.need_positive == [1]
+
+    def test_optimized_explain_text(self, catalog):
+        text = explain(subquery_to_gmdj(example23_query(), catalog,
+                                        optimize=True))
+        assert text.count("Scan Flow") == 2  # base projection + one detail
+        assert "SelectGMDJ" in text
+        assert "theta3" in text  # three coalesced blocks rendered
+
+
+class TestExistsShape:
+    def test_exists_plan_outline(self, catalog):
+        query = NestedSelect(
+            ScanTable("Flow", "f"),
+            Exists(Subquery(ScanTable("Flow", "g"),
+                            col("g.SourceIP") == col("f.SourceIP"))),
+        )
+        text = explain(subquery_to_gmdj(query, catalog, optimize=True))
+        lines = [line.strip() for line in text.splitlines()]
+        assert lines[0].startswith("Project")
+        assert any(line.startswith("SelectGMDJ") for line in lines)
+        assert any(line.startswith("l1: [count(*)") for line in lines)

@@ -1,0 +1,177 @@
+"""Property-based tests for the GMDJ operator itself and Section 4 rules.
+
+The GMDJ evaluator (hash-partitioned, single scan, optional completion) is
+checked against a brute-force transcription of Definition 2.1 — for every
+base tuple b, aggregate over ``RNG(b, R, θ) = {r | θ(b, r)}`` computed by
+direct nested iteration.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algebra.aggregates import AggregateBlock, agg, count_star
+from repro.algebra.expressions import Comparison, TRUE, col, lit
+from repro.algebra.operators import Select, TableValue
+from repro.gmdj import (
+    GMDJ,
+    SelectGMDJ,
+    ThetaBlock,
+    coalesce_plan,
+    derive_completion_rule,
+    md,
+)
+from repro.storage import Catalog, DataType, Relation
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+small_int = st.one_of(st.none(), st.integers(min_value=0, max_value=4))
+rows = st.lists(st.tuples(small_int, small_int), min_size=0, max_size=10)
+comparison_ops = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+
+
+def relations(b_rows, r_rows):
+    base = Relation.from_columns(
+        [("K", DataType.INTEGER), ("X", DataType.INTEGER)], b_rows,
+        qualifier="b",
+    )
+    detail = Relation.from_columns(
+        [("K", DataType.INTEGER), ("Y", DataType.INTEGER)], r_rows,
+        qualifier="r",
+    )
+    return base, detail
+
+
+@st.composite
+def thetas(draw):
+    """Random θ over b.* and r.* — with or without an equality conjunct."""
+    conjuncts = []
+    if draw(st.booleans()):
+        conjuncts.append(col("b.K") == col("r.K"))
+    if draw(st.booleans()):
+        conjuncts.append(
+            Comparison(draw(comparison_ops), col("b.X"), col("r.Y"))
+        )
+    if draw(st.booleans()):
+        conjuncts.append(
+            Comparison(draw(comparison_ops), col("r.Y"),
+                       lit(draw(st.integers(0, 4))))
+        )
+    if not conjuncts:
+        return TRUE
+    predicate = conjuncts[0]
+    for extra in conjuncts[1:]:
+        predicate = predicate & extra
+    return predicate
+
+
+def brute_force(base, detail, blocks):
+    """Definition 2.1 by direct nested iteration."""
+    combined = base.schema.concat(detail.schema)
+    out = []
+    for b_row in base.rows:
+        values = []
+        for block in blocks:
+            test = block.condition.bind(combined)
+            agg_block = AggregateBlock(block.aggregates, detail.schema)
+            state = agg_block.new_state()
+            for r_row in detail.rows:
+                if test(b_row + r_row).is_true:
+                    agg_block.update(state, r_row)
+            values.extend(AggregateBlock.finalize(state))
+        out.append(b_row + tuple(values))
+    return out
+
+
+class TestDefinition21:
+    @SETTINGS
+    @given(b_rows=rows, r_rows=rows, theta=thetas())
+    def test_single_block_counts_and_sums(self, b_rows, r_rows, theta):
+        base, detail = relations(b_rows, r_rows)
+        blocks = [ThetaBlock([count_star("cnt"),
+                              agg("sum", col("r.Y"), "s")], theta)]
+        plan = GMDJ(TableValue(base), TableValue(detail), blocks)
+        catalog = Catalog()
+        result = plan.evaluate(catalog)
+        assert sorted(result.rows, key=repr) == sorted(
+            brute_force(base, detail, blocks), key=repr
+        )
+
+    @SETTINGS
+    @given(b_rows=rows, r_rows=rows, theta1=thetas(), theta2=thetas())
+    def test_two_blocks_share_one_scan(self, b_rows, r_rows, theta1, theta2):
+        base, detail = relations(b_rows, r_rows)
+        blocks = [
+            ThetaBlock([count_star("c1")], theta1),
+            ThetaBlock([agg("min", col("r.Y"), "m2")], theta2),
+        ]
+        plan = GMDJ(TableValue(base), TableValue(detail), blocks)
+        result = plan.evaluate(Catalog())
+        assert sorted(result.rows, key=repr) == sorted(
+            brute_force(base, detail, blocks), key=repr
+        )
+
+
+class TestCompletionProperty:
+    @SETTINGS
+    @given(b_rows=rows, r_rows=rows, theta=thetas())
+    def test_fused_doom_equals_unfused(self, b_rows, r_rows, theta):
+        base, detail = relations(b_rows, r_rows)
+        gmdj = md(TableValue(base), TableValue(detail),
+                  [[count_star("cnt")]], [theta])
+        selection = Comparison("=", col("cnt"), lit(0))
+        rule = derive_completion_rule(selection, gmdj, False)
+        fused = SelectGMDJ(gmdj, selection, rule)
+        unfused = Select(
+            md(TableValue(base), TableValue(detail), [[count_star("cnt")]],
+               [theta]),
+            selection,
+        )
+        catalog = Catalog()
+        assert fused.evaluate(catalog).bag_equal(unfused.evaluate(catalog))
+
+    @SETTINGS
+    @given(b_rows=rows, r_rows=rows, theta=thetas(), op=comparison_ops)
+    def test_fused_pair_equal_equals_unfused(self, b_rows, r_rows, theta, op):
+        base, detail = relations(b_rows, r_rows)
+        phi = Comparison(op, col("b.X"), col("r.Y"))
+
+        def build():
+            return md(TableValue(base), TableValue(detail),
+                      [[count_star("c1")], [count_star("c2")]],
+                      [theta & phi, theta])
+
+        selection = Comparison("=", col("c1"), col("c2"))
+        rule = derive_completion_rule(selection, build(), False)
+        fused = SelectGMDJ(build(), selection, rule)
+        unfused = Select(build(), selection)
+        catalog = Catalog()
+        assert fused.evaluate(catalog).bag_equal(unfused.evaluate(catalog))
+
+
+class TestCoalesceProperty:
+    @SETTINGS
+    @given(b_rows=rows, r_rows=rows, theta1=thetas(), theta2=thetas())
+    def test_stacked_equals_coalesced(self, b_rows, r_rows, theta1, theta2):
+        base, detail = relations(b_rows, r_rows)
+        catalog = Catalog()
+        catalog.create_table("R", Relation.from_columns(
+            [("K", DataType.INTEGER), ("Y", DataType.INTEGER)],
+            detail.rows,
+        ))
+        from repro.algebra.operators import ScanTable
+
+        def stacked():
+            inner = md(TableValue(base), ScanTable("R", "r"),
+                       [[count_star("c1")]], [theta1])
+            return md(inner, ScanTable("R", "r"),
+                      [[count_star("c2")]], [theta2])
+
+        coalesced = coalesce_plan(stacked())
+        assert stacked().evaluate(catalog).bag_equal(
+            coalesced.evaluate(catalog)
+        )

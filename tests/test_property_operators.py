@@ -1,0 +1,149 @@
+"""Property-based tests for the flat algebra operators.
+
+Join methods must agree with each other; bag set-operations must satisfy
+the multiset identities; GroupBy must match a dictionary-based oracle.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algebra.aggregates import agg, count_star
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.operators import (
+    Difference,
+    GroupBy,
+    Intersect,
+    Join,
+    TableValue,
+    Union,
+)
+from repro.storage import Catalog, DataType, Relation
+
+SETTINGS = settings(max_examples=60, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+small_int = st.one_of(st.none(), st.integers(min_value=0, max_value=4))
+pair_rows = st.lists(st.tuples(small_int, small_int), min_size=0, max_size=12)
+comparison_ops = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+
+
+def rel(rows, qualifier):
+    return Relation.from_columns(
+        [("k", DataType.INTEGER), ("v", DataType.INTEGER)], rows,
+        qualifier=qualifier,
+    )
+
+
+CATALOG = Catalog()
+
+
+class TestJoinMethodAgreement:
+    @SETTINGS
+    @given(left=pair_rows, right=pair_rows, op=comparison_ops)
+    def test_all_methods_agree_with_equality_present(self, left, right, op):
+        condition = (col("a.k") == col("b.k")) & Comparison(
+            op, col("a.v"), col("b.v")
+        )
+        results = []
+        for method in ("nested", "hash", "merge"):
+            node = Join(TableValue(rel(left, "a")), TableValue(rel(right, "b")),
+                        condition, method=method)
+            results.append(node.evaluate(CATALOG))
+        assert results[0].bag_equal(results[1])
+        assert results[0].bag_equal(results[2])
+
+    @SETTINGS
+    @given(left=pair_rows, right=pair_rows,
+           kind=st.sampled_from(["inner", "left", "semi", "anti"]))
+    def test_hash_equals_nested_per_kind(self, left, right, kind):
+        condition = col("a.k") == col("b.k")
+        hashed = Join(TableValue(rel(left, "a")), TableValue(rel(right, "b")),
+                      condition, kind=kind, method="hash").evaluate(CATALOG)
+        nested = Join(TableValue(rel(left, "a")), TableValue(rel(right, "b")),
+                      condition, kind=kind, method="nested").evaluate(CATALOG)
+        assert hashed.bag_equal(nested)
+
+    @SETTINGS
+    @given(left=pair_rows, right=pair_rows)
+    def test_left_join_covers_all_left_rows(self, left, right):
+        condition = col("a.k") == col("b.k")
+        joined = Join(TableValue(rel(left, "a")), TableValue(rel(right, "b")),
+                      condition, kind="left").evaluate(CATALOG)
+        # Every left row appears at least once (padded or matched).
+        prefix_counts = Counter(row[:2] for row in joined.rows)
+        for row in left:
+            assert prefix_counts[row] >= 1
+
+    @SETTINGS
+    @given(left=pair_rows, right=pair_rows)
+    def test_semi_plus_anti_partitions_left(self, left, right):
+        condition = col("a.k") == col("b.k")
+        semi = Join(TableValue(rel(left, "a")), TableValue(rel(right, "b")),
+                    condition, kind="semi").evaluate(CATALOG)
+        anti = Join(TableValue(rel(left, "a")), TableValue(rel(right, "b")),
+                    condition, kind="anti").evaluate(CATALOG)
+        together = Counter(semi.rows) + Counter(anti.rows)
+        assert together == Counter(tuple(row) for row in left)
+
+
+class TestBagAlgebra:
+    @SETTINGS
+    @given(a=pair_rows, b=pair_rows)
+    def test_union_all_cardinality(self, a, b):
+        node = Union(TableValue(rel(a, "a")), TableValue(rel(b, "a")))
+        assert len(node.evaluate(CATALOG)) == len(a) + len(b)
+
+    @SETTINGS
+    @given(a=pair_rows, b=pair_rows)
+    def test_intersect_plus_difference_is_left(self, a, b):
+        intersect = Intersect(TableValue(rel(a, "a")),
+                              TableValue(rel(b, "a"))).evaluate(CATALOG)
+        difference = Difference(TableValue(rel(a, "a")),
+                                TableValue(rel(b, "a"))).evaluate(CATALOG)
+        combined = Counter(intersect.rows) + Counter(difference.rows)
+        assert combined == Counter(tuple(row) for row in a)
+
+    @SETTINGS
+    @given(a=pair_rows, b=pair_rows)
+    def test_intersect_commutes(self, a, b):
+        ab = Intersect(TableValue(rel(a, "a")),
+                       TableValue(rel(b, "a"))).evaluate(CATALOG)
+        ba = Intersect(TableValue(rel(b, "a")),
+                       TableValue(rel(a, "a"))).evaluate(CATALOG)
+        assert ab.bag_equal(ba)
+
+    @SETTINGS
+    @given(a=pair_rows, b=pair_rows)
+    def test_except_distinct_is_set_difference(self, a, b):
+        node = Difference(TableValue(rel(a, "a")), TableValue(rel(b, "a")),
+                          distinct=True)
+        result = node.evaluate(CATALOG)
+        expected = set(map(tuple, a)) - set(map(tuple, b))
+        assert set(result.rows) == expected
+        assert len(result) == len(expected)
+
+
+class TestGroupByOracle:
+    @SETTINGS
+    @given(rows=pair_rows)
+    def test_groupby_matches_dict_oracle(self, rows):
+        node = GroupBy(TableValue(rel(rows, "a")), ["a.k"],
+                       [count_star("cnt"), agg("sum", col("a.v"), "s"),
+                        agg("min", col("a.v"), "lo")])
+        result = node.evaluate(CATALOG)
+        oracle = defaultdict(list)
+        for k, v in rows:
+            oracle[k].append(v)
+        expected = set()
+        for key, values in oracle.items():
+            non_null = [v for v in values if v is not None]
+            expected.add((
+                key,
+                len(values),
+                sum(non_null) if non_null else None,
+                min(non_null) if non_null else None,
+            ))
+        assert set(result.rows) == expected

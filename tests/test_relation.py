@@ -1,0 +1,115 @@
+"""Unit tests for repro.storage.relation."""
+
+import pytest
+
+from repro.errors import SchemaError, TypeCheckError
+from repro.storage import DataType, Relation, collect
+
+
+@pytest.fixture
+def numbers() -> Relation:
+    return Relation.from_columns(
+        [("k", DataType.INTEGER), ("v", DataType.STRING)],
+        [(1, "a"), (2, "b"), (1, "a"), (3, None)],
+    )
+
+
+class TestConstruction:
+    def test_row_count(self, numbers):
+        assert len(numbers) == 4
+
+    def test_arity(self, numbers):
+        assert numbers.arity() == 2
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_columns([("k", DataType.INTEGER)], [(1, 2)])
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeCheckError):
+            Relation.from_columns([("k", DataType.INTEGER)], [("one",)])
+
+    def test_float_column_widens_ints(self):
+        relation = Relation.from_columns([("x", DataType.FLOAT)], [(1,)])
+        assert isinstance(relation.rows[0][0], float)
+
+    def test_insert_validates(self, numbers):
+        with pytest.raises(TypeCheckError):
+            numbers.insert(("x", "y"))
+
+    def test_extend(self, numbers):
+        numbers.extend([(9, "z")])
+        assert len(numbers) == 5
+
+    def test_qualifier_in_from_columns(self):
+        relation = Relation.from_columns(
+            [("k", DataType.INTEGER)], [(1,)], qualifier="T"
+        )
+        assert relation.schema.names == ("T.k",)
+
+
+class TestBagSemantics:
+    def test_duplicates_preserved(self, numbers):
+        assert numbers.as_multiset()[(1, "a")] == 2
+
+    def test_bag_equal_ignores_order(self, numbers):
+        shuffled = Relation(numbers.schema, reversed(numbers.rows))
+        assert numbers.bag_equal(shuffled)
+
+    def test_bag_equal_detects_multiplicity(self, numbers):
+        fewer = Relation(numbers.schema, [(1, "a"), (2, "b"), (3, None)])
+        assert not numbers.bag_equal(fewer)
+
+    def test_bag_equal_arity_mismatch(self, numbers):
+        other = Relation.from_columns([("k", DataType.INTEGER)], [(1,)])
+        assert not numbers.bag_equal(other)
+
+    def test_distinct(self, numbers):
+        assert len(numbers.distinct()) == 3
+
+    def test_distinct_preserves_first_occurrence_order(self, numbers):
+        assert numbers.distinct().rows[0] == (1, "a")
+
+
+class TestAccess:
+    def test_column(self, numbers):
+        assert numbers.column("k") == [1, 2, 1, 3]
+
+    def test_sorted_by_nulls_first(self, numbers):
+        ordered = numbers.sorted_by("v")
+        assert ordered.rows[0] == (3, None)
+
+    def test_sorted_by_multiple_keys(self, numbers):
+        ordered = numbers.sorted_by("k", "v")
+        assert [row[0] for row in ordered.rows] == [1, 1, 2, 3]
+
+    def test_filter_rows(self, numbers):
+        assert len(numbers.filter_rows(lambda r: r[0] == 1)) == 2
+
+    def test_rename_view_keeps_rows(self, numbers):
+        renamed = numbers.rename("N")
+        assert renamed.schema.names == ("N.k", "N.v")
+        assert renamed.rows == numbers.rows
+
+    def test_scan_charges_iostats(self, numbers):
+        with collect() as stats:
+            list(numbers.scan())
+        assert stats.relation_scans == 1
+        assert stats.tuples_scanned == 4
+        assert stats.pages_read == 1
+
+
+class TestPretty:
+    def test_pretty_renders_null(self, numbers):
+        assert "NULL" in numbers.pretty()
+
+    def test_pretty_limit(self, numbers):
+        text = numbers.pretty(limit=2)
+        assert "2 more rows" in text
+
+    def test_pretty_empty(self):
+        relation = Relation.from_columns([("k", DataType.INTEGER)], [])
+        assert "k" in relation.pretty()
+
+    def test_repr(self, numbers):
+        assert "4 rows" in repr(numbers)

@@ -1,0 +1,93 @@
+"""Tests for commuting base-only selections below the GMDJ."""
+
+import pytest
+
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.nested import Exists, NestedSelect, Subquery
+from repro.algebra.operators import ScanTable, Select
+from repro.baselines import evaluate_naive
+from repro.gmdj import GMDJ, md, push_base_selections
+from repro.gmdj.evaluate import SelectGMDJ
+from repro.algebra.aggregates import count_star
+from repro.storage import Catalog, DataType, Relation, collect
+from repro.unnesting import subquery_to_gmdj
+
+
+@pytest.fixture
+def catalog(kv_catalog) -> Catalog:
+    return kv_catalog
+
+
+def base_gmdj():
+    return md(ScanTable("B", "b"), ScanTable("R", "r"),
+              [[count_star("cnt")]], [col("b.K") == col("r.K")])
+
+
+class TestRewrite:
+    def test_base_only_conjunct_sinks(self, catalog):
+        plan = Select(base_gmdj(),
+                      (col("b.X") > lit(2))
+                      & Comparison(">", col("cnt"), lit(0)))
+        pushed = push_base_selections(plan, catalog)
+        assert isinstance(pushed, Select)           # count condition stays
+        assert isinstance(pushed.child, GMDJ)
+        assert isinstance(pushed.child.base, Select)  # base filter sank
+        assert plan.evaluate(catalog).bag_equal(pushed.evaluate(catalog))
+
+    def test_pure_base_selection_sinks_entirely(self, catalog):
+        plan = Select(base_gmdj(), col("b.X") > lit(2))
+        pushed = push_base_selections(plan, catalog)
+        assert isinstance(pushed, GMDJ)
+        assert plan.evaluate(catalog).bag_equal(pushed.evaluate(catalog))
+
+    def test_count_condition_never_sinks(self, catalog):
+        plan = Select(base_gmdj(), Comparison("=", col("cnt"), lit(0)))
+        pushed = push_base_selections(plan, catalog)
+        assert isinstance(pushed, Select)
+        assert not isinstance(pushed.child.base, Select)
+
+    def test_detail_referencing_conjunct_stays(self, catalog):
+        # A predicate over detail-side attrs cannot sink into the base.
+        plan = Select(base_gmdj(), col("b.X") > col("cnt"))
+        pushed = push_base_selections(plan, catalog)
+        assert isinstance(pushed, Select)
+
+
+class TestEndToEnd:
+    def test_mixed_where_clause_optimized(self, catalog):
+        query = NestedSelect(
+            ScanTable("B", "b"),
+            Exists(Subquery(ScanTable("R", "r"), col("r.K") == col("b.K")))
+            & (col("b.X") > lit(2)),
+        )
+        expected = evaluate_naive(query, catalog)
+        optimized = subquery_to_gmdj(query, catalog, optimize=True)
+        assert expected.bag_equal(optimized.evaluate(catalog))
+
+    def test_pushdown_reduces_base_work(self):
+        catalog = Catalog()
+        catalog.create_table("B", Relation.from_columns(
+            [("K", DataType.INTEGER), ("X", DataType.INTEGER)],
+            [(i, i % 100) for i in range(2000)],
+        ))
+        catalog.create_table("R", Relation.from_columns(
+            [("K", DataType.INTEGER)], [(i % 2000,) for i in range(4000)],
+        ))
+        query = NestedSelect(
+            ScanTable("B", "b"),
+            Exists(Subquery(ScanTable("R", "r"), col("r.K") == col("b.K")))
+            & (col("b.X") < lit(5)),  # keeps 5% of the base
+        )
+        plain = subquery_to_gmdj(query, catalog, optimize=True,
+                                 coalesce=False, completion=False)
+        # Without push-down (optimize with everything off except folding):
+        from repro.gmdj.optimize import optimize_plan
+
+        unpushed = subquery_to_gmdj(query, catalog)
+        with collect() as pushed_stats:
+            pushed_result = plain.evaluate(catalog)
+        with collect() as unpushed_stats:
+            unpushed_result = unpushed.evaluate(catalog)
+        assert pushed_result.bag_equal(unpushed_result)
+        assert (pushed_stats.aggregate_updates
+                < unpushed_stats.aggregate_updates)

@@ -1,0 +1,148 @@
+"""Tests for predicate simplification (constant folding)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.expressions import (
+    And,
+    Coalesce,
+    Comparison,
+    FALSE,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    TRUE,
+    TruthLiteral,
+    col,
+    lit,
+)
+from repro.algebra.simplify import simplify, simplify_plan
+from repro.algebra.truth import Truth
+from repro.storage.schema import Field, Schema
+from repro.storage.types import DataType
+
+SCHEMA = Schema([Field("a", DataType.INTEGER), Field("b", DataType.INTEGER)])
+
+
+class TestFolding:
+    def test_literal_comparison_folds(self):
+        folded = simplify(lit(3) < lit(5))
+        assert isinstance(folded, TruthLiteral)
+        assert folded.value is Truth.TRUE
+
+    def test_null_comparison_folds_to_unknown(self):
+        folded = simplify(lit(None) == lit(5))
+        assert folded.value is Truth.UNKNOWN
+
+    def test_true_and_p(self):
+        predicate = col("a") > lit(1)
+        assert simplify(TRUE & predicate).same_as(predicate)
+        assert simplify(predicate & TRUE).same_as(predicate)
+
+    def test_false_and_anything(self):
+        assert simplify(FALSE & (col("a") > lit(1))).value is Truth.FALSE
+
+    def test_true_or_anything(self):
+        assert simplify(TRUE | (col("a") > lit(1))).value is Truth.TRUE
+
+    def test_false_or_p(self):
+        predicate = col("a") > lit(1)
+        assert simplify(FALSE | predicate).same_as(predicate)
+
+    def test_unknown_not_collapsed_in_and(self):
+        unknown = TruthLiteral(Truth.UNKNOWN)
+        folded = simplify(And(unknown, col("a") > lit(1)))
+        assert isinstance(folded, And)
+
+    def test_not_folds_literal(self):
+        assert simplify(Not(TRUE)).value is Truth.FALSE
+
+    def test_not_complements_comparison(self):
+        folded = simplify(Not(col("a") < col("b")))
+        assert isinstance(folded, Comparison)
+        assert folded.op == ">="
+
+    def test_double_not_cancels(self):
+        predicate = IsNull(col("a"))
+        assert simplify(Not(Not(predicate))).same_as(predicate)
+
+    def test_arithmetic_folds(self):
+        folded = simplify(lit(2) + lit(3))
+        assert isinstance(folded, Literal) and folded.value == 5
+
+    def test_is_null_of_literal(self):
+        assert simplify(IsNull(lit(None))).value is Truth.TRUE
+        assert simplify(IsNull(lit(1))).value is Truth.FALSE
+        assert simplify(IsNull(lit(1), negated=True)).value is Truth.TRUE
+
+    def test_coalesce_folds(self):
+        assert simplify(Coalesce(lit(None), col("a"))).same_as(col("a"))
+        folded = simplify(Coalesce(lit(7), col("a")))
+        assert isinstance(folded, Literal) and folded.value == 7
+
+    def test_string_numeric_mismatch_left_unfolded(self):
+        weird = Comparison(">", lit("x"), lit(1))
+        assert isinstance(simplify(weird), Comparison)
+
+
+class TestSemanticPreservation:
+    values = st.one_of(st.none(), st.integers(-3, 3))
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=values, b=values, c=st.integers(-3, 3))
+    def test_simplified_agrees_on_all_rows(self, a, b, c):
+        forms = [
+            TRUE & (col("a") > lit(c)),
+            (col("a") > lit(c)) | FALSE,
+            Not(Not(col("a") <= col("b"))),
+            Not((col("a") == col("b")) ),
+            And(Or(FALSE, col("a") < lit(c)), TRUE),
+            IsNull(col("a")) | (lit(c) >= lit(0)),
+        ]
+        row = (a, b)
+        for predicate in forms:
+            before = predicate.bind(SCHEMA)(row)
+            after = simplify(predicate).bind(SCHEMA)(row)
+            assert before is after, predicate
+
+
+class TestPlanSimplification:
+    def test_select_predicate_simplified(self, kv_catalog):
+        from repro.algebra.operators import ScanTable, Select
+
+        plan = Select(ScanTable("B", "b"), TRUE & (col("b.X") > lit(3)))
+        simplified = simplify_plan(plan)
+        assert isinstance(simplified.predicate, Comparison)
+        assert plan.evaluate(kv_catalog).bag_equal(
+            simplified.evaluate(kv_catalog)
+        )
+
+    def test_gmdj_block_conditions_simplified(self, kv_catalog):
+        from repro.algebra.aggregates import count_star
+        from repro.algebra.operators import ScanTable
+        from repro.gmdj import md
+
+        plan = md(ScanTable("B", "b"), ScanTable("R", "r"),
+                  [[count_star("c")]],
+                  [TRUE & (col("b.K") == col("r.K"))])
+        simplified = simplify_plan(plan)
+        assert isinstance(simplified.blocks[0].condition, Comparison)
+        assert plan.evaluate(kv_catalog).bag_equal(
+            simplified.evaluate(kv_catalog)
+        )
+
+    def test_optimizer_runs_folding(self, kv_catalog):
+        from repro.algebra.nested import Exists, NestedSelect, Subquery
+        from repro.algebra.operators import ScanTable
+        from repro.unnesting import subquery_to_gmdj
+
+        # An EXISTS block with a TRUE predicate (uncorrelated) folds away
+        # its TruthLiteral conjunct during optimization.
+        query = NestedSelect(
+            ScanTable("B", "b"),
+            Exists(Subquery(ScanTable("R", "r"), TRUE & (col("r.Y") > lit(3)))),
+        )
+        expected = query.evaluate(kv_catalog)
+        optimized = subquery_to_gmdj(query, kv_catalog, optimize=True)
+        assert expected.bag_equal(optimized.evaluate(kv_catalog))

@@ -1,0 +1,246 @@
+"""Unit tests for the SQL binder (AST → algebra)."""
+
+import pytest
+
+from repro.algebra.nested import (
+    Exists,
+    NestedSelect,
+    QuantifiedComparison,
+    ScalarComparison,
+)
+from repro.algebra.operators import (
+    Distinct,
+    GroupBy,
+    Join,
+    OrderBy,
+    Project,
+    ScanTable,
+    Select,
+)
+from repro.errors import BindError
+from repro.sql import compile_sql
+from repro.storage import Catalog, DataType, Relation
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog()
+    cat.create_table("T", Relation.from_columns(
+        [("k", DataType.INTEGER), ("v", DataType.INTEGER),
+         ("s", DataType.STRING)],
+        [(1, 10, "a"), (2, 20, "b"), (2, 30, "a"), (3, None, "c")],
+    ))
+    cat.create_table("U", Relation.from_columns(
+        [("k", DataType.INTEGER), ("w", DataType.INTEGER)],
+        [(1, 5), (2, 6), (9, 7)],
+    ))
+    return cat
+
+
+class TestShapes:
+    def test_star_without_where_is_scan(self, catalog):
+        plan = compile_sql("SELECT * FROM T", catalog)
+        assert isinstance(plan, ScanTable)
+
+    def test_star_distinct(self, catalog):
+        plan = compile_sql("SELECT DISTINCT * FROM T", catalog)
+        assert isinstance(plan, Distinct)
+
+    def test_projection(self, catalog):
+        plan = compile_sql("SELECT k FROM T", catalog)
+        assert isinstance(plan, Project)
+
+    def test_flat_where_uses_select(self, catalog):
+        plan = compile_sql("SELECT k FROM T WHERE v > 10", catalog)
+        assert isinstance(plan.child, Select)
+
+    def test_subquery_where_uses_nested_select(self, catalog):
+        plan = compile_sql(
+            "SELECT k FROM T WHERE EXISTS (SELECT * FROM U WHERE U.k = T.k)",
+            catalog,
+        )
+        assert isinstance(plan.child, NestedSelect)
+        assert isinstance(plan.child.predicate, Exists)
+
+    def test_multi_table_from_is_cross_join(self, catalog):
+        plan = compile_sql("SELECT * FROM T a, U b", catalog)
+        assert isinstance(plan, Join)
+
+    def test_order_by_on_top(self, catalog):
+        plan = compile_sql("SELECT k FROM T ORDER BY k", catalog)
+        assert isinstance(plan, OrderBy)
+
+    def test_unknown_table_rejected(self, catalog):
+        with pytest.raises(BindError):
+            compile_sql("SELECT * FROM Nope", catalog)
+
+
+class TestEvaluatedResults:
+    def test_simple_filter(self, catalog):
+        result = compile_sql("SELECT k FROM T WHERE v >= 20", catalog).evaluate(
+            catalog
+        )
+        assert sorted(row[0] for row in result.rows) == [2, 2]
+
+    def test_null_comparison_dropped(self, catalog):
+        result = compile_sql("SELECT k FROM T WHERE v < 100", catalog).evaluate(
+            catalog
+        )
+        assert 3 not in {row[0] for row in result.rows}
+
+    def test_projection_alias(self, catalog):
+        result = compile_sql("SELECT v * 2 AS dbl FROM T WHERE k = 1",
+                             catalog).evaluate(catalog)
+        assert result.schema.names == ("dbl",)
+        assert result.rows == [(20,)]
+
+    def test_distinct_projection(self, catalog):
+        result = compile_sql("SELECT DISTINCT s FROM T", catalog).evaluate(
+            catalog
+        )
+        assert len(result) == 3
+
+    def test_between(self, catalog):
+        result = compile_sql("SELECT k FROM T WHERE v BETWEEN 15 AND 30",
+                             catalog).evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [2, 2]
+
+    def test_is_null(self, catalog):
+        result = compile_sql("SELECT k FROM T WHERE v IS NULL",
+                             catalog).evaluate(catalog)
+        assert result.rows == [(3,)]
+
+    def test_cross_join_count(self, catalog):
+        result = compile_sql("SELECT * FROM T a, U b", catalog).evaluate(
+            catalog
+        )
+        assert len(result) == 12
+
+    def test_implicit_join_with_where(self, catalog):
+        result = compile_sql(
+            "SELECT a.k, b.w FROM T a, U b WHERE a.k = b.k", catalog
+        ).evaluate(catalog)
+        assert sorted(result.rows) == [(1, 5), (2, 6), (2, 6)]
+
+
+class TestGroupingAndHaving:
+    def test_group_by(self, catalog):
+        result = compile_sql(
+            "SELECT s, count(*) AS n FROM T GROUP BY s", catalog
+        ).evaluate(catalog)
+        assert dict(result.rows)["a"] == 2
+
+    def test_scalar_aggregate(self, catalog):
+        result = compile_sql("SELECT count(*) AS n, sum(v) AS t FROM T",
+                             catalog).evaluate(catalog)
+        assert result.rows == [(4, 60)]
+
+    def test_aggregate_arithmetic(self, catalog):
+        result = compile_sql(
+            "SELECT sum(v) / count(v) AS avgv FROM T", catalog
+        ).evaluate(catalog)
+        assert result.rows == [(20.0,)]
+
+    def test_having(self, catalog):
+        result = compile_sql(
+            "SELECT s, count(*) AS n FROM T GROUP BY s HAVING count(*) > 1",
+            catalog,
+        ).evaluate(catalog)
+        assert result.rows == [("a", 2)]
+
+    def test_having_without_aggregates_rejected(self, catalog):
+        with pytest.raises(BindError):
+            compile_sql("SELECT k FROM T HAVING k > 1", catalog)
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(BindError):
+            compile_sql("SELECT k FROM T WHERE sum(v) > 1", catalog)
+
+
+class TestSubqueryBinding:
+    def test_exists_round_trip(self, catalog):
+        result = compile_sql(
+            "SELECT T.k FROM T WHERE EXISTS "
+            "(SELECT * FROM U WHERE U.k = T.k)", catalog
+        ).evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [1, 2, 2]
+
+    def test_not_in_round_trip(self, catalog):
+        result = compile_sql(
+            "SELECT U.k FROM U WHERE U.k NOT IN (SELECT T.k FROM T)",
+            catalog,
+        ).evaluate(catalog)
+        assert result.rows == [(9,)]
+
+    def test_quantified_binding(self, catalog):
+        plan = compile_sql(
+            "SELECT * FROM U WHERE w < ALL (SELECT v FROM T WHERE T.k = U.k)",
+            catalog,
+        )
+        assert isinstance(plan.predicate, QuantifiedComparison)
+
+    def test_scalar_subquery_binding(self, catalog):
+        plan = compile_sql(
+            "SELECT k FROM T WHERE v > (SELECT avg(w) FROM U)", catalog
+        )
+        predicate = plan.child.predicate
+        assert isinstance(predicate, ScalarComparison)
+        assert predicate.subquery.aggregate is not None
+
+    def test_correlated_scalar_result(self, catalog):
+        result = compile_sql(
+            "SELECT T.k FROM T WHERE T.v > (SELECT sum(U.w) FROM U "
+            "WHERE U.k = T.k)", catalog
+        ).evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [1, 2, 2]
+
+    def test_multi_item_subquery_rejected(self, catalog):
+        with pytest.raises(BindError):
+            compile_sql(
+                "SELECT k FROM T WHERE v IN (SELECT k, w FROM U)", catalog
+            )
+
+    def test_group_by_in_subquery_rejected(self, catalog):
+        with pytest.raises(BindError):
+            compile_sql(
+                "SELECT k FROM T WHERE v IN "
+                "(SELECT sum(w) FROM U GROUP BY k)", catalog
+            )
+
+    def test_order_by_in_subquery_rejected(self, catalog):
+        with pytest.raises(BindError):
+            compile_sql(
+                "SELECT k FROM T WHERE v IN (SELECT w FROM U ORDER BY w)",
+                catalog,
+            )
+
+
+class TestHavingSubqueries:
+    def test_having_scalar_subquery(self, catalog):
+        sql = ("SELECT s, sum(v) AS total FROM T GROUP BY s "
+               "HAVING sum(v) > (SELECT avg(w) FROM U)")
+        result = compile_sql(sql, catalog).evaluate(catalog)
+        # group sums: a -> 40, b -> 20, c -> NULL; avg(w) = 6.
+        assert dict(result.rows) == {"a": 40, "b": 20}
+
+    def test_having_subquery_strategies_agree(self, catalog):
+        from repro.engine import execute
+
+        sql = ("SELECT s, count(*) AS n FROM T GROUP BY s "
+               "HAVING count(*) >= ALL (SELECT k FROM U WHERE k < 3)")
+        plan = compile_sql(sql, catalog)
+        reference = execute(plan, catalog, "naive")
+        for strategy in ("gmdj", "gmdj_optimized"):
+            assert reference.bag_equal(execute(plan, catalog, strategy))
+
+    def test_having_in_subquery(self, catalog):
+        sql = ("SELECT s, count(*) AS n FROM T GROUP BY s "
+               "HAVING count(*) IN (SELECT k FROM U)")
+        result = compile_sql(sql, catalog).evaluate(catalog)
+        assert dict(result.rows) == {"a": 2, "b": 1, "c": 1}
+
+    def test_having_exists_uncorrelated(self, catalog):
+        sql = ("SELECT s FROM T GROUP BY s "
+               "HAVING EXISTS (SELECT * FROM U WHERE U.k > 5)")
+        result = compile_sql(sql, catalog).evaluate(catalog)
+        assert len(result) == 3  # U has k=9, so every group passes

@@ -1,0 +1,127 @@
+"""Tests for compound SELECTs (UNION/EXCEPT/INTERSECT), LIMIT/OFFSET,
+and the Intersect/Limit operators."""
+
+import pytest
+
+from repro.algebra.expressions import col, lit
+from repro.algebra.operators import Intersect, Limit, ScanTable
+from repro.errors import PlanError, SQLSyntaxError
+from repro.sql import compile_sql, parse_sql
+from repro.sql.ast_nodes import CompoundSelect
+from repro.storage import Catalog, DataType, Relation
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog()
+    cat.create_table("T", Relation.from_columns(
+        [("k", DataType.INTEGER)], [(1,), (1,), (2,), (3,)],
+    ))
+    cat.create_table("U", Relation.from_columns(
+        [("k", DataType.INTEGER)], [(1,), (3,), (3,), (4,)],
+    ))
+    return cat
+
+
+class TestOperators:
+    def test_intersect_all_min_multiplicity(self, catalog):
+        node = Intersect(ScanTable("T", "t"), ScanTable("U", "u"))
+        result = node.evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [1, 3]
+
+    def test_intersect_distinct(self, catalog):
+        node = Intersect(ScanTable("T", "t"), ScanTable("U", "u"),
+                         distinct=True)
+        assert sorted(r[0] for r in node.evaluate(catalog).rows) == [1, 3]
+
+    def test_limit(self, catalog):
+        node = Limit(ScanTable("T", "t"), 2)
+        assert len(node.evaluate(catalog)) == 2
+
+    def test_limit_with_offset(self, catalog):
+        node = Limit(ScanTable("T", "t"), 2, offset=3)
+        assert [row[0] for row in node.evaluate(catalog).rows] == [3]
+
+    def test_negative_limit_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            Limit(ScanTable("T", "t"), -1)
+
+
+class TestParsing:
+    def test_union_parses_to_compound(self):
+        statement = parse_sql("SELECT k FROM T UNION SELECT k FROM U")
+        assert isinstance(statement, CompoundSelect)
+        assert statement.operator == "union" and not statement.all
+
+    def test_union_all(self):
+        statement = parse_sql("SELECT k FROM T UNION ALL SELECT k FROM U")
+        assert statement.all
+
+    def test_left_associative_chain(self):
+        statement = parse_sql(
+            "SELECT k FROM T UNION SELECT k FROM U EXCEPT SELECT k FROM T"
+        )
+        assert statement.operator == "except"
+        assert isinstance(statement.left, CompoundSelect)
+
+    def test_limit_clause(self):
+        statement = parse_sql("SELECT k FROM T LIMIT 5 OFFSET 2")
+        assert statement.limit == 5 and statement.offset == 2
+
+    def test_limit_requires_number(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT k FROM T LIMIT many")
+
+
+class TestExecution:
+    def test_union_distinct(self, catalog):
+        result = compile_sql("SELECT k FROM T UNION SELECT k FROM U",
+                             catalog).evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [1, 2, 3, 4]
+
+    def test_union_all_keeps_duplicates(self, catalog):
+        result = compile_sql("SELECT k FROM T UNION ALL SELECT k FROM U",
+                             catalog).evaluate(catalog)
+        assert len(result) == 8
+
+    def test_except_distinct_is_set_difference(self, catalog):
+        result = compile_sql("SELECT k FROM T EXCEPT SELECT k FROM U",
+                             catalog).evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [2]
+
+    def test_except_all_is_bag_difference(self, catalog):
+        result = compile_sql("SELECT k FROM T EXCEPT ALL SELECT k FROM U",
+                             catalog).evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [1, 2]
+
+    def test_intersect(self, catalog):
+        result = compile_sql("SELECT k FROM T INTERSECT SELECT k FROM U",
+                             catalog).evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [1, 3]
+
+    def test_limit_execution(self, catalog):
+        result = compile_sql("SELECT k FROM T ORDER BY k DESC LIMIT 2",
+                             catalog).evaluate(catalog)
+        assert [row[0] for row in result.rows] == [3, 2]
+
+    def test_compound_with_subqueries(self, catalog):
+        sql = (
+            "SELECT t.k FROM T t WHERE EXISTS "
+            "(SELECT * FROM U u WHERE u.k = t.k) "
+            "UNION SELECT u.k FROM U u WHERE u.k NOT IN (SELECT k FROM T)"
+        )
+        result = compile_sql(sql, catalog).evaluate(catalog)
+        assert sorted(row[0] for row in result.rows) == [1, 3, 4]
+
+    def test_compound_through_strategies(self, catalog):
+        from repro.engine import execute
+
+        sql = (
+            "SELECT t.k FROM T t WHERE EXISTS "
+            "(SELECT * FROM U u WHERE u.k = t.k) "
+            "EXCEPT SELECT u.k FROM U u WHERE u.k > 2"
+        )
+        plan = compile_sql(sql, catalog)
+        reference = execute(plan, catalog, "naive")
+        for strategy in ("native", "gmdj", "gmdj_optimized"):
+            assert reference.bag_equal(execute(plan, catalog, strategy))

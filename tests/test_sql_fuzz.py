@@ -1,0 +1,87 @@
+"""Robustness fuzzing of the SQL frontend.
+
+The parser/lexer must reject malformed input with SQLSyntaxError — never
+crash with an internal exception — and valid generated queries must bind
+and evaluate without internal errors.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_sql
+from repro.storage import Catalog, DataType, Relation
+
+SETTINGS = settings(max_examples=200, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+_catalog = Catalog()
+_catalog.create_table("T", Relation.from_columns(
+    [("a", DataType.INTEGER), ("b", DataType.INTEGER)],
+    [(1, 2), (3, 4), (None, 5)],
+))
+_catalog.create_table("U", Relation.from_columns(
+    [("a", DataType.INTEGER)], [(1,), (3,)],
+))
+
+
+class TestGarbageInput:
+    @SETTINGS
+    @given(text=st.text(max_size=80))
+    def test_lexer_never_crashes_unexpectedly(self, text):
+        try:
+            tokenize(text)
+        except ReproError:
+            pass  # SQLSyntaxError is the contract
+
+    @SETTINGS
+    @given(text=st.text(
+        alphabet=st.sampled_from(list("SELECTFROMWHERE()*,.<>=' abt01")),
+        max_size=60,
+    ))
+    def test_parser_never_crashes_unexpectedly(self, text):
+        try:
+            parse_sql(text)
+        except ReproError:
+            pass
+        except RecursionError:
+            pass  # pathological nesting depth is acceptable to refuse
+
+
+@st.composite
+def valid_queries(draw):
+    column = draw(st.sampled_from(["a", "b", "T.a", "T.b"]))
+    value = draw(st.integers(-5, 5))
+    op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+    shape = draw(st.sampled_from(["plain", "exists", "in", "scalar",
+                                  "compound"]))
+    if shape == "plain":
+        return f"SELECT {column} FROM T WHERE {column} {op} {value}"
+    if shape == "exists":
+        return (f"SELECT {column} FROM T WHERE EXISTS "
+                f"(SELECT * FROM U WHERE U.a {op} T.a)")
+    if shape == "in":
+        negated = draw(st.sampled_from(["", "NOT "]))
+        return (f"SELECT {column} FROM T WHERE T.a {negated}IN "
+                f"(SELECT a FROM U)")
+    if shape == "scalar":
+        func = draw(st.sampled_from(["count(*)", "min(a)", "max(a)"]))
+        return (f"SELECT {column} FROM T WHERE T.a {op} "
+                f"(SELECT {func} FROM U)")
+    return (f"SELECT a FROM T UNION SELECT a FROM U "
+            f"EXCEPT SELECT a FROM U WHERE a {op} {value}")
+
+
+class TestGeneratedQueries:
+    @SETTINGS
+    @given(sql=valid_queries())
+    def test_valid_queries_execute_under_all_strategies(self, sql):
+        from repro.engine import execute
+        from repro.sql import compile_sql
+
+        plan = compile_sql(sql, _catalog)
+        reference = execute(plan, _catalog, "naive")
+        for strategy in ("native", "gmdj", "gmdj_optimized"):
+            assert reference.bag_equal(execute(plan, _catalog, strategy)), (
+                sql, strategy,
+            )

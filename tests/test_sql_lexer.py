@@ -1,0 +1,84 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def texts(text):
+    return [token.text for token in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        assert texts("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        assert texts("Flow customer_Name") == ["Flow", "customer_Name"]
+
+    def test_eof_token_appended(self):
+        assert tokenize("x")[-1].kind == "EOF"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].text == "42"
+        assert tokens[1].text == "3.14"
+
+    def test_qualified_reference_is_three_tokens(self):
+        assert texts("t.col") == ["t", ".", "col"]
+
+
+class TestStrings:
+    def test_string_literal(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind == "STRING"
+        assert token.text == "hello"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert texts("a <= b <> c >= d") == ["a", "<=", "b", "<>", "c", ">=", "d"]
+
+    def test_bang_equals_normalized(self):
+        assert "<>" in texts("a != b")
+
+    def test_arithmetic_symbols(self):
+        assert texts("( a + b ) * c / d - e") == [
+            "(", "a", "+", "b", ")", "*", "c", "/", "d", "-", "e"
+        ]
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a -- a comment\nb") == ["a", "b"]
+
+    def test_comment_at_end(self):
+        assert texts("a -- trailing") == ["a"]
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError) as info:
+            tokenize("a @ b")
+        assert info.value.position == 2
+
+    def test_is_keyword_helper(self):
+        token = Token("KEYWORD", "SELECT", 0)
+        assert token.is_keyword("SELECT")
+        assert not token.is_keyword("FROM")
+
+    def test_is_op_helper(self):
+        token = Token("OP", "(", 0)
+        assert token.is_op("(")

@@ -1,0 +1,97 @@
+"""Tests for scalar subqueries in the SELECT list (APPLY-based)."""
+
+import pytest
+
+from repro.algebra.apply_op import Apply
+from repro.algebra.operators import Project
+from repro.engine import Database, execute
+from repro.errors import BindError
+from repro.gmdj import GMDJ
+from repro.sql import compile_sql
+from repro.storage import DataType
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.create_table(
+        "customer", [("ck", DataType.INTEGER), ("seg", DataType.STRING)],
+        [(1, "a"), (2, "a"), (3, "b")],
+    )
+    database.create_table(
+        "orders", [("ck", DataType.INTEGER), ("price", DataType.INTEGER)],
+        [(1, 10), (1, 30), (2, 5), (9, 99)],
+    )
+    return database
+
+
+class TestBinding:
+    def test_aggregate_select_subquery_binds_to_apply(self, db):
+        plan = compile_sql(
+            "SELECT c.ck, (SELECT count(*) FROM orders o WHERE o.ck = c.ck) "
+            "AS n FROM customer c", db.catalog,
+        )
+        assert isinstance(plan, Project)
+        assert isinstance(plan.child, Apply)
+        assert plan.child.mode == "aggregate"
+
+    def test_mixing_with_group_by_rejected(self, db):
+        with pytest.raises(BindError):
+            compile_sql(
+                "SELECT seg, (SELECT count(*) FROM orders o) FROM customer "
+                "GROUP BY seg", db.catalog,
+            )
+
+    def test_subquery_in_where_arithmetic_rejected(self, db):
+        with pytest.raises(BindError):
+            compile_sql(
+                "SELECT ck FROM customer c WHERE ck > "
+                "(SELECT max(price) FROM orders) + 1", db.catalog,
+            )
+
+
+class TestExecution:
+    SQL = ("SELECT c.ck, (SELECT count(*) FROM orders o WHERE o.ck = c.ck) "
+           "AS n, (SELECT sum(o2.price) FROM orders o2 WHERE o2.ck = c.ck) "
+           "AS total FROM customer c")
+
+    def test_values(self, db):
+        result = db.execute_sql(self.SQL, "naive")
+        rows = {row[0]: (row[1], row[2]) for row in result.rows}
+        assert rows == {1: (2, 40), 2: (1, 5), 3: (0, None)}
+
+    @pytest.mark.parametrize("strategy", ["naive", "native", "gmdj",
+                                          "gmdj_optimized", "unnest_join"])
+    def test_strategies_agree(self, db, strategy):
+        expected = db.execute_sql(self.SQL, "naive")
+        assert expected.bag_equal(db.execute_sql(self.SQL, strategy))
+
+    def test_gmdj_strategy_rewrites_apply(self, db):
+        from repro.unnesting import subquery_to_gmdj
+
+        plan = compile_sql(self.SQL, db.catalog)
+        translated = subquery_to_gmdj(plan, db.catalog)
+
+        def contains(node, kind):
+            if isinstance(node, kind):
+                return True
+            return any(
+                contains(child, kind)
+                for child in getattr(node, "children", lambda: ())()
+            )
+
+        assert contains(translated, GMDJ)
+        assert not contains(translated, Apply)
+
+    def test_scalar_mode_select_subquery(self, db):
+        sql = ("SELECT c.ck, (SELECT o.price FROM orders o "
+               "WHERE o.ck = c.ck AND o.price > 20) AS big FROM customer c")
+        result = db.execute_sql(sql, "naive")
+        rows = {row[0]: row[1] for row in result.rows}
+        assert rows == {1: 30, 2: None, 3: None}
+
+    def test_uncorrelated_select_subquery(self, db):
+        sql = ("SELECT c.ck, (SELECT max(o.price) FROM orders o) AS top "
+               "FROM customer c")
+        result = db.execute_sql(sql, "gmdj_optimized")
+        assert all(row[1] == 99 for row in result.rows)

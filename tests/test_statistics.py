@@ -1,0 +1,125 @@
+"""Tests for table statistics and catalog persistence."""
+
+import pytest
+
+from repro.engine.statistics import analyze_catalog, analyze_table
+from repro.storage import (
+    Catalog,
+    DataType,
+    Relation,
+    load_catalog,
+    save_catalog,
+)
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation.from_columns(
+        [("k", DataType.INTEGER), ("v", DataType.STRING)],
+        [(1, "a"), (1, "b"), (2, "a"), (None, None), (3, "a")],
+    )
+
+
+class TestAnalyzeTable:
+    def test_row_count(self, relation):
+        assert analyze_table(relation).row_count == 5
+
+    def test_distinct_counts(self, relation):
+        stats = analyze_table(relation)
+        assert stats.columns["k"].distinct_count == 3
+        assert stats.columns["v"].distinct_count == 2
+
+    def test_null_counts(self, relation):
+        stats = analyze_table(relation)
+        assert stats.columns["k"].null_count == 1
+
+    def test_min_max(self, relation):
+        stats = analyze_table(relation)
+        assert stats.columns["k"].minimum == 1
+        assert stats.columns["k"].maximum == 3
+
+    def test_matches_per_key(self, relation):
+        stats = analyze_table(relation)
+        assert stats.matches_per_key("k") == pytest.approx(4 / 3)
+
+    def test_matches_per_key_unknown_column(self, relation):
+        stats = analyze_table(relation)
+        assert stats.matches_per_key("nope") == 5.0
+
+    def test_equality_selectivity(self, relation):
+        stats = analyze_table(relation)
+        assert stats.columns["k"].selectivity_of_equality(5) == pytest.approx(
+            1 / 3
+        )
+
+    def test_empty_table(self):
+        empty = Relation.from_columns([("x", DataType.INTEGER)], [])
+        stats = analyze_table(empty)
+        assert stats.row_count == 0
+        assert stats.columns["x"].distinct_count == 0
+        assert stats.columns["x"].selectivity_of_equality(0) == 0.0
+
+
+class TestAnalyzeCatalog:
+    def test_all_tables_profiled(self, relation):
+        catalog = Catalog()
+        catalog.create_table("A", relation)
+        catalog.create_table("B", Relation.from_columns(
+            [("x", DataType.INTEGER)], [(1,)],
+        ))
+        stats = analyze_catalog(catalog)
+        assert set(stats) == {"A", "B"}
+        assert stats["B"].row_count == 1
+
+    def test_statistics_sharpen_cost_model(self):
+        # A skewed correlation column (few distinct values) makes native
+        # probes expensive; statistics must surface that.
+        from repro.algebra.expressions import col
+        from repro.algebra.nested import Exists, NestedSelect, Subquery
+        from repro.algebra.operators import ScanTable
+        from repro.engine.costmodel import estimate_costs
+
+        catalog = Catalog()
+        catalog.create_table("B", Relation.from_columns(
+            [("K", DataType.INTEGER)], [(i,) for i in range(10)],
+        ))
+        catalog.create_table("R", Relation.from_columns(
+            [("K", DataType.INTEGER)], [(i % 2,) for i in range(1000)],
+        ))
+        catalog.create_hash_index("R", ["K"])
+        query = NestedSelect(
+            ScanTable("B", "b"),
+            Exists(Subquery(ScanTable("R", "r"), col("r.K") == col("b.K"))),
+        )
+        without = estimate_costs(query, catalog)
+        stats = analyze_catalog(catalog)
+        with_stats = estimate_costs(query, catalog, statistics=stats)
+        assert with_stats.costs["native"] > without.costs["native"]
+
+
+class TestCatalogPersistence:
+    def test_round_trip(self, relation, tmp_path):
+        catalog = Catalog()
+        catalog.create_table("A", relation)
+        catalog.create_table("B", Relation.from_columns(
+            [("x", DataType.FLOAT)], [(1.5,), (None,)],
+        ))
+        save_catalog(catalog, tmp_path / "db")
+        loaded = load_catalog(tmp_path / "db")
+        assert loaded.table_names() == ["A", "B"]
+        assert loaded.table("A").bag_equal(catalog.table("A"))
+        assert loaded.table("B").bag_equal(catalog.table("B"))
+
+    def test_save_returns_paths(self, relation, tmp_path):
+        catalog = Catalog()
+        catalog.create_table("A", relation)
+        written = save_catalog(catalog, tmp_path)
+        assert [p.name for p in written] == ["A.csv"]
+
+    def test_indexes_not_persisted(self, relation, tmp_path):
+        catalog = Catalog()
+        catalog.create_table("A", relation)
+        catalog.create_hash_index("A", ["k"])
+        save_catalog(catalog, tmp_path)
+        loaded = load_catalog(tmp_path)
+        assert loaded.hash_index("A", ["k"]) is None

@@ -1,0 +1,311 @@
+"""Tests for Algorithm SubqueryToGMDJ: translation ≡ nested semantics.
+
+Every test builds a nested query, evaluates it with the tuple-iteration
+reference semantics, translates it to a GMDJ plan (optimized and not),
+and requires identical bags.
+"""
+
+import pytest
+
+from repro.algebra.aggregates import agg
+from repro.algebra.expressions import Not, TRUE, col, lit
+from repro.algebra.nested import (
+    Exists,
+    NestedSelect,
+    QuantifiedComparison,
+    ScalarComparison,
+    Subquery,
+    in_predicate,
+    not_in_predicate,
+)
+from repro.algebra.operators import Project, ScanTable, Select
+from repro.errors import TranslationError
+from repro.gmdj import GMDJ
+from repro.storage import Catalog, DataType, Relation
+from repro.unnesting import subquery_to_gmdj
+
+
+def assert_translates(query, catalog):
+    """Reference semantics == plain translation == optimized translation."""
+    expected = query.evaluate(catalog)
+    plain = subquery_to_gmdj(query, catalog).evaluate(catalog)
+    optimized = subquery_to_gmdj(query, catalog, optimize=True).evaluate(catalog)
+    assert expected.bag_equal(plain), "plain GMDJ translation diverges"
+    assert expected.bag_equal(optimized), "optimized GMDJ translation diverges"
+    return expected
+
+
+def b_scan():
+    return ScanTable("B", "b")
+
+
+def r_sub(predicate=None, item=None, aggregate=None, alias="r"):
+    default = col(f"{alias}.K") == col("b.K")
+    return Subquery(ScanTable("R", alias),
+                    predicate if predicate is not None else default,
+                    item=item, aggregate=aggregate)
+
+
+class TestTable1Forms:
+    def test_exists(self, kv_catalog):
+        assert_translates(NestedSelect(b_scan(), Exists(r_sub())), kv_catalog)
+
+    def test_not_exists(self, kv_catalog):
+        assert_translates(
+            NestedSelect(b_scan(), Exists(r_sub(), negated=True)), kv_catalog
+        )
+
+    def test_some(self, kv_catalog):
+        query = NestedSelect(
+            b_scan(),
+            QuantifiedComparison(">", "some", col("b.X"), r_sub(item=col("r.Y"))),
+        )
+        assert_translates(query, kv_catalog)
+
+    def test_all(self, kv_catalog):
+        query = NestedSelect(
+            b_scan(),
+            QuantifiedComparison(">", "all", col("b.X"), r_sub(item=col("r.Y"))),
+        )
+        assert_translates(query, kv_catalog)
+
+    def test_in(self, kv_catalog):
+        query = NestedSelect(
+            b_scan(),
+            in_predicate(col("b.X"), Subquery(ScanTable("R", "r"), TRUE,
+                                              item=col("r.Y"))),
+        )
+        assert_translates(query, kv_catalog)
+
+    def test_not_in(self, kv_catalog):
+        query = NestedSelect(
+            b_scan(),
+            not_in_predicate(col("b.X"), Subquery(ScanTable("R", "r"), TRUE,
+                                                   item=col("r.Y"))),
+        )
+        assert_translates(query, kv_catalog)
+
+    def test_aggregate_comparison(self, kv_catalog):
+        query = NestedSelect(
+            b_scan(),
+            ScalarComparison(">", col("b.X"),
+                             r_sub(aggregate=agg("sum", col("r.Y"), "s"))),
+        )
+        assert_translates(query, kv_catalog)
+
+    def test_count_comparison(self, kv_catalog):
+        query = NestedSelect(
+            b_scan(),
+            ScalarComparison("<=", lit(1),
+                             r_sub(aggregate=agg("count", None, "c"))),
+        )
+        assert_translates(query, kv_catalog)
+
+    def test_output_schema_matches_source(self, kv_catalog):
+        query = NestedSelect(b_scan(), Exists(r_sub()))
+        plan = subquery_to_gmdj(query, kv_catalog)
+        assert plan.schema(kv_catalog).names == ("b.K", "b.X")
+
+
+class TestFootnote2:
+    """ALL is not MAX: the paper's footnote 2, verified end to end."""
+
+    @pytest.fixture
+    def catalog(self):
+        cat = Catalog()
+        cat.create_table("B", Relation.from_columns(
+            [("K", DataType.INTEGER), ("X", DataType.INTEGER)],
+            [(0, 5), (1, 5)],
+        ))
+        # K=0 correlates to an empty range; K=1 to a NULL Y.
+        cat.create_table("R", Relation.from_columns(
+            [("K", DataType.INTEGER), ("Y", DataType.INTEGER)],
+            [(1, None)],
+        ))
+        return cat
+
+    def test_all_true_on_empty_range(self, catalog):
+        query = NestedSelect(
+            b_scan(),
+            QuantifiedComparison(">", "all", col("b.X"), r_sub(item=col("r.Y"))),
+        )
+        result = assert_translates(query, catalog)
+        kept = {row[0] for row in result.rows}
+        assert 0 in kept  # ALL over empty range is TRUE
+        assert 1 not in kept  # 5 > NULL is UNKNOWN
+
+    def test_max_rewrite_differs(self, catalog):
+        # x > MAX(range) drops the empty-range tuple — proving the naive
+        # aggregate rewrite is NOT equivalent to ALL.
+        max_query = NestedSelect(
+            b_scan(),
+            ScalarComparison(">", col("b.X"),
+                             r_sub(aggregate=agg("max", col("r.Y"), "m"))),
+        )
+        result = assert_translates(max_query, catalog)
+        assert {row[0] for row in result.rows} == set()
+
+
+class TestCompositePredicates:
+    def test_conjunction_of_three_subqueries(self, kv_catalog):
+        predicate = (
+            Exists(r_sub(alias="r1"))
+            & Exists(r_sub((col("r2.K") == col("b.K")) & (col("r2.Y") > lit(5)),
+                           alias="r2"), negated=True)
+            & (col("b.X") > lit(0))
+        )
+        assert_translates(NestedSelect(b_scan(), predicate), kv_catalog)
+
+    def test_disjunction_of_subqueries(self, kv_catalog):
+        predicate = Exists(r_sub(alias="r1")) | (col("b.X") > lit(8))
+        assert_translates(NestedSelect(b_scan(), predicate), kv_catalog)
+
+    def test_negated_conjunction(self, kv_catalog):
+        predicate = Not(Exists(r_sub()) & (col("b.X") > lit(3)))
+        assert_translates(NestedSelect(b_scan(), predicate), kv_catalog)
+
+    def test_subquery_under_or_with_not(self, kv_catalog):
+        predicate = Not(Exists(r_sub())) | (col("b.X") < lit(2))
+        assert_translates(NestedSelect(b_scan(), predicate), kv_catalog)
+
+    def test_coalesced_plan_has_single_gmdj(self, kv_catalog):
+        predicate = Exists(r_sub(alias="r1")) & Exists(
+            r_sub((col("r2.K") == col("b.K")) & (col("r2.Y") > lit(3)),
+                  alias="r2"), negated=True)
+        plan = subquery_to_gmdj(NestedSelect(b_scan(), predicate), kv_catalog,
+                                optimize=True, completion=False)
+
+        def gmdj_count(node):
+            total = isinstance(node, GMDJ)
+            for child in getattr(node, "children", lambda: ())():
+                total += gmdj_count(child)
+            return total
+
+        assert gmdj_count(plan) == 1
+
+
+class TestLinearNesting:
+    def test_depth_two_neighboring(self, kv_catalog):
+        # EXISTS (R1 where R1.K = b.K and EXISTS (R2 where R2.K = R1.K))
+        inner = Exists(Subquery(ScanTable("R", "r2"),
+                                col("r2.K") == col("r1.K")))
+        outer = Subquery(ScanTable("R", "r1"),
+                         (col("r1.K") == col("b.K")) & inner)
+        assert_translates(NestedSelect(b_scan(), Exists(outer)), kv_catalog)
+
+    def test_depth_two_not_exists_chain(self, kv_catalog):
+        inner = Exists(Subquery(ScanTable("R", "r2"),
+                                (col("r2.K") == col("r1.K"))
+                                & (col("r2.Y") > lit(5))), negated=True)
+        outer = Subquery(ScanTable("R", "r1"),
+                         (col("r1.K") == col("b.K")) & inner)
+        assert_translates(
+            NestedSelect(b_scan(), Exists(outer, negated=True)), kv_catalog
+        )
+
+    def test_depth_three(self, kv_catalog):
+        level3 = Exists(Subquery(ScanTable("R", "r3"),
+                                 col("r3.K") == col("r2.K")))
+        level2 = Exists(Subquery(ScanTable("R", "r2"),
+                                 (col("r2.K") == col("r1.K")) & level3))
+        level1 = Exists(Subquery(ScanTable("R", "r1"),
+                                 (col("r1.K") == col("b.K")) & level2))
+        assert_translates(NestedSelect(b_scan(), level1), kv_catalog)
+
+    def test_quantifier_inside_exists(self, kv_catalog):
+        inner = QuantifiedComparison(
+            ">", "all", col("r1.Y"),
+            Subquery(ScanTable("R", "r2"), col("r2.K") == col("r1.K"),
+                     item=col("r2.Y")),
+        )
+        outer = Subquery(ScanTable("R", "r1"),
+                         (col("r1.K") == col("b.K")) & inner)
+        assert_translates(NestedSelect(b_scan(), Exists(outer)), kv_catalog)
+
+
+class TestNonNeighboring:
+    @pytest.fixture
+    def catalog(self):
+        cat = Catalog()
+        cat.create_table("U", Relation.from_columns(
+            [("uid", DataType.INTEGER), ("ip", DataType.STRING)],
+            [(1, "a"), (2, "b"), (3, "c")],
+        ))
+        cat.create_table("H", Relation.from_columns(
+            [("hid", DataType.INTEGER)], [(10,), (11,)],
+        ))
+        cat.create_table("F", Relation.from_columns(
+            [("hid", DataType.INTEGER), ("ip", DataType.STRING)],
+            [(10, "a"), (11, "a"), (10, "b"), (11, "c")],
+        ))
+        return cat
+
+    def test_example_3_3_shape(self, catalog):
+        """Users with traffic in every hour (double NOT EXISTS)."""
+        inner = Exists(Subquery(ScanTable("F", "f"),
+                                (col("f.hid") == col("h.hid"))
+                                & (col("f.ip") == col("u.ip"))),  # 2 levels out
+                       negated=True)
+        mid = Exists(Subquery(ScanTable("H", "h"), TRUE & inner), negated=True)
+        query = NestedSelect(ScanTable("U", "u"), mid)
+        result = assert_translates(query, catalog)
+        assert {row[1] for row in result.rows} == {"a"}
+
+    def test_non_neighboring_some(self, catalog):
+        inner = QuantifiedComparison(
+            "=", "some", col("u.uid"),
+            Subquery(ScanTable("F", "f"), col("f.hid") == col("h.hid"),
+                     item=col("f.hid")),
+        )
+        # u.uid never equals an hid (1-3 vs 10-11) so nothing survives,
+        # but translation must agree with the reference, not crash.
+        mid = Exists(Subquery(ScanTable("H", "h"), inner))
+        assert_translates(NestedSelect(ScanTable("U", "u"), mid), catalog)
+
+    def test_depth_three_non_neighboring(self, catalog):
+        # F-level references u.ip across *two* intermediate scopes.
+        level3 = Exists(Subquery(ScanTable("F", "f2"),
+                                 (col("f2.ip") == col("u.ip"))
+                                 & (col("f2.hid") == col("f.hid"))))
+        level2 = Exists(Subquery(ScanTable("F", "f"),
+                                 (col("f.hid") == col("h.hid")) & level3))
+        level1 = Exists(Subquery(ScanTable("H", "h"), level2), negated=True)
+        assert_translates(NestedSelect(ScanTable("U", "u"), level1), catalog)
+
+    def test_unresolvable_reference_raises(self, catalog):
+        bad = Exists(Subquery(ScanTable("F", "f"),
+                              col("f.ip") == col("nosuch.ref")))
+        with pytest.raises(TranslationError):
+            subquery_to_gmdj(NestedSelect(ScanTable("U", "u"), bad), catalog)
+
+
+class TestStructural:
+    def test_no_subqueries_becomes_plain_select(self, kv_catalog):
+        query = NestedSelect(b_scan(), col("b.X") > lit(2))
+        plan = subquery_to_gmdj(query, kv_catalog)
+        assert isinstance(plan, Select)
+        assert query.evaluate(kv_catalog).bag_equal(plan.evaluate(kv_catalog))
+
+    def test_nested_select_inside_project(self, kv_catalog):
+        query = Project(NestedSelect(b_scan(), Exists(r_sub())), ["b.K"])
+        plan = subquery_to_gmdj(query, kv_catalog)
+        assert query.evaluate(kv_catalog).bag_equal(plan.evaluate(kv_catalog))
+
+    def test_nested_base_values_table(self, kv_catalog):
+        # Example 2.2 shape: the base-values table is itself nested.
+        base = NestedSelect(b_scan(), Exists(r_sub(alias="ri")))
+        query = NestedSelect(base, Exists(r_sub(alias="ro"), negated=True))
+        assert_translates(query, kv_catalog)
+
+    def test_duplicates_in_base_preserved(self):
+        catalog = Catalog()
+        catalog.create_table("B", Relation.from_columns(
+            [("K", DataType.INTEGER), ("X", DataType.INTEGER)],
+            [(1, 1), (1, 1), (2, 2)],
+        ))
+        catalog.create_table("R", Relation.from_columns(
+            [("K", DataType.INTEGER), ("Y", DataType.INTEGER)], [(1, 9)],
+        ))
+        query = NestedSelect(b_scan(), Exists(r_sub()))
+        result = assert_translates(query, catalog)
+        assert result.as_multiset()[(1, 1)] == 2

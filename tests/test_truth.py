@@ -1,0 +1,54 @@
+"""Exhaustive truth tables for SQL three-valued logic."""
+
+import pytest
+
+from repro.algebra.truth import Truth
+
+T, F, U = Truth.TRUE, Truth.FALSE, Truth.UNKNOWN
+
+
+class TestAnd:
+    @pytest.mark.parametrize("a,b,expected", [
+        (T, T, T), (T, F, F), (T, U, U),
+        (F, T, F), (F, F, F), (F, U, F),
+        (U, T, U), (U, F, F), (U, U, U),
+    ])
+    def test_and_table(self, a, b, expected):
+        assert a.and_(b) is expected
+
+
+class TestOr:
+    @pytest.mark.parametrize("a,b,expected", [
+        (T, T, T), (T, F, T), (T, U, T),
+        (F, T, T), (F, F, F), (F, U, U),
+        (U, T, T), (U, F, U), (U, U, U),
+    ])
+    def test_or_table(self, a, b, expected):
+        assert a.or_(b) is expected
+
+
+class TestNot:
+    @pytest.mark.parametrize("a,expected", [(T, F), (F, T), (U, U)])
+    def test_not_table(self, a, expected):
+        assert a.not_() is expected
+
+
+class TestTruncation:
+    def test_only_true_is_true(self):
+        assert T.is_true
+        assert not F.is_true
+        assert not U.is_true  # where-clause truncation discards UNKNOWN
+
+    def test_of(self):
+        assert Truth.of(True) is T
+        assert Truth.of(False) is F
+
+    def test_de_morgan_holds_in_3vl(self):
+        for a in (T, F, U):
+            for b in (T, F, U):
+                assert a.and_(b).not_() is a.not_().or_(b.not_())
+                assert a.or_(b).not_() is a.not_().and_(b.not_())
+
+    def test_double_negation(self):
+        for a in (T, F, U):
+            assert a.not_().not_() is a

@@ -1,0 +1,124 @@
+"""Unit tests for repro.storage.types."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.storage.types import DataType, NULL, common_type, comparable
+
+
+class TestValidate:
+    def test_integer_accepts_int(self):
+        assert DataType.INTEGER.validate(42) == 42
+
+    def test_integer_rejects_float(self):
+        with pytest.raises(TypeCheckError):
+            DataType.INTEGER.validate(4.2)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeCheckError):
+            DataType.INTEGER.validate(True)
+
+    def test_integer_rejects_string(self):
+        with pytest.raises(TypeCheckError):
+            DataType.INTEGER.validate("42")
+
+    def test_float_accepts_float(self):
+        assert DataType.FLOAT.validate(4.5) == 4.5
+
+    def test_float_widens_int(self):
+        value = DataType.FLOAT.validate(4)
+        assert value == 4.0
+        assert isinstance(value, float)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeCheckError):
+            DataType.FLOAT.validate(False)
+
+    def test_string_accepts_str(self):
+        assert DataType.STRING.validate("abc") == "abc"
+
+    def test_string_rejects_int(self):
+        with pytest.raises(TypeCheckError):
+            DataType.STRING.validate(1)
+
+    def test_boolean_accepts_bool(self):
+        assert DataType.BOOLEAN.validate(True) is True
+
+    def test_boolean_rejects_int(self):
+        with pytest.raises(TypeCheckError):
+            DataType.BOOLEAN.validate(1)
+
+    @pytest.mark.parametrize("dtype", list(DataType))
+    def test_null_valid_for_every_type(self, dtype):
+        assert dtype.validate(NULL) is None
+
+
+class TestParse:
+    def test_empty_string_is_null(self):
+        assert DataType.INTEGER.parse("") is None
+        assert DataType.STRING.parse("") is None
+
+    def test_parse_integer(self):
+        assert DataType.INTEGER.parse("-17") == -17
+
+    def test_parse_float(self):
+        assert DataType.FLOAT.parse("2.5") == 2.5
+
+    def test_parse_string_identity(self):
+        assert DataType.STRING.parse("hello world") == "hello world"
+
+    @pytest.mark.parametrize("text,expected", [
+        ("true", True), ("T", True), ("1", True),
+        ("false", False), ("F", False), ("0", False),
+    ])
+    def test_parse_boolean(self, text, expected):
+        assert DataType.BOOLEAN.parse(text) is expected
+
+    def test_parse_boolean_garbage(self):
+        with pytest.raises(TypeCheckError):
+            DataType.BOOLEAN.parse("maybe")
+
+
+class TestInfer:
+    def test_infer_bool_before_int(self):
+        assert DataType.infer(True) is DataType.BOOLEAN
+
+    def test_infer_int(self):
+        assert DataType.infer(3) is DataType.INTEGER
+
+    def test_infer_float(self):
+        assert DataType.infer(3.5) is DataType.FLOAT
+
+    def test_infer_string(self):
+        assert DataType.infer("x") is DataType.STRING
+
+    def test_infer_none_raises(self):
+        with pytest.raises(TypeCheckError):
+            DataType.infer(None)
+
+
+class TestTypeAlgebra:
+    def test_common_type_same(self):
+        assert common_type(DataType.STRING, DataType.STRING) is DataType.STRING
+
+    def test_common_type_numeric_widens(self):
+        assert common_type(DataType.INTEGER, DataType.FLOAT) is DataType.FLOAT
+
+    def test_common_type_incompatible(self):
+        with pytest.raises(TypeCheckError):
+            common_type(DataType.STRING, DataType.INTEGER)
+
+    def test_comparable_numeric_mix(self):
+        assert comparable(DataType.INTEGER, DataType.FLOAT)
+
+    def test_comparable_same(self):
+        assert comparable(DataType.STRING, DataType.STRING)
+
+    def test_not_comparable_string_number(self):
+        assert not comparable(DataType.STRING, DataType.FLOAT)
+
+    def test_is_numeric(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.STRING.is_numeric
+        assert not DataType.BOOLEAN.is_numeric
