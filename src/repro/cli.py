@@ -1,4 +1,4 @@
-"""Command-line interface: run subquery SQL over CSV tables.
+"""Command-line interface: run subquery SQL over CSV tables, or fuzz.
 
 Usage::
 
@@ -11,6 +11,16 @@ Every ``*.csv`` file in ``--data`` (written by
 :func:`repro.storage.save_csv`, i.e. with a typed ``name:type`` header)
 becomes a table named after the file stem.  ``--index table.attr`` adds
 hash indexes for the native/join strategies to use.
+
+The ``fuzz`` subcommand runs the differential fuzzer instead::
+
+    python -m repro fuzz --seed 42 --iterations 500
+    python -m repro fuzz --corpus tests/corpus        # replay only
+
+Failing cases are shrunk and written as JSON under ``--out`` (default
+``fuzz_failures/``); promote them into ``tests/corpus/`` to pin the
+regression.  Exit status is 0 when every engine agreed with the SQLite
+oracle on every case, 1 otherwise.
 """
 
 from __future__ import annotations
@@ -71,8 +81,104 @@ def load_data_directory(db: Database, directory: Path) -> list[str]:
     return names
 
 
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="Differential SQL fuzzing against a SQLite oracle.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; every case is derived from it (default 0)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=100,
+        help="number of (database, query) cases to generate (default 100)",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=10,
+        help="max rows per generated table (default 10)",
+    )
+    parser.add_argument(
+        "--corpus", type=Path, default=None, metavar="DIR",
+        help="replay the *.json cases in DIR instead of generating",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("fuzz_failures"), metavar="DIR",
+        help="directory for shrunk counterexample JSON "
+             "(default fuzz_failures/)",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failing cases as generated, without minimizing",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-divergence progress output",
+    )
+    return parser
+
+
+def fuzz_main(argv: list[str], out) -> int:
+    from repro.fuzz.runner import (
+        FuzzConfig,
+        load_corpus,
+        replay_case,
+        run_fuzz,
+        save_counterexample,
+    )
+
+    args = build_fuzz_parser().parse_args(argv)
+    if args.corpus is not None:
+        if not args.corpus.is_dir():
+            print(f"error: {args.corpus} is not a directory", file=sys.stderr)
+            return 2
+        cases = load_corpus(args.corpus)
+        if not cases:
+            print(f"error: no *.json cases in {args.corpus}", file=sys.stderr)
+            return 2
+        failures = 0
+        for path, data in cases:
+            outcome = replay_case(data)
+            if outcome.ok:
+                print(f"{path.name}: OK ({outcome.engines_run} engines, "
+                      f"{len(outcome.skipped)} skipped)", file=out)
+            else:
+                failures += 1
+                print(f"{path.name}: DIVERGED", file=out)
+                for divergence in outcome.divergences:
+                    print(f"  {divergence.engine}: {divergence.kind} "
+                          f"({divergence.detail})", file=out)
+        print(f"replayed {len(cases)} case(s), {failures} failing", file=out)
+        return 1 if failures else 0
+
+    try:
+        config = FuzzConfig(
+            seed=args.seed,
+            iterations=args.iterations,
+            max_rows=args.max_rows,
+            shrink=not args.no_shrink,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    log = None if args.quiet else (lambda message: print(message, file=out))
+    report = run_fuzz(config, log=log)
+    for case in report.counterexamples:
+        path = save_counterexample(args.out, case)
+        print(f"counterexample written to {path}", file=out)
+        print(f"  sql: {case.sql}", file=out)
+        for divergence in case.outcome.divergences:
+            print(f"  {divergence.engine}: {divergence.kind} "
+                  f"({divergence.detail})", file=out)
+    print(report.summary(), file=out)
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:], out)
     args = build_parser().parse_args(argv)
     db = Database()
     try:

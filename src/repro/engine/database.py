@@ -80,7 +80,7 @@ class Database:
         """Render the plan that the given strategy would execute."""
         if strategy in ("auto", "gmdj_optimized"):
             return explain_plan(subquery_to_gmdj(query, self.catalog, optimize=True))
-        if strategy == "gmdj":
+        if strategy in ("gmdj", "gmdj_chunked", "gmdj_parallel"):
             return explain_plan(subquery_to_gmdj(query, self.catalog))
         if strategy in STRATEGIES:
             return explain_plan(query)

@@ -12,6 +12,10 @@ The planner exposes the strategies the paper's experiments compare:
                     (sort-merge instead of indexed joins);
 ``gmdj``            Algorithm SubqueryToGMDJ, unoptimized;
 ``gmdj_optimized``  SubqueryToGMDJ + coalescing + completion (Section 4);
+``gmdj_chunked``    SubqueryToGMDJ with memory-bounded (base-chunked)
+                    GMDJ evaluation (Section 2.3);
+``gmdj_parallel``   SubqueryToGMDJ with partitioned detail evaluation
+                    and columnwise merge;
 ``auto``            gmdj_optimized for nested queries, plain evaluation
                     otherwise.
 """
@@ -41,6 +45,8 @@ STRATEGIES = (
     "gmdj_coalesce",
     "gmdj_completion",
     "gmdj_optimized",
+    "gmdj_chunked",
+    "gmdj_parallel",
     "cost_based",
     "auto",
 )
@@ -106,6 +112,18 @@ def make_executor(
         return lambda: subquery_to_gmdj(
             query, catalog, optimize=True
         ).evaluate(catalog)
+    if strategy == "gmdj_chunked":
+        from repro.gmdj.modes import evaluate_plan_chunked
+
+        return lambda: evaluate_plan_chunked(
+            subquery_to_gmdj(query, catalog), catalog
+        )
+    if strategy == "gmdj_parallel":
+        from repro.gmdj.modes import evaluate_plan_partitioned
+
+        return lambda: evaluate_plan_partitioned(
+            subquery_to_gmdj(query, catalog), catalog
+        )
     raise PlanError(
         f"unknown strategy {strategy!r}; choose one of {STRATEGIES}"
     )

@@ -49,6 +49,16 @@ class TranslationError(ReproError):
     """The unnesting algorithm could not translate a nested expression."""
 
 
+class ConfigurationError(ReproError, ValueError):
+    """An evaluation parameter is out of range (memory budget, partition
+    count, fuzzer knobs).
+
+    Also a :class:`ValueError` because a bad parameter is an invalid
+    argument in the plain Python sense; callers that catch either base
+    class keep working.
+    """
+
+
 class SQLSyntaxError(ReproError):
     """The SQL lexer or parser rejected the input text."""
 

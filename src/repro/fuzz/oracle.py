@@ -1,0 +1,178 @@
+"""The differential oracle: every engine vs. SQLite ground truth.
+
+A *case* is a (database, query) pair.  The oracle runs the query through
+
+* every SQL-capable planner strategy (``naive``, ``native``,
+  ``unnest_join``, ``gmdj``, ``gmdj_coalesce``, ``gmdj_completion``,
+  ``gmdj_optimized``) and
+* the chunked and partitioned GMDJ evaluation modes (with deliberately
+  tiny budgets so fragmentation actually happens on fuzz-sized data),
+
+and compares each result bag against stdlib ``sqlite3`` executing an
+independently rendered query.  Comparison is NULL-aware bag equality
+over *normalized* rows, so ``2`` and ``2.0`` agree and float noise below
+1e-9 is ignored.
+
+Baselines that legitimately cannot express a query (join unnesting on
+disjunctions or non-neighboring correlation raises
+:class:`~repro.errors.TranslationError`) are recorded as skips, never as
+divergences; any other exception *is* a divergence — the fuzzer treats
+crashes as findings.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.engine.database import Database
+from repro.errors import TranslationError
+from repro.fuzz.datagen import DatabaseSpec
+from repro.gmdj.modes import evaluate_plan_chunked, evaluate_plan_partitioned
+from repro.unnesting.translate import subquery_to_gmdj
+
+#: Planner strategies the oracle drives through the SQL frontend.
+STRATEGY_ENGINES = (
+    "naive",
+    "native",
+    "unnest_join",
+    "gmdj",
+    "gmdj_coalesce",
+    "gmdj_completion",
+    "gmdj_optimized",
+)
+
+#: Evaluation-mode engines (plain translation, fragmented evaluation).
+MODE_ENGINES = ("gmdj_chunked", "gmdj_parallel")
+
+ALL_ENGINES = STRATEGY_ENGINES + MODE_ENGINES
+
+#: Tiny fragmentation knobs: fuzz databases hold ~10 rows per table, so
+#: these force multiple chunks / partitions on nearly every case.
+FUZZ_MEMORY_TUPLES = 2
+FUZZ_PARTITIONS = 3
+
+
+@dataclass
+class Divergence:
+    """One engine disagreeing with the oracle (or blowing up)."""
+
+    engine: str
+    kind: str  # "mismatch" | "error"
+    detail: str
+    expected: list | None = None
+    actual: list | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "engine": self.engine,
+            "kind": self.kind,
+            "detail": self.detail,
+            "expected": self.expected,
+            "actual": self.actual,
+        }
+
+
+@dataclass
+class CaseOutcome:
+    """Result of one differential case across every engine."""
+
+    divergences: list[Divergence] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    engines_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def normalize_value(value):
+    """Collapse cross-engine representation differences.
+
+    Booleans become ints (SQLite has no boolean storage class), and
+    floats are quantized to 1e-9 — integral floats collapse onto their
+    int, so ``2`` vs ``2.0`` never reads as a divergence.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        quantized = round(value, 9)
+        return int(quantized) if quantized == int(quantized) else quantized
+    return value
+
+
+def normalize_rows(rows) -> Counter:
+    """Rows as a NULL-aware multiset of normalized tuples."""
+    return Counter(tuple(normalize_value(v) for v in row) for row in rows)
+
+
+def _bag_repr(bag: Counter) -> list:
+    """A JSON-friendly, deterministic rendering of a row bag."""
+    return sorted(
+        (list(row) for row in bag.elements()),
+        key=lambda row: [(v is not None, str(type(v)), v) for v in row],
+    )
+
+
+def sqlite_oracle_rows(dbspec: DatabaseSpec, sqlite_sql: str) -> Counter:
+    """Execute the SQLite rendering against an in-memory ground truth."""
+    connection = sqlite3.connect(":memory:")
+    try:
+        dbspec.to_sqlite(connection)
+        rows = connection.execute(sqlite_sql).fetchall()
+    finally:
+        connection.close()
+    return normalize_rows(rows)
+
+
+def run_differential(
+    dbspec: DatabaseSpec,
+    repro_sql: str,
+    sqlite_sql: str,
+    engines=ALL_ENGINES,
+) -> CaseOutcome:
+    """Run one case through every engine and diff against SQLite."""
+    expected = sqlite_oracle_rows(dbspec, sqlite_sql)
+    outcome = CaseOutcome()
+    database = Database()
+    for name, table_spec in dbspec.tables.items():
+        database.create_table(name, list(table_spec.columns), table_spec.rows)
+    for engine in engines:
+        try:
+            if engine in MODE_ENGINES:
+                plan = subquery_to_gmdj(database.sql(repro_sql),
+                                        database.catalog)
+                if engine == "gmdj_chunked":
+                    result = evaluate_plan_chunked(
+                        plan, database.catalog, FUZZ_MEMORY_TUPLES)
+                else:
+                    result = evaluate_plan_partitioned(
+                        plan, database.catalog, FUZZ_PARTITIONS)
+            else:
+                result = database.execute_sql(repro_sql, engine)
+        except TranslationError:
+            outcome.skipped.append(engine)
+            continue
+        except (Exception, RecursionError) as error:
+            outcome.engines_run += 1
+            outcome.divergences.append(Divergence(
+                engine=engine, kind="error",
+                detail=f"{type(error).__name__}: {error}",
+            ))
+            continue
+        outcome.engines_run += 1
+        actual = normalize_rows(result.rows)
+        if actual != expected:
+            missing = expected - actual
+            extra = actual - expected
+            outcome.divergences.append(Divergence(
+                engine=engine, kind="mismatch",
+                detail=(f"{sum(missing.values())} row(s) missing, "
+                        f"{sum(extra.values())} unexpected"),
+                expected=_bag_repr(expected),
+                actual=_bag_repr(actual),
+            ))
+    return outcome

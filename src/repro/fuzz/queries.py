@@ -1,0 +1,286 @@
+"""Query IR for the fuzzer, with renderers for repro SQL and SQLite SQL.
+
+The fuzzer does not generate SQL text directly: it generates a small
+intermediate representation of "outer block + predicate tree whose leaves
+may be subqueries" and renders it twice —
+
+* :func:`render_repro_sql` — the dialect of :mod:`repro.sql` (which
+  supports ``SOME``/``ALL`` quantified comparisons natively);
+* :func:`render_sqlite_sql` — standard SQLite.  SQLite has no quantified
+  comparisons, so ``x op SOME/ALL (...)`` is encoded as a three-valued
+  ``CASE WHEN EXISTS ... THEN 1/0/NULL`` expression taken straight from
+  the quantifier's definition.  Crucially this encoding is *not* the
+  paper's counting rewrite: the oracle must not share the machinery under
+  test, or a rewrite bug would cancel out in the comparison.
+
+Every composite is fully parenthesized so the two dialects agree on
+structure regardless of precedence rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+# -- scalar operands ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class Lit:
+    """An integer, string, or NULL literal."""
+
+    value: object  # int | str | None
+
+
+@dataclass(frozen=True)
+class ColRef:
+    """A qualified column reference ``alias.name``."""
+
+    alias: str
+    name: str
+
+
+# -- predicate nodes ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class Cmp:
+    """A plain comparison between two scalar operands."""
+
+    op: str  # = <> < <= > >=
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class IsNullP:
+    operand: ColRef
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ExistsP:
+    sub: "Sub"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InP:
+    left: object
+    sub: "Sub"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class QuantCmp:
+    """``left op SOME/ALL (SELECT item FROM ...)``."""
+
+    op: str
+    quantifier: str  # "some" | "all"
+    left: object
+    sub: "Sub"
+
+
+@dataclass(frozen=True)
+class AggCmp:
+    """``left op (SELECT agg(...) FROM ...)`` — always single-row."""
+
+    op: str
+    left: object
+    sub: "Sub"
+
+
+@dataclass(frozen=True)
+class AndP:
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class OrP:
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class NotP:
+    operand: object
+
+
+@dataclass(frozen=True)
+class AggSpecIR:
+    """The aggregate of an :class:`AggCmp` subquery."""
+
+    func: str  # count | sum | avg | min | max
+    column: str | None  # None => count(*)
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Sub:
+    """One subquery block: table, alias, optional WHERE, and its role.
+
+    ``item`` names the column produced for IN / quantified comparisons;
+    ``agg`` holds the aggregate for scalar comparisons; EXISTS subqueries
+    carry neither and render as ``SELECT *``.
+    """
+
+    table: str
+    alias: str
+    where: object | None = None
+    item: str | None = None
+    agg: AggSpecIR | None = None
+
+
+@dataclass(frozen=True)
+class QueryIR:
+    """The outer block: ``SELECT columns FROM table alias WHERE where``."""
+
+    table: str
+    alias: str
+    columns: tuple[str, ...]
+    where: object
+
+
+#: Predicate leaves that contain a subquery.
+SUBQUERY_LEAVES = (ExistsP, InP, QuantCmp, AggCmp)
+
+
+def predicate_size(node) -> int:
+    """Node count of a predicate tree — the shrinker's progress metric."""
+    if isinstance(node, (AndP, OrP)):
+        return 1 + predicate_size(node.left) + predicate_size(node.right)
+    if isinstance(node, NotP):
+        return 1 + predicate_size(node.operand)
+    if isinstance(node, (ExistsP, InP, QuantCmp, AggCmp)):
+        inner = node.sub.where
+        return 2 + (predicate_size(inner) if inner is not None else 0)
+    return 1
+
+
+# -- shared rendering helpers ------------------------------------------------
+
+def _render_operand(operand) -> str:
+    if isinstance(operand, ColRef):
+        return f"{operand.alias}.{operand.name}"
+    if isinstance(operand, Lit):
+        value = operand.value
+        if value is None:
+            return "NULL"
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(value)
+    raise TypeError(f"not a scalar operand: {operand!r}")
+
+
+def _agg_text(agg: AggSpecIR, alias: str) -> str:
+    if agg.column is None:
+        return "count(*)"
+    prefix = "DISTINCT " if agg.distinct else ""
+    return f"{agg.func}({prefix}{alias}.{agg.column})"
+
+
+class _Renderer:
+    """Common recursive renderer; subclasses override the quantifier."""
+
+    def query(self, ir: QueryIR) -> str:
+        select = ", ".join(f"{ir.alias}.{c}" for c in ir.columns)
+        return (
+            f"SELECT {select} FROM {ir.table} {ir.alias} "
+            f"WHERE {self.predicate(ir.where)}"
+        )
+
+    def predicate(self, node) -> str:
+        if isinstance(node, AndP):
+            return f"({self.predicate(node.left)} AND {self.predicate(node.right)})"
+        if isinstance(node, OrP):
+            return f"({self.predicate(node.left)} OR {self.predicate(node.right)})"
+        if isinstance(node, NotP):
+            return f"(NOT {self.predicate(node.operand)})"
+        if isinstance(node, Cmp):
+            return (
+                f"({_render_operand(node.left)} {node.op} "
+                f"{_render_operand(node.right)})"
+            )
+        if isinstance(node, IsNullP):
+            maybe_not = "NOT " if node.negated else ""
+            return f"({_render_operand(node.operand)} IS {maybe_not}NULL)"
+        if isinstance(node, ExistsP):
+            maybe_not = "NOT " if node.negated else ""
+            return f"({maybe_not}EXISTS ({self._sub_select('*', node.sub)}))"
+        if isinstance(node, InP):
+            maybe_not = "NOT " if node.negated else ""
+            item = f"{node.sub.alias}.{node.sub.item}"
+            return (
+                f"({_render_operand(node.left)} {maybe_not}IN "
+                f"({self._sub_select(item, node.sub)}))"
+            )
+        if isinstance(node, AggCmp):
+            agg = _agg_text(node.sub.agg, node.sub.alias)
+            return (
+                f"({_render_operand(node.left)} {node.op} "
+                f"({self._sub_select(agg, node.sub)}))"
+            )
+        if isinstance(node, QuantCmp):
+            return self.quantified(node)
+        raise TypeError(f"not a predicate node: {node!r}")
+
+    def _sub_select(self, select_list: str, sub: Sub) -> str:
+        text = f"SELECT {select_list} FROM {sub.table} {sub.alias}"
+        if sub.where is not None:
+            text += f" WHERE {self.predicate(sub.where)}"
+        return text
+
+    def quantified(self, node: QuantCmp) -> str:
+        raise NotImplementedError
+
+
+class _ReproRenderer(_Renderer):
+    def quantified(self, node: QuantCmp) -> str:
+        item = f"{node.sub.alias}.{node.sub.item}"
+        keyword = node.quantifier.upper()
+        return (
+            f"({_render_operand(node.left)} {node.op} {keyword} "
+            f"({self._sub_select(item, node.sub)}))"
+        )
+
+
+class _SQLiteRenderer(_Renderer):
+    def quantified(self, node: QuantCmp) -> str:
+        """Three-valued CASE encoding of a quantified comparison.
+
+        ``x op SOME S`` is TRUE iff some element compares true, FALSE iff
+        every element compares false, else UNKNOWN; dually for ALL.  The
+        subquery is duplicated into two EXISTS probes (one for a deciding
+        element, one for an UNKNOWN comparison), which SQLite evaluates
+        with its own 3VL machinery.
+        """
+        left = _render_operand(node.left)
+        item = f"{node.sub.alias}.{node.sub.item}"
+        compare = f"({left} {node.op} {item})"
+        if node.quantifier == "some":
+            deciding, on_deciding, otherwise = compare, "1", "0"
+        else:
+            deciding, on_deciding, otherwise = f"(NOT {compare})", "0", "1"
+        probe_true = self._sub_with_extra(node.sub, deciding)
+        probe_null = self._sub_with_extra(node.sub, f"({compare} IS NULL)")
+        return (
+            f"(CASE WHEN EXISTS ({probe_true}) THEN {on_deciding} "
+            f"WHEN EXISTS ({probe_null}) THEN NULL "
+            f"ELSE {otherwise} END)"
+        )
+
+    def _sub_with_extra(self, sub: Sub, extra: str) -> str:
+        text = f"SELECT 1 FROM {sub.table} {sub.alias} WHERE "
+        if sub.where is not None:
+            text += f"({self.predicate(sub.where)}) AND "
+        return text + extra
+
+
+def render_repro_sql(ir: QueryIR) -> str:
+    """Render the IR in the dialect of :mod:`repro.sql`."""
+    return _ReproRenderer().query(ir)
+
+
+def render_sqlite_sql(ir: QueryIR) -> str:
+    """Render the IR as SQLite SQL (quantifiers become CASE/EXISTS)."""
+    return _SQLiteRenderer().query(ir)

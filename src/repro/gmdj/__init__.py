@@ -4,6 +4,7 @@ from repro.gmdj.chunked import detail_scans_required, evaluate_gmdj_chunked
 from repro.gmdj.coalesce import coalesce_plan, merge_stacked, pull_up_base_selection
 from repro.gmdj.completion import CompletionRule, derive_completion_rule
 from repro.gmdj.evaluate import SelectGMDJ, run_gmdj
+from repro.gmdj.modes import evaluate_plan_chunked, evaluate_plan_partitioned
 from repro.gmdj.operator import GMDJ, ThetaBlock, md
 from repro.gmdj.optimize import fuse_completion, optimize_plan, push_base_selections
 from repro.gmdj.parallel import evaluate_gmdj_partitioned, partition_rows
@@ -25,6 +26,8 @@ __all__ = [
     "evaluate_gmdj_chunked",
     "embed_base_in_detail",
     "evaluate_gmdj_partitioned",
+    "evaluate_plan_chunked",
+    "evaluate_plan_partitioned",
     "expression_to_sql",
     "fuse_completion",
     "gmdj_to_sql",

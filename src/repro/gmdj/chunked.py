@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 
+from repro.errors import ConfigurationError
 from repro.gmdj.evaluate import run_gmdj
 from repro.gmdj.operator import GMDJ
 from repro.storage.catalog import Catalog
@@ -38,7 +39,9 @@ def evaluate_gmdj_chunked(
     the detail relation is scanned ``ceil(|B| / memory_tuples)`` times.
     """
     if memory_tuples < 1:
-        raise ValueError(f"memory budget must be >= 1, got {memory_tuples}")
+        raise ConfigurationError(
+            f"memory budget must be >= 1, got {memory_tuples}"
+        )
     base = gmdj.base.evaluate(catalog)
     detail = gmdj.detail.evaluate(catalog)
     IOStats.ambient().record_scan(len(base))
@@ -59,7 +62,9 @@ def evaluate_gmdj_chunked(
 def detail_scans_required(base_rows: int, memory_tuples: int) -> int:
     """The well-defined cost formula: scans of R for a given budget."""
     if memory_tuples < 1:
-        raise ValueError(f"memory budget must be >= 1, got {memory_tuples}")
+        raise ConfigurationError(
+            f"memory budget must be >= 1, got {memory_tuples}"
+        )
     if base_rows == 0:
         return 1
     return math.ceil(base_rows / memory_tuples)

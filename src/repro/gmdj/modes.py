@@ -1,0 +1,94 @@
+"""Plan-level chunked and partitioned GMDJ evaluation.
+
+:func:`repro.gmdj.chunked.evaluate_gmdj_chunked` and
+:func:`repro.gmdj.parallel.evaluate_gmdj_partitioned` evaluate a *single*
+GMDJ node.  The translator, however, produces whole operator trees —
+projections and selections over (possibly stacked) GMDJs.  This module
+walks such a tree and evaluates every GMDJ node it contains under a
+memory-bounded or partitioned regime, leaving all other operators to
+their ordinary ``evaluate``.
+
+This is what the ``gmdj_chunked`` / ``gmdj_parallel`` planner strategies
+and the differential fuzzer's evaluation modes run: the full
+SubqueryToGMDJ translation, with every GMDJ executed the way a
+memory-constrained or parallel deployment would execute it.  Both are
+bag-equivalent to plain evaluation for any budget / partition count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.algebra.operators import Operator, TableValue
+from repro.algebra.rewrite import map_children
+from repro.errors import ConfigurationError
+from repro.gmdj.chunked import evaluate_gmdj_chunked
+from repro.gmdj.evaluate import SelectGMDJ
+from repro.gmdj.operator import GMDJ
+from repro.gmdj.parallel import evaluate_gmdj_partitioned
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+
+#: Planner defaults: large enough not to slow ordinary workloads, small
+#: enough to exercise the fragmented paths on benchmark-sized tables.
+DEFAULT_MEMORY_TUPLES = 4096
+DEFAULT_PARTITIONS = 4
+
+
+def evaluate_plan_chunked(
+    plan: Operator, catalog: Catalog,
+    memory_tuples: int = DEFAULT_MEMORY_TUPLES,
+) -> Relation:
+    """Evaluate ``plan`` with every GMDJ base-chunked to ``memory_tuples``."""
+    if memory_tuples < 1:
+        raise ConfigurationError(
+            f"memory budget must be >= 1, got {memory_tuples}"
+        )
+    return _evaluate(
+        plan, catalog,
+        lambda gmdj: evaluate_gmdj_chunked(gmdj, catalog, memory_tuples),
+    )
+
+
+def evaluate_plan_partitioned(
+    plan: Operator, catalog: Catalog, partitions: int = DEFAULT_PARTITIONS
+) -> Relation:
+    """Evaluate ``plan`` with every GMDJ's detail split into ``partitions``."""
+    if partitions < 1:
+        raise ConfigurationError(f"partitions must be >= 1, got {partitions}")
+    return _evaluate(
+        plan, catalog,
+        lambda gmdj: evaluate_gmdj_partitioned(gmdj, catalog, partitions),
+    )
+
+
+def _evaluate(node: Operator, catalog: Catalog, run_gmdj_node) -> Relation:
+    """Bottom-up evaluation routing GMDJ nodes through ``run_gmdj_node``.
+
+    Children are materialized first and re-wrapped as :class:`TableValue`
+    (their evaluated schemas keep every qualifier, so conditions above
+    them bind unchanged); the rebuilt single-level node then evaluates
+    normally.
+    """
+    if isinstance(node, GMDJ):
+        rebuilt = GMDJ(
+            TableValue(_evaluate(node.base, catalog, run_gmdj_node)),
+            TableValue(_evaluate(node.detail, catalog, run_gmdj_node)),
+            node.blocks,
+        )
+        return run_gmdj_node(rebuilt)
+    if isinstance(node, SelectGMDJ):
+        # Completion-fused evaluation dooms base tuples based on global
+        # scan order, so it stays a single scan; only its inputs are
+        # materialized under the requested regime.
+        inner = node.gmdj
+        rebuilt_inner = GMDJ(
+            TableValue(_evaluate(inner.base, catalog, run_gmdj_node)),
+            TableValue(_evaluate(inner.detail, catalog, run_gmdj_node)),
+            inner.blocks,
+        )
+        return dataclasses.replace(node, gmdj=rebuilt_inner).evaluate(catalog)
+    rebuilt = map_children(
+        node, lambda child: TableValue(_evaluate(child, catalog, run_gmdj_node))
+    )
+    return rebuilt.evaluate(catalog)

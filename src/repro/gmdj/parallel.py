@@ -29,6 +29,7 @@ planner keeps completion on single-node plans.
 from __future__ import annotations
 
 from repro.algebra.aggregates import AggregateSpec
+from repro.errors import ConfigurationError
 from repro.gmdj.evaluate import run_gmdj
 from repro.gmdj.operator import GMDJ, ThetaBlock
 from repro.storage.catalog import Catalog
@@ -43,7 +44,7 @@ def partition_rows(relation: Relation, partitions: int) -> list[Relation]:
     partition count; the merge is insensitive to fragment sizing.
     """
     if partitions < 1:
-        raise ValueError(f"partitions must be >= 1, got {partitions}")
+        raise ConfigurationError(f"partitions must be >= 1, got {partitions}")
     total = len(relation.rows)
     size = (total + partitions - 1) // partitions if total else 0
     fragments = []
@@ -122,6 +123,8 @@ def evaluate_gmdj_partitioned(
 
     Bag-equivalent to ``gmdj.evaluate(catalog)`` for any partition count.
     """
+    if partitions < 1:
+        raise ConfigurationError(f"partitions must be >= 1, got {partitions}")
     base = gmdj.base.evaluate(catalog)
     detail = gmdj.detail.evaluate(catalog)
     IOStats.ambient().record_scan(len(base))

@@ -192,8 +192,7 @@ class _Translator:
                 # pending one level up.
                 qualifier = self._embed(state, pending.level, pending, context)
                 link = conjoin(
-                    Comparison(
-                        "=",
+                    _null_safe_equal(
                         Column(f"{qualifier}.{field.name}"),
                         Column(f"{pending.qualifier}.{field.name}"),
                     )
@@ -339,13 +338,28 @@ class _Translator:
     @staticmethod
     def _identity_condition(base_schema: Schema, qualifier: str) -> Expression:
         return conjoin(
-            Comparison(
-                "=",
+            _null_safe_equal(
                 Column(field.full_name),
                 Column(f"{qualifier}.{field.name}"),
             )
             for field in base_schema.fields
         )
+
+
+def _null_safe_equal(left: Expression, right: Expression) -> Expression:
+    """``left IS NOT DISTINCT FROM right`` — TRUE on NULL/NULL.
+
+    Identity links between a base tuple and its pushed-down copy must
+    match the copy even on NULL attributes; a plain ``=`` conjunct is
+    UNKNOWN there and silently drops every base row containing a NULL
+    (caught by the differential fuzzer).
+    """
+    from repro.algebra.expressions import IsNull, Or
+
+    return Or(
+        Comparison("=", left, right),
+        And(IsNull(left), IsNull(right)),
+    )
 
 
 def _substitute_references(

@@ -1,10 +1,34 @@
-"""Shared fixtures: small catalogs used across the test suite."""
+"""Shared fixtures: small catalogs used across the test suite.
+
+Also registers hypothesis profiles so local runs and CI pick sensible
+defaults without every test file repeating ``settings(...)``:
+
+* ``default`` — modest example counts, no deadline (property tests here
+  evaluate whole query plans, so per-example timing is noisy), and
+  ``print_blob=True`` so a failing run prints the ``@reproduce_failure``
+  blob to pin it.
+* ``ci`` — same, but derandomized so CI failures are reproducible
+  without blob archaeology.
+
+Select with ``HYPOTHESIS_PROFILE=ci pytest`` (defaults to ``default``).
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.storage import Catalog, DataType, Relation
+
+settings.register_profile(
+    "default", deadline=None, print_blob=True,
+)
+settings.register_profile(
+    "ci", deadline=None, print_blob=True, derandomize=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.algebra.aggregates import agg, count_star
 from repro.algebra.expressions import col
 from repro.algebra.operators import ScanTable
+from repro.errors import ConfigurationError, ReproError
 from repro.gmdj.chunked import detail_scans_required, evaluate_gmdj_chunked
 from repro.gmdj import md
 from repro.storage import Catalog, DataType, Relation, collect
@@ -38,8 +39,17 @@ class TestEquivalence:
         assert expected.bag_equal(chunked)
 
     def test_invalid_budget(self, catalog):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             evaluate_gmdj_chunked(plan(), catalog, 0)
+
+    def test_invalid_budget_is_both_library_and_value_error(self, catalog):
+        # ConfigurationError must stay catchable as either base so old
+        # callers (``except ValueError``) and library-wide handlers
+        # (``except ReproError``) both keep working.
+        with pytest.raises(ValueError):
+            evaluate_gmdj_chunked(plan(), catalog, -3)
+        with pytest.raises(ReproError):
+            evaluate_gmdj_chunked(plan(), catalog, -3)
 
 
 class TestWellDefinedCost:
@@ -47,7 +57,7 @@ class TestWellDefinedCost:
         assert detail_scans_required(25, 10) == 3
         assert detail_scans_required(25, 25) == 1
         assert detail_scans_required(0, 5) == 1
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             detail_scans_required(10, 0)
 
     @pytest.mark.parametrize("budget,expected_scans", [(10, 3), (5, 5),

@@ -1,0 +1,43 @@
+"""Replay the committed fuzz corpus as ordinary regression tests.
+
+Every ``tests/corpus/*.json`` file is a shrunk counterexample from a
+past fuzzing campaign (or a hand-distilled NULL pitfall), stored in the
+exact format ``repro fuzz`` writes.  Replaying one runs its query
+through every engine against the SQLite oracle; a clean outcome means
+the bug it once witnessed stays fixed.
+
+To add a case: run ``repro fuzz``, take the JSON it writes on a
+divergence, fix the bug, confirm the replay is clean, and move the file
+here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import replay_case
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS_FILES, f"no corpus cases under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=lambda path: path.stem,
+)
+def test_corpus_case_replays_clean(path):
+    data = json.loads(path.read_text())
+    outcome = replay_case(data)
+    details = "\n".join(
+        f"  {d.engine}: {d.kind} ({d.detail})" for d in outcome.divergences
+    )
+    assert outcome.ok, (
+        f"{path.name} regressed — {data.get('description', '')}\n{details}"
+    )
+    assert outcome.engines_run > 0

@@ -6,6 +6,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.algebra.aggregates import agg, count_star
 from repro.algebra.expressions import TRUE, col, lit
 from repro.algebra.operators import ScanTable, TableValue
+from repro.errors import ConfigurationError, ReproError
 from repro.gmdj import evaluate_gmdj_partitioned, md, partition_rows
 from repro.storage import Catalog, DataType, Relation, collect
 
@@ -47,8 +48,20 @@ class TestPartitionRows:
         assert sum(len(f) for f in partition_rows(relation, 3)) == 0
 
     def test_invalid_partition_count(self, catalog):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             partition_rows(catalog.table("R"), 0)
+
+    def test_invalid_count_is_both_library_and_value_error(self, catalog):
+        # Dual inheritance contract: old ``except ValueError`` callers
+        # and library-wide ``except ReproError`` handlers both catch it.
+        with pytest.raises(ValueError):
+            partition_rows(catalog.table("R"), -1)
+        with pytest.raises(ReproError):
+            partition_rows(catalog.table("R"), -1)
+
+    def test_evaluate_validates_partitions_up_front(self, catalog):
+        with pytest.raises(ConfigurationError):
+            evaluate_gmdj_partitioned(full_gmdj(), catalog, 0)
 
 
 class TestPartitionedEquivalence:

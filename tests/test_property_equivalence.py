@@ -24,6 +24,7 @@ from repro.algebra.nested import (
 from repro.algebra.operators import ScanTable
 from repro.baselines import evaluate_join_unnest, evaluate_naive, evaluate_native
 from repro.errors import TranslationError
+from repro.gmdj.modes import evaluate_plan_chunked, evaluate_plan_partitioned
 from repro.storage import Catalog, DataType, Relation
 from repro.unnesting import subquery_to_gmdj
 
@@ -161,6 +162,50 @@ class TestTranslationEquivalence:
         expected = evaluate_naive(NestedSelect(ScanTable("B", "b"), predicate),
                                   catalog)
         assert expected.bag_equal(joined)
+
+
+class TestFragmentedEvaluation:
+    """The evaluation *modes* preserve the same master invariant.
+
+    Chunked (memory-bounded) and partitioned (parallel merge) execution
+    of the translated plan must agree with the tuple-iteration reference
+    on the exact same random inputs the strategy tests use — including
+    the partitioned AVG reconstruction (SUM/COUNT recombination) and
+    empty fragments when partitions exceed the detail cardinality.
+    """
+
+    @SETTINGS
+    @given(catalog=databases(), predicate=predicates(),
+           memory_tuples=st.integers(min_value=1, max_value=5))
+    def test_chunked_matches_reference(self, catalog, predicate,
+                                       memory_tuples):
+        query = NestedSelect(ScanTable("B", "b"), predicate)
+        expected = evaluate_naive(NestedSelect(ScanTable("B", "b"), predicate),
+                                  catalog)
+        plan = subquery_to_gmdj(query, catalog)
+        chunked = evaluate_plan_chunked(plan, catalog, memory_tuples)
+        assert expected.bag_equal(chunked)
+
+    @SETTINGS
+    @given(catalog=databases(), predicate=predicates(),
+           partitions=st.integers(min_value=1, max_value=6))
+    def test_partitioned_matches_reference(self, catalog, predicate,
+                                           partitions):
+        query = NestedSelect(ScanTable("B", "b"), predicate)
+        expected = evaluate_naive(NestedSelect(ScanTable("B", "b"), predicate),
+                                  catalog)
+        plan = subquery_to_gmdj(query, catalog)
+        partitioned = evaluate_plan_partitioned(plan, catalog, partitions)
+        assert expected.bag_equal(partitioned)
+
+    @SETTINGS
+    @given(catalog=databases(), predicate=predicates())
+    def test_modes_agree_on_optimized_plans(self, catalog, predicate):
+        query = NestedSelect(ScanTable("B", "b"), predicate)
+        plan = subquery_to_gmdj(query, catalog, optimize=True)
+        expected = plan.evaluate(catalog)
+        assert expected.bag_equal(evaluate_plan_chunked(plan, catalog, 2))
+        assert expected.bag_equal(evaluate_plan_partitioned(plan, catalog, 3))
 
 
 class TestLinearNestingProperty:
