@@ -33,3 +33,13 @@ class WorkloadCache:
         if key not in self._store:
             self._store[key] = self._builder(*key)
         return self._store[key]
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the metrics registry the bench runner fed during the run."""
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    if registry:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        registry.write(RESULTS_DIR / "metrics.json")

@@ -38,8 +38,9 @@ from repro.algebra import (
     select,
 )
 from repro.engine import Database, ExecutionReport, STRATEGIES, execute, profile
-from repro.errors import ReproError
+from repro.errors import InvariantViolation, ReproError
 from repro.gmdj import GMDJ, md, optimize_plan
+from repro.obs import Tracer, check_trace, explain_analyze, tracing
 from repro.storage import Catalog, DataType, Relation, Schema, collect
 from repro.unnesting import subquery_to_gmdj
 
@@ -53,6 +54,7 @@ __all__ = [
     "ExecutionReport",
     "Exists",
     "GMDJ",
+    "InvariantViolation",
     "NestedSelect",
     "QuantifiedComparison",
     "Relation",
@@ -61,11 +63,14 @@ __all__ = [
     "ScalarComparison",
     "Schema",
     "Subquery",
+    "Tracer",
     "agg",
+    "check_trace",
     "col",
     "collect",
     "count_star",
     "execute",
+    "explain_analyze",
     "in_predicate",
     "lit",
     "md",
@@ -76,5 +81,6 @@ __all__ = [
     "scan",
     "select",
     "subquery_to_gmdj",
+    "tracing",
     "__version__",
 ]

@@ -324,4 +324,9 @@ class JoinUnnester:
 def evaluate_join_unnest(query: Operator, catalog: Catalog,
                          use_indexes: bool = True) -> Relation:
     """Evaluate a nested query by conventional join/outer-join unnesting."""
-    return JoinUnnester(catalog, use_indexes=use_indexes).evaluate(query)
+    from repro.obs.tracer import span
+
+    with span("join_unnest", kind="baseline", use_indexes=use_indexes) as sp:
+        result = JoinUnnester(catalog, use_indexes=use_indexes).evaluate(query)
+        sp.set(output_rows=len(result))
+        return result

@@ -78,19 +78,28 @@ class LoopEvaluator:
         return rebuilt
 
     def _evaluate_nested(self, nested: NestedSelect, env: Environment) -> Relation:
-        child = nested.child
-        if isinstance(child, NestedSelect):
-            source = self._evaluate_nested(child, env)
-        else:
-            source = child.evaluate(self.catalog)
-        stats = IOStats.ambient()
-        stats.record_scan(len(source))
-        rows = []
-        for row in source.rows:
-            if self._predicate(nested.predicate, source.schema, row, env).is_true:
-                rows.append(row)
-        stats.tuples_output += len(rows)
-        return Relation(source.schema, rows, validate=False)
+        from repro.obs.tracer import span
+
+        with span("NestedSelect", kind="nested_loop",
+                  early_exit=self.early_exit,
+                  use_indexes=self.use_indexes) as sp:
+            child = nested.child
+            if isinstance(child, NestedSelect):
+                source = self._evaluate_nested(child, env)
+            else:
+                with span("outer", kind="materialize"):
+                    source = child.evaluate(self.catalog)
+            stats = IOStats.ambient()
+            stats.record_scan(len(source))
+            rows = []
+            for row in source.rows:
+                if self._predicate(
+                    nested.predicate, source.schema, row, env
+                ).is_true:
+                    rows.append(row)
+            stats.tuples_output += len(rows)
+            sp.set(outer_rows=len(source), output_rows=len(rows))
+            return Relation(source.schema, rows, validate=False)
 
     # -- predicate evaluation ------------------------------------------------------
 

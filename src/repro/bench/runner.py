@@ -7,8 +7,9 @@ from dataclasses import dataclass, field
 
 from repro.bench.workloads import Workload
 from repro.engine.executor import profile
-from repro.engine.stats import ExecutionReport
+from repro.engine.reports import ExecutionReport
 from repro.errors import ReproError
+from repro.obs.metrics import get_registry
 
 
 @dataclass
@@ -45,6 +46,7 @@ def compare_strategies(
     wrong answer invalidates the whole comparison.
     """
     result = ComparisonResult(workload)
+    registry = get_registry()
     reference = None
     reference_strategy = None
     for strategy in strategies:
@@ -52,8 +54,13 @@ def compare_strategies(
             report = profile(workload.query, workload.catalog, strategy)
         except ReproError as exc:
             result.failures[strategy] = str(exc)
+            registry.counter(f"bench.failures.{strategy}").inc()
             continue
         result.reports[strategy] = report
+        registry.counter(f"bench.runs.{strategy}").inc()
+        registry.histogram(f"bench.elapsed_ms.{strategy}").observe(
+            report.elapsed_seconds * 1000
+        )
         if check_equivalence:
             if reference is None:
                 reference = report.result

@@ -12,6 +12,19 @@ Every ``*.csv`` file in ``--data`` (written by
 becomes a table named after the file stem.  ``--index table.attr`` adds
 hash indexes for the native/join strategies to use.
 
+The ``explain`` subcommand renders plans, optionally executed::
+
+    python -m repro explain "SELECT ..." --data warehouse_dir/
+    python -m repro explain "SELECT ..." --data warehouse_dir/ --analyze
+    python -m repro explain "SELECT ..." --data d/ --analyze --json
+
+Plain ``explain`` prints the plan the strategy would run;
+``--analyze`` executes it under operator tracing and annotates every
+span with wall-clock and IOStats counter deltas, then checks the
+paper's cost invariants over the finished trace (``--strict-invariants``
+turns violations into a non-zero exit).  ``--json`` emits the full
+trace as machine-readable JSON.
+
 The ``fuzz`` subcommand runs the differential fuzzer instead::
 
     python -m repro fuzz --seed 42 --iterations 500
@@ -19,8 +32,9 @@ The ``fuzz`` subcommand runs the differential fuzzer instead::
 
 Failing cases are shrunk and written as JSON under ``--out`` (default
 ``fuzz_failures/``); promote them into ``tests/corpus/`` to pin the
-regression.  Exit status is 0 when every engine agreed with the SQLite
-oracle on every case, 1 otherwise.
+regression.  ``--metrics PATH`` additionally writes the campaign's
+metrics registry as JSON.  Exit status is 0 when every engine agreed
+with the SQLite oracle on every case, 1 otherwise.
 """
 
 from __future__ import annotations
@@ -115,6 +129,10 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-divergence progress output",
     )
+    parser.add_argument(
+        "--metrics", type=Path, default=None, metavar="PATH",
+        help="write the campaign's metrics registry as JSON to PATH",
+    )
     return parser
 
 
@@ -171,7 +189,108 @@ def fuzz_main(argv: list[str], out) -> int:
             print(f"  {divergence.engine}: {divergence.kind} "
                   f"({divergence.detail})", file=out)
     print(report.summary(), file=out)
+    if args.metrics is not None:
+        from repro.obs.metrics import get_registry
+
+        path = get_registry().write(args.metrics)
+        print(f"metrics written to {path}", file=out)
     return 0 if report.ok else 1
+
+
+def build_explain_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="Render a query plan, optionally executing it under "
+                    "operator tracing (EXPLAIN ANALYZE).",
+    )
+    parser.add_argument("sql", help="the SELECT statement to explain")
+    parser.add_argument(
+        "--data", type=Path, default=None,
+        help="directory of *.csv files to load as tables",
+    )
+    parser.add_argument(
+        "--strategy", choices=STRATEGIES, default="auto",
+        help="evaluation strategy (default: auto)",
+    )
+    parser.add_argument(
+        "--index", action="append", default=[], metavar="TABLE.ATTR",
+        help="create a hash index before running (repeatable)",
+    )
+    parser.add_argument(
+        "--analyze", action="store_true",
+        help="execute the query under tracing and annotate the plan "
+             "with measured per-operator counters and times",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with --analyze: emit the trace as JSON instead of text",
+    )
+    parser.add_argument(
+        "--strict-invariants", action="store_true",
+        help="with --analyze: exit non-zero when a trace violates one "
+             "of the paper's cost invariants",
+    )
+    return parser
+
+
+def explain_main(argv: list[str], out) -> int:
+    args = build_explain_parser().parse_args(argv)
+    if args.json and not args.analyze:
+        print("error: --json requires --analyze", file=sys.stderr)
+        return 2
+    db = Database()
+    try:
+        status = _load_and_index(db, args)
+        if status:
+            return status
+        query = db.sql(args.sql)
+        if not args.analyze:
+            print(db.explain(query, args.strategy), file=out)
+            return 0
+        from repro.errors import InvariantViolation
+        from repro.obs.explain import explain_analyze, explain_analyze_json
+
+        strict = args.strict_invariants
+        try:
+            if args.json:
+                import json
+
+                payload = explain_analyze_json(
+                    db, query, args.strategy, strict=strict
+                )
+                print(json.dumps(payload, indent=2), file=out)
+            else:
+                print(
+                    explain_analyze(db, query, args.strategy, strict=strict),
+                    file=out,
+                )
+        except InvariantViolation as violation:
+            print(f"invariant violation: {violation}", file=sys.stderr)
+            return 1
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _load_and_index(db: Database, args) -> int:
+    """Shared --data/--index handling; returns non-zero on usage errors."""
+    if args.data is not None:
+        if not args.data.is_dir():
+            print(f"error: {args.data} is not a directory", file=sys.stderr)
+            return 2
+        tables = load_data_directory(db, args.data)
+        if not tables:
+            print(f"error: no *.csv files in {args.data}", file=sys.stderr)
+            return 2
+    for spec in args.index:
+        table, _, attribute = spec.partition(".")
+        if not attribute:
+            print(f"error: --index wants TABLE.ATTR, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        db.create_index(table, attribute)
+    return 0
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
@@ -179,26 +298,14 @@ def main(argv: list[str] | None = None, out=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:], out)
+    if argv and argv[0] == "explain":
+        return explain_main(argv[1:], out)
     args = build_parser().parse_args(argv)
     db = Database()
     try:
-        if args.data is not None:
-            if not args.data.is_dir():
-                print(f"error: {args.data} is not a directory",
-                      file=sys.stderr)
-                return 2
-            tables = load_data_directory(db, args.data)
-            if not tables:
-                print(f"error: no *.csv files in {args.data}",
-                      file=sys.stderr)
-                return 2
-        for spec in args.index:
-            table, _, attribute = spec.partition(".")
-            if not attribute:
-                print(f"error: --index wants TABLE.ATTR, got {spec!r}",
-                      file=sys.stderr)
-                return 2
-            db.create_index(table, attribute)
+        status = _load_and_index(db, args)
+        if status:
+            return status
         if args.explain:
             print(db.explain(db.sql(args.sql), args.strategy), file=out)
             return 0

@@ -3,8 +3,8 @@
 from repro.engine.database import Database
 from repro.engine.executor import execute, profile
 from repro.engine.planner import STRATEGIES, contains_nested_select, make_executor
+from repro.engine.reports import ExecutionReport
 from repro.engine.statistics import ColumnStatistics, TableStatistics, analyze_catalog, analyze_table
-from repro.engine.stats import ExecutionReport
 
 __all__ = [
     "ColumnStatistics",

@@ -19,7 +19,7 @@ from repro.algebra.operators import Operator
 from repro.algebra.printer import explain as explain_plan
 from repro.engine.executor import execute, profile
 from repro.engine.planner import STRATEGIES
-from repro.engine.stats import ExecutionReport
+from repro.engine.reports import ExecutionReport
 from repro.errors import PlanError
 from repro.storage.catalog import Catalog
 from repro.storage.csvio import load_csv
@@ -72,9 +72,15 @@ class Database:
         """Evaluate an algebra query (flat or nested) under a strategy."""
         return execute(query, self.catalog, strategy)
 
-    def profile(self, query: Operator, strategy: str = "auto") -> ExecutionReport:
-        """Evaluate and return timing plus work counters."""
-        return profile(query, self.catalog, strategy)
+    def profile(self, query: Operator, strategy: str = "auto",
+                trace: bool = False) -> ExecutionReport:
+        """Evaluate and return timing plus work counters.
+
+        With ``trace=True`` the run also records an operator span tree
+        (attached as ``report.trace``) for EXPLAIN ANALYZE and the
+        invariant checker.
+        """
+        return profile(query, self.catalog, strategy, trace=trace)
 
     def explain(self, query: Operator, strategy: str = "auto") -> str:
         """Render the plan that the given strategy would execute."""
@@ -86,22 +92,14 @@ class Database:
             return explain_plan(query)
         raise PlanError(f"unknown strategy {strategy!r}")
 
-    def explain_analyze(self, query: Operator,
-                        strategy: str = "auto") -> str:
-        """EXPLAIN plus actual execution: plan text and measured counters."""
-        plan_text = self.explain(query, strategy)
-        report = self.profile(query, strategy)
-        counters = ", ".join(
-            f"{key}={value}"
-            for key, value in sorted(report.counters.items())
-            if value
-        )
-        return (
-            f"{plan_text}\n"
-            f"-- rows: {report.row_count}  "
-            f"time: {report.elapsed_seconds * 1000:.2f} ms\n"
-            f"-- {counters}"
-        )
+    def explain_analyze(self, query: Operator, strategy: str = "auto",
+                        strict: bool = False) -> str:
+        """EXPLAIN plus actual execution: plan text, the measured span
+        tree with per-operator counter deltas, and the invariant
+        checker's verdict (see :mod:`repro.obs`)."""
+        from repro.obs.explain import explain_analyze
+
+        return explain_analyze(self, query, strategy, strict=strict)
 
     # -- SQL ------------------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Query execution with timing and work accounting."""
+"""Query execution with timing, work accounting, and optional tracing."""
 
 from __future__ import annotations
 
@@ -6,7 +6,8 @@ import time
 
 from repro.algebra.operators import Operator
 from repro.engine.planner import make_executor
-from repro.engine.stats import ExecutionReport
+from repro.engine.reports import ExecutionReport
+from repro.obs.tracer import Tracer, tracing, tracing_enabled
 from repro.storage.catalog import Catalog
 from repro.storage.iostats import collect
 
@@ -17,17 +18,33 @@ def execute(query: Operator, catalog: Catalog, strategy: str = "auto"):
 
 
 def profile(
-    query: Operator, catalog: Catalog, strategy: str = "auto"
+    query: Operator, catalog: Catalog, strategy: str = "auto",
+    trace: bool = False,
 ) -> ExecutionReport:
-    """Evaluate ``query`` and capture wall-clock time and work counters."""
+    """Evaluate ``query`` and capture wall-clock time and work counters.
+
+    With ``trace=True`` a tracer is installed for the run (unless one is
+    already active) and the finished span tree is attached to the
+    report as ``report.trace`` — this is what EXPLAIN ANALYZE consumes.
+    The ``collect()`` swap happens *outside* the traced region so every
+    span snapshots the same ambient stats object it diffs against.
+    """
     runner = make_executor(query, catalog, strategy)
+    trace_obj = None
     with collect() as stats:
         started = time.perf_counter()
-        result = runner()
+        if trace and not tracing_enabled():
+            tracer = Tracer()
+            with tracing(tracer):
+                result = runner()
+            trace_obj = tracer.trace()
+        else:
+            result = runner()
         elapsed = time.perf_counter() - started
     return ExecutionReport(
         strategy=strategy,
         elapsed_seconds=elapsed,
         counters=stats.snapshot(),
         result=result,
+        trace=trace_obj,
     )

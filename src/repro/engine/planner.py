@@ -74,54 +74,84 @@ def make_executor(
 
     Translation-time work (for the GMDJ strategies) happens inside the
     callable as well, matching how the paper's timings include rewrite
-    cost (it is negligible; evaluation dominates).
+    cost (it is negligible; evaluation dominates).  When tracing is
+    enabled the run is wrapped in a ``query`` span carrying the
+    resolved strategy name, so traces attribute all work to the
+    strategy that actually ran.
     """
+    requested = strategy
+    resolved, runner = _resolve_executor(query, catalog, strategy)
+
+    def traced() -> Relation:
+        from repro.obs.tracer import span
+
+        with span("query", kind="query", strategy=resolved,
+                  requested=requested):
+            return runner()
+
+    return traced
+
+
+def _resolve_executor(
+    query: Operator, catalog: Catalog, strategy: str
+) -> tuple[str, Callable[[], Relation]]:
+    """Resolve ``auto``/``cost_based`` and build the raw runner."""
     if strategy == "auto":
         strategy = (
             "gmdj_optimized" if contains_nested_select(query) else "gmdj"
         )
         if not contains_nested_select(query):
-            return lambda: query.evaluate(catalog)
+            return "plain", lambda: query.evaluate(catalog)
     if strategy == "cost_based":
         from repro.engine.costmodel import choose_strategy, contains_apply
 
         if not contains_nested_select(query) and not contains_apply(query):
-            return lambda: query.evaluate(catalog)
+            return "plain", lambda: query.evaluate(catalog)
         strategy = choose_strategy(query, catalog)
     if strategy == "naive":
-        return lambda: evaluate_naive(query, catalog)
+        return strategy, lambda: evaluate_naive(query, catalog)
     if strategy == "native":
-        return lambda: evaluate_native(query, catalog, use_indexes=True)
+        return strategy, lambda: evaluate_native(
+            query, catalog, use_indexes=True
+        )
     if strategy == "native_noindex":
-        return lambda: evaluate_native(query, catalog, use_indexes=False)
+        return strategy, lambda: evaluate_native(
+            query, catalog, use_indexes=False
+        )
     if strategy == "unnest_join":
-        return lambda: evaluate_join_unnest(query, catalog, use_indexes=True)
+        return strategy, lambda: evaluate_join_unnest(
+            query, catalog, use_indexes=True
+        )
     if strategy == "unnest_join_noindex":
-        return lambda: evaluate_join_unnest(query, catalog, use_indexes=False)
+        return strategy, lambda: evaluate_join_unnest(
+            query, catalog, use_indexes=False
+        )
     if strategy == "gmdj":
-        return lambda: subquery_to_gmdj(query, catalog).evaluate(catalog)
+        return strategy, lambda: subquery_to_gmdj(
+            query, catalog
+        ).evaluate(catalog)
     if strategy == "gmdj_coalesce":
-        return lambda: subquery_to_gmdj(
+        return strategy, lambda: subquery_to_gmdj(
             query, catalog, optimize=True, coalesce=True, completion=False
         ).evaluate(catalog)
     if strategy == "gmdj_completion":
-        return lambda: subquery_to_gmdj(
+        return strategy, lambda: subquery_to_gmdj(
             query, catalog, optimize=True, coalesce=False, completion=True
         ).evaluate(catalog)
     if strategy == "gmdj_optimized":
-        return lambda: subquery_to_gmdj(
+        return strategy, lambda: subquery_to_gmdj(
             query, catalog, optimize=True
         ).evaluate(catalog)
     if strategy == "gmdj_chunked":
         from repro.gmdj.modes import evaluate_plan_chunked
 
-        return lambda: evaluate_plan_chunked(
+        return strategy, lambda: evaluate_plan_chunked(
             subquery_to_gmdj(query, catalog), catalog
         )
     if strategy == "gmdj_parallel":
         from repro.gmdj.modes import evaluate_plan_partitioned
 
-        return lambda: evaluate_plan_partitioned(
+        return strategy, lambda: evaluate_plan_partitioned(
             subquery_to_gmdj(query, catalog), catalog
         )
     raise PlanError(

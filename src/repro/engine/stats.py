@@ -1,56 +1,22 @@
-"""Per-query execution reports."""
+"""Deprecated alias of :mod:`repro.engine.reports`.
+
+This module was renamed to end the near-collision with
+:mod:`repro.engine.statistics` (table/column statistics for the cost
+model).  Import :class:`~repro.engine.reports.ExecutionReport` from
+``repro.engine.reports`` (or simply ``repro.engine``) instead.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
-from repro.storage.relation import Relation
+from repro.engine.reports import ExecutionReport
 
+__all__ = ["ExecutionReport"]
 
-@dataclass
-class ExecutionReport:
-    """Everything a benchmark needs to know about one query run.
-
-    ``counters`` is a snapshot of the ambient
-    :class:`~repro.storage.iostats.IOStats` accumulated while the query
-    ran (pages read, predicate evaluations, index probes, ...);
-    ``elapsed_seconds`` is wall-clock.  The result relation is attached so
-    correctness checks can compare strategies on the same workload.
-    """
-
-    strategy: str
-    elapsed_seconds: float
-    counters: dict = field(default_factory=dict)
-    result: Relation | None = None
-
-    @property
-    def row_count(self) -> int:
-        return len(self.result) if self.result is not None else 0
-
-    @property
-    def pages_read(self) -> int:
-        return self.counters.get("pages_read", 0)
-
-    @property
-    def predicate_evals(self) -> int:
-        return self.counters.get("predicate_evals", 0)
-
-    @property
-    def total_work(self) -> int:
-        """Weighted single-scalar work figure (see IOStats.total_work)."""
-        return (
-            self.counters.get("pages_read", 0) * 1000
-            + self.counters.get("predicate_evals", 0)
-            + self.counters.get("index_probes", 0)
-            + self.counters.get("aggregate_updates", 0)
-            + self.counters.get("join_pairs_considered", 0)
-        )
-
-    def summary(self) -> str:
-        return (
-            f"{self.strategy:16s} rows={self.row_count:6d} "
-            f"time={self.elapsed_seconds * 1000:9.1f}ms "
-            f"pages={self.pages_read:8d} "
-            f"preds={self.predicate_evals:10d} "
-            f"work={self.total_work:12d}"
-        )
+warnings.warn(
+    "repro.engine.stats has been renamed to repro.engine.reports; "
+    "update imports (this alias will be removed)",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -59,6 +59,16 @@ class ConfigurationError(ReproError, ValueError):
     """
 
 
+class InvariantViolation(ReproError):
+    """A finished trace contradicts one of the paper's cost guarantees.
+
+    Raised by the strict mode of :func:`repro.obs.invariants.check_trace`
+    when, e.g., a GMDJ span shows more than one scan of its detail
+    relation (Prop. 4.1), emits more rows than its base has (Def. 2.1),
+    or base-tuple completion changed the scan count (Thms. 4.1/4.2).
+    """
+
+
 class SQLSyntaxError(ReproError):
     """The SQL lexer or parser rejected the input text."""
 

@@ -142,16 +142,27 @@ def _run_ir_case(
 
 def run_fuzz(config: FuzzConfig, log=None) -> FuzzReport:
     """Run a campaign; returns the report (never raises on divergence)."""
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
     report = FuzzReport(config=config)
     started = time.perf_counter()
     for iteration in range(config.iterations):
+        case_started = time.perf_counter()
         dbspec, ir = generate_case(config, iteration)
         outcome = _run_ir_case(dbspec, ir, config.engines)
         report.iterations_run += 1
         report.engines_run += outcome.engines_run
         report.skips += len(outcome.skipped)
+        registry.counter("fuzz.iterations").inc()
+        registry.counter("fuzz.engine_runs").inc(outcome.engines_run)
+        registry.counter("fuzz.skips").inc(len(outcome.skipped))
+        registry.histogram("fuzz.case_ms").observe(
+            (time.perf_counter() - case_started) * 1000
+        )
         if outcome.ok:
             continue
+        registry.counter("fuzz.divergences").inc(len(outcome.divergences))
         if log:
             log(f"iteration {iteration}: "
                 f"{len(outcome.divergences)} divergence(s), shrinking...")

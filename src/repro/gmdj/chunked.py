@@ -25,6 +25,7 @@ import math
 from repro.errors import ConfigurationError
 from repro.gmdj.evaluate import run_gmdj
 from repro.gmdj.operator import GMDJ
+from repro.obs.tracer import span
 from repro.storage.catalog import Catalog
 from repro.storage.iostats import IOStats
 from repro.storage.relation import Relation
@@ -42,21 +43,36 @@ def evaluate_gmdj_chunked(
         raise ConfigurationError(
             f"memory budget must be >= 1, got {memory_tuples}"
         )
-    base = gmdj.base.evaluate(catalog)
-    detail = gmdj.detail.evaluate(catalog)
-    IOStats.ambient().record_scan(len(base))
-    output_schema = gmdj.schema(catalog)
-    if len(base) <= memory_tuples:
-        return run_gmdj(base, detail, gmdj, output_schema)
-    out_rows: list = []
-    for start in range(0, len(base), memory_tuples):
-        fragment = Relation(
-            base.schema, base.rows[start:start + memory_tuples],
-            validate=False,
-        )
-        partial = run_gmdj(fragment, detail, gmdj, output_schema)
-        out_rows.extend(partial.rows)
-    return Relation(output_schema, out_rows, validate=False)
+    with span("GMDJ(chunked)", kind="gmdj_chunked", budget=memory_tuples,
+              blocks=len(gmdj.blocks)) as sp:
+        with span("base", kind="materialize"):
+            base = gmdj.base.evaluate(catalog)
+        with span("detail", kind="materialize"):
+            detail = gmdj.detail.evaluate(catalog)
+        sp.set(base_rows=len(base), detail_rows=len(detail),
+               relation=getattr(detail, "name", None) or "<derived>",
+               expected_scans=detail_scans_required(len(base),
+                                                    memory_tuples))
+        IOStats.ambient().record_scan(len(base))
+        output_schema = gmdj.schema(catalog)
+        if len(base) <= memory_tuples:
+            result = run_gmdj(base, detail, gmdj, output_schema)
+            sp.set(output_rows=len(result))
+            return result
+        out_rows: list = []
+        for number, start in enumerate(
+            range(0, len(base), memory_tuples), start=1
+        ):
+            fragment = Relation(
+                base.schema, base.rows[start:start + memory_tuples],
+                validate=False,
+            )
+            with span(f"chunk {number}", kind="chunk",
+                      base_rows=len(fragment)):
+                partial = run_gmdj(fragment, detail, gmdj, output_schema)
+            out_rows.extend(partial.rows)
+        sp.set(output_rows=len(out_rows))
+        return Relation(output_schema, out_rows, validate=False)
 
 
 def detail_scans_required(base_rows: int, memory_tuples: int) -> int:

@@ -117,22 +117,34 @@ def coalesce_plan(plan):
     """Exhaustively merge stacked GMDJs in a plan, pulling selections up
     when doing so enables a merge.  Returns the rewritten plan."""
     from repro.algebra.rewrite import transform_bottom_up
+    from repro.obs.tracer import span
+
+    merges = pull_ups = collapses = 0
 
     def step(node):
+        nonlocal merges, pull_ups, collapses
         if isinstance(node, GMDJ):
             merged = merge_stacked(node)
             if merged is not None:
+                merges += 1
                 return merged
             if isinstance(node.base, Select):
                 lifted = pull_up_base_selection(node)
                 if lifted is not None and isinstance(lifted.child, GMDJ):
                     inner_merge = merge_stacked(lifted.child)
                     if inner_merge is not None:
+                        merges += 1
+                        pull_ups += 1
                         return Select(inner_merge, lifted.predicate)
         if isinstance(node, Select) and isinstance(node.child, Select):
             # Collapse stacked selections so completion sees one conjunction.
+            collapses += 1
             inner = node.child
             return Select(inner.child, inner.predicate & node.predicate)
         return node
 
-    return transform_bottom_up(plan, step)
+    with span("coalesce", kind="coalesce") as sp:
+        rewritten = transform_bottom_up(plan, step)
+        sp.set(merges=merges, pull_ups=pull_ups,
+               select_collapses=collapses)
+        return rewritten

@@ -94,6 +94,30 @@ class CompletionRule:
     def useful(self) -> bool:
         return self.can_doom or self.can_assure
 
+    def summary(self) -> str:
+        """Compact one-line rendering used in trace span attributes."""
+        parts = []
+        if self.must_be_zero:
+            parts.append("zero=" + ",".join(map(str, self.must_be_zero)))
+        if self.need_positive:
+            parts.append("pos=" + ",".join(map(str, self.need_positive)))
+        if self.need_at_least:
+            parts.append("atleast=" + ",".join(
+                f"{index}:{count}" for index, count in self.need_at_least
+            ))
+        if self.pair_equal:
+            parts.append("pair=" + ",".join(
+                f"{restrictive}={weak}"
+                for restrictive, weak in self.pair_equal
+            ))
+        parts.append(
+            "doom" if self.can_doom else
+            "assure" if self.can_assure else "inert"
+        )
+        if self.can_doom and self.can_assure:
+            parts[-1] = "doom+assure"
+        return " ".join(parts)
+
 
 def _count_star_block_index(gmdj: GMDJ, output_name: str) -> int | None:
     """The block index whose single count(*) produces ``output_name``."""

@@ -31,6 +31,7 @@ from repro.algebra.expressions import Expression
 from repro.algebra.operators import Operator
 from repro.gmdj.completion import CompletionRule
 from repro.gmdj.operator import GMDJ
+from repro.obs.tracer import span
 from repro.storage.catalog import Catalog
 from repro.storage.iostats import IOStats
 from repro.storage.relation import Relation
@@ -114,55 +115,22 @@ class _BlockRuntime:
             self.buckets = None
 
 
-def run_gmdj(
-    base: Relation,
+def _scan_detail(
     detail: Relation,
-    gmdj: GMDJ,
-    output_schema: Schema,
-    rule: CompletionRule | None = None,
-    selection: Expression | None = None,
-) -> Relation:
-    """Evaluate a GMDJ over materialized inputs in one detail scan.
-
-    With ``rule``/``selection`` set this computes the fused
-    ``σ[selection](MD(...))`` using base-tuple completion; otherwise it is
-    the plain operator of Definition 2.1.
-    """
-    stats = IOStats.ambient()
-    detail_schema = detail.schema
-    combined_schema = base.schema.concat(detail_schema)
-    runtimes = [
-        _BlockRuntime(i, block, base, detail_schema, combined_schema,
-                      allow_invariant=rule is None)
-        for i, block in enumerate(gmdj.blocks)
-    ]
-    base_rows = base.rows
-    n_base = len(base_rows)
-    state = [
-        [runtime.aggregates.new_state() for runtime in runtimes]
-        for _ in range(n_base)
-    ]
-    status = bytearray(n_base)  # all _ACTIVE
-
-    must_be_zero = frozenset(rule.must_be_zero) if rule else frozenset()
-    pair_equal = tuple(rule.pair_equal) if rule else ()
-    can_doom = rule.can_doom if rule else False
-    can_assure = rule.can_assure if rule else False
-    thresholds = rule.thresholds() if can_assure else {}
-    remaining_needs = (
-        [dict(thresholds) for _ in range(n_base)] if can_assure else None
-    )
-
-    # Active list serving the non-hash blocks; rebuilt lazily as tuples
-    # complete so that the per-detail-tuple cost genuinely shrinks.
-    any_scan_block = any(
-        not runtime.uses_hash and not runtime.invariant
-        for runtime in runtimes
-    )
-    active_list = list(range(n_base)) if any_scan_block else None
+    runtimes: list[_BlockRuntime],
+    base_rows,
+    state,
+    status: bytearray,
+    stats: IOStats,
+    must_be_zero: frozenset,
+    pair_equal: tuple,
+    can_doom: bool,
+    can_assure: bool,
+    remaining_needs,
+    active_list,
+) -> None:
+    """The single pass over the detail relation (the hot loop)."""
     stale = 0
-
-    stats.record_scan(len(detail))
     for detail_row in detail.rows:
         matched: dict[int, list[int]] = {}
         for runtime in runtimes:
@@ -231,6 +199,64 @@ def run_gmdj(
             active_list = [i for i in active_list if status[i] == _ACTIVE]
             stale = 0
 
+
+def run_gmdj(
+    base: Relation,
+    detail: Relation,
+    gmdj: GMDJ,
+    output_schema: Schema,
+    rule: CompletionRule | None = None,
+    selection: Expression | None = None,
+) -> Relation:
+    """Evaluate a GMDJ over materialized inputs in one detail scan.
+
+    With ``rule``/``selection`` set this computes the fused
+    ``σ[selection](MD(...))`` using base-tuple completion; otherwise it is
+    the plain operator of Definition 2.1.
+    """
+    stats = IOStats.ambient()
+    detail_schema = detail.schema
+    combined_schema = base.schema.concat(detail_schema)
+    runtimes = [
+        _BlockRuntime(i, block, base, detail_schema, combined_schema,
+                      allow_invariant=rule is None)
+        for i, block in enumerate(gmdj.blocks)
+    ]
+    base_rows = base.rows
+    n_base = len(base_rows)
+    state = [
+        [runtime.aggregates.new_state() for runtime in runtimes]
+        for _ in range(n_base)
+    ]
+    status = bytearray(n_base)  # all _ACTIVE
+
+    must_be_zero = frozenset(rule.must_be_zero) if rule else frozenset()
+    pair_equal = tuple(rule.pair_equal) if rule else ()
+    can_doom = rule.can_doom if rule else False
+    can_assure = rule.can_assure if rule else False
+    thresholds = rule.thresholds() if can_assure else {}
+    remaining_needs = (
+        [dict(thresholds) for _ in range(n_base)] if can_assure else None
+    )
+
+    # Active list serving the non-hash blocks; rebuilt lazily as tuples
+    # complete so that the per-detail-tuple cost genuinely shrinks.
+    any_scan_block = any(
+        not runtime.uses_hash and not runtime.invariant
+        for runtime in runtimes
+    )
+    active_list = list(range(n_base)) if any_scan_block else None
+
+    with span("scan", kind="detail_scan",
+              relation=getattr(detail, "name", None) or "<derived>",
+              rows=len(detail)):
+        stats.record_scan(len(detail))
+        _scan_detail(
+            detail, runtimes, base_rows, state, status, stats,
+            must_be_zero, pair_equal, can_doom, can_assure,
+            remaining_needs, active_list,
+        )
+
     # Emit.  Doomed rows are gone; assured rows bypass the final selection
     # (their counts are partial but projected away); active rows carry exact
     # aggregates and face the real selection.  Invariant blocks contribute
@@ -264,10 +290,18 @@ def run_gmdj(
 
 def evaluate_gmdj(gmdj: GMDJ, catalog: Catalog) -> Relation:
     """Materialize the operands and run the plain (unfused) GMDJ."""
-    base = gmdj.base.evaluate(catalog)
-    detail = gmdj.detail.evaluate(catalog)
-    IOStats.ambient().record_scan(len(base))
-    return run_gmdj(base, detail, gmdj, gmdj.schema(catalog))
+    with span("GMDJ", kind="gmdj", blocks=len(gmdj.blocks),
+              completion=False) as sp:
+        with span("base", kind="materialize"):
+            base = gmdj.base.evaluate(catalog)
+        with span("detail", kind="materialize"):
+            detail = gmdj.detail.evaluate(catalog)
+        sp.set(base_rows=len(base), detail_rows=len(detail),
+               relation=getattr(detail, "name", None) or "<derived>")
+        IOStats.ambient().record_scan(len(base))
+        result = run_gmdj(base, detail, gmdj, gmdj.schema(catalog))
+        sp.set(output_rows=len(result))
+        return result
 
 
 @dataclass
@@ -292,14 +326,24 @@ class SelectGMDJ(Operator):
         return self.gmdj.schema(catalog)
 
     def evaluate(self, catalog: Catalog) -> Relation:
-        base = self.gmdj.base.evaluate(catalog)
-        detail = self.gmdj.detail.evaluate(catalog)
-        IOStats.ambient().record_scan(len(base))
-        return run_gmdj(
-            base,
-            detail,
-            self.gmdj,
-            self.gmdj.schema(catalog),
-            rule=self.rule,
-            selection=self.selection,
-        )
+        rule = self.rule
+        with span("SelectGMDJ", kind="gmdj",
+                  blocks=len(self.gmdj.blocks), completion=rule is not None,
+                  rule=rule.summary() if rule is not None else None) as sp:
+            with span("base", kind="materialize"):
+                base = self.gmdj.base.evaluate(catalog)
+            with span("detail", kind="materialize"):
+                detail = self.gmdj.detail.evaluate(catalog)
+            sp.set(base_rows=len(base), detail_rows=len(detail),
+                   relation=getattr(detail, "name", None) or "<derived>")
+            IOStats.ambient().record_scan(len(base))
+            result = run_gmdj(
+                base,
+                detail,
+                self.gmdj,
+                self.gmdj.schema(catalog),
+                rule=rule,
+                selection=self.selection,
+            )
+            sp.set(output_rows=len(result))
+            return result

@@ -26,6 +26,7 @@ from repro.gmdj.chunked import evaluate_gmdj_chunked
 from repro.gmdj.evaluate import SelectGMDJ
 from repro.gmdj.operator import GMDJ
 from repro.gmdj.parallel import evaluate_gmdj_partitioned
+from repro.obs.tracer import span
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
 
@@ -44,10 +45,12 @@ def evaluate_plan_chunked(
         raise ConfigurationError(
             f"memory budget must be >= 1, got {memory_tuples}"
         )
-    return _evaluate(
-        plan, catalog,
-        lambda gmdj: evaluate_gmdj_chunked(gmdj, catalog, memory_tuples),
-    )
+    with span("plan(chunked)", kind="mode", mode="chunked",
+              budget=memory_tuples):
+        return _evaluate(
+            plan, catalog,
+            lambda gmdj: evaluate_gmdj_chunked(gmdj, catalog, memory_tuples),
+        )
 
 
 def evaluate_plan_partitioned(
@@ -56,10 +59,12 @@ def evaluate_plan_partitioned(
     """Evaluate ``plan`` with every GMDJ's detail split into ``partitions``."""
     if partitions < 1:
         raise ConfigurationError(f"partitions must be >= 1, got {partitions}")
-    return _evaluate(
-        plan, catalog,
-        lambda gmdj: evaluate_gmdj_partitioned(gmdj, catalog, partitions),
-    )
+    with span("plan(partitioned)", kind="mode", mode="partitioned",
+              partitions=partitions):
+        return _evaluate(
+            plan, catalog,
+            lambda gmdj: evaluate_gmdj_partitioned(gmdj, catalog, partitions),
+        )
 
 
 def _evaluate(node: Operator, catalog: Catalog, run_gmdj_node) -> Relation:

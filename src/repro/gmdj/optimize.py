@@ -46,8 +46,12 @@ def fuse_completion(plan):
     aggregates to be projected away).
     """
     from repro.algebra.rewrite import map_children
+    from repro.obs.tracer import span
+
+    fusions = 0
 
     def walk(node):
+        nonlocal fusions
         if (
             isinstance(node, Project)
             and isinstance(node.child, Select)
@@ -61,6 +65,7 @@ def fuse_completion(plan):
                 node.child.predicate, gmdj, aggregates_projected
             )
             if rule.useful:
+                fusions += 1
                 fused = SelectGMDJ(
                     map_children(gmdj, walk), node.child.predicate, rule
                 )
@@ -71,13 +76,17 @@ def fuse_completion(plan):
                 node.predicate, node.child, aggregates_projected=False
             )
             if rule.useful:
+                fusions += 1
                 return SelectGMDJ(
                     map_children(node.child, walk), node.predicate, rule
                 )
             return map_children(node, walk)
         return map_children(node, walk)
 
-    return walk(plan)
+    with span("fuse_completion", kind="optimize") as sp:
+        fused_plan = walk(plan)
+        sp.set(fusions=fusions)
+        return fused_plan
 
 
 def optimize_plan(plan, coalesce: bool = True, completion: bool = True,
@@ -90,17 +99,21 @@ def optimize_plan(plan, coalesce: bool = True, completion: bool = True,
     selection push-down runs after coalescing (the two move different
     conjunct classes) and before completion fusion.
     """
-    if fold_constants:
-        from repro.algebra.simplify import simplify_plan
+    from repro.obs.tracer import span
 
-        plan = simplify_plan(plan)
-    if coalesce:
-        plan = coalesce_plan(plan)
-    if push_selections and catalog is not None:
-        plan = push_base_selections(plan, catalog)
-    if completion:
-        plan = fuse_completion(plan)
-    return plan
+    with span("optimize", kind="optimize", coalesce=coalesce,
+              completion=completion):
+        if fold_constants:
+            from repro.algebra.simplify import simplify_plan
+
+            plan = simplify_plan(plan)
+        if coalesce:
+            plan = coalesce_plan(plan)
+        if push_selections and catalog is not None:
+            plan = push_base_selections(plan, catalog)
+        if completion:
+            plan = fuse_completion(plan)
+        return plan
 
 
 def push_base_selections(plan, catalog):

@@ -32,6 +32,7 @@ from repro.algebra.aggregates import AggregateSpec
 from repro.errors import ConfigurationError
 from repro.gmdj.evaluate import run_gmdj
 from repro.gmdj.operator import GMDJ, ThetaBlock
+from repro.obs.tracer import span
 from repro.storage.catalog import Catalog
 from repro.storage.iostats import IOStats
 from repro.storage.relation import Relation
@@ -125,25 +126,54 @@ def evaluate_gmdj_partitioned(
     """
     if partitions < 1:
         raise ConfigurationError(f"partitions must be >= 1, got {partitions}")
-    base = gmdj.base.evaluate(catalog)
-    detail = gmdj.detail.evaluate(catalog)
-    IOStats.ambient().record_scan(len(base))
-    output_schema = gmdj.schema(catalog)
-    has_distinct = any(
-        spec.distinct for block in gmdj.blocks for spec in block.aggregates
-    )
-    if partitions == 1 or len(detail) == 0 or has_distinct:
-        # DISTINCT aggregates finalize to unmergeable values; evaluate
-        # them in one scan (a distributed engine would ship value sets).
-        return run_gmdj(base, detail, gmdj, output_schema)
+    with span("GMDJ(partitioned)", kind="gmdj_partitioned",
+              partitions=partitions, blocks=len(gmdj.blocks)) as sp:
+        with span("base", kind="materialize"):
+            base = gmdj.base.evaluate(catalog)
+        with span("detail", kind="materialize"):
+            detail = gmdj.detail.evaluate(catalog)
+        sp.set(base_rows=len(base), detail_rows=len(detail),
+               relation=getattr(detail, "name", None) or "<derived>")
+        IOStats.ambient().record_scan(len(base))
+        output_schema = gmdj.schema(catalog)
+        has_distinct = any(
+            spec.distinct
+            for block in gmdj.blocks for spec in block.aggregates
+        )
+        if partitions == 1 or len(detail) == 0 or has_distinct:
+            # DISTINCT aggregates finalize to unmergeable values; evaluate
+            # them in one scan (a distributed engine would ship value sets).
+            sp.set(partitions=1)
+            result = run_gmdj(base, detail, gmdj, output_schema)
+            sp.set(output_rows=len(result))
+            return result
+        result = _evaluate_partitions(
+            gmdj, base, detail, partitions, output_schema, catalog
+        )
+        sp.set(output_rows=len(result))
+        return result
 
+
+def _evaluate_partitions(
+    gmdj: GMDJ,
+    base: Relation,
+    detail: Relation,
+    partitions: int,
+    output_schema,
+    catalog: Catalog,
+) -> Relation:
+    """Partitioned evaluation proper: fragment scans + columnwise merge."""
     shadow, merge_kinds, reconstruct = _shadow_plan(gmdj)
     shadow_schema = shadow.schema(catalog)
     base_arity = len(base.schema)
 
     merged: list[list] | None = None
-    for fragment in partition_rows(detail, partitions):
-        partial = run_gmdj(base, fragment, shadow, shadow_schema)
+    for number, fragment in enumerate(
+        partition_rows(detail, partitions), start=1
+    ):
+        with span(f"partition {number}", kind="partition",
+                  detail_rows=len(fragment)):
+            partial = run_gmdj(base, fragment, shadow, shadow_schema)
         if merged is None:
             merged = [list(row) for row in partial.rows]
             continue

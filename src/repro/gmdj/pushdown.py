@@ -35,35 +35,39 @@ def embed_base_in_detail(gmdj: GMDJ, catalog: Catalog) -> GMDJ:
     the base-copy embedded in the detail side.  To keep attribute
     references unambiguous the embedded copy is re-qualified.
     """
-    base_schema = gmdj.base.schema(catalog)
-    embedded_qualifier = _fresh_qualifier(base_schema, catalog, gmdj)
-    from repro.algebra.operators import Rename
+    from repro.obs.tracer import span
 
-    embedded_base = Rename(gmdj.base, embedded_qualifier)
-    embedded_schema = embedded_base.schema(catalog)
-    join_condition = _requalify_free(
-        gmdj.blocks, base_schema, embedded_qualifier
-    )
-    detail = Join(embedded_base, gmdj.detail, join_condition, kind="inner")
-    identity = conjoin(
-        Comparison(
-            "=",
-            Column(field.full_name),
-            Column(f"{embedded_qualifier}.{field.name}"),
+    with span("embed_base_in_detail", kind="pushdown", rule="thm-3.3") as sp:
+        base_schema = gmdj.base.schema(catalog)
+        embedded_qualifier = _fresh_qualifier(base_schema, catalog, gmdj)
+        sp.set(qualifier=embedded_qualifier)
+        from repro.algebra.operators import Rename
+
+        embedded_base = Rename(gmdj.base, embedded_qualifier)
+        embedded_schema = embedded_base.schema(catalog)
+        join_condition = _requalify_free(
+            gmdj.blocks, base_schema, embedded_qualifier
         )
-        for field in base_schema.fields
-    )
-    blocks = [
-        ThetaBlock(
-            block.aggregates,
-            _rewrite_block_condition(
-                block.condition, base_schema, embedded_qualifier
+        detail = Join(embedded_base, gmdj.detail, join_condition, kind="inner")
+        identity = conjoin(
+            Comparison(
+                "=",
+                Column(field.full_name),
+                Column(f"{embedded_qualifier}.{field.name}"),
             )
-            & identity,
+            for field in base_schema.fields
         )
-        for block in gmdj.blocks
-    ]
-    return GMDJ(gmdj.base, detail, blocks)
+        blocks = [
+            ThetaBlock(
+                block.aggregates,
+                _rewrite_block_condition(
+                    block.condition, base_schema, embedded_qualifier
+                )
+                & identity,
+            )
+            for block in gmdj.blocks
+        ]
+        return GMDJ(gmdj.base, detail, blocks)
 
 
 def _fresh_qualifier(base_schema: Schema, catalog: Catalog, gmdj: GMDJ) -> str:
@@ -136,12 +140,16 @@ def push_join_into_base(join: Join) -> GMDJ:
     (not the GMDJ's aggregate outputs) — the caller is responsible for
     checking this; the translator only generates conforming joins.
     """
+    from repro.obs.tracer import span
+
     gmdj = join.right
     if not isinstance(gmdj, GMDJ):
         raise TypeError("push_join_into_base expects a Join over a GMDJ")
-    new_base = Join(join.left, gmdj.base, join.condition, kind=join.kind,
-                    method=join.method)
-    return GMDJ(new_base, gmdj.detail, gmdj.blocks)
+    with span("push_join_into_base", kind="pushdown", rule="thm-3.4",
+              join_kind=join.kind):
+        new_base = Join(join.left, gmdj.base, join.condition, kind=join.kind,
+                        method=join.method)
+        return GMDJ(new_base, gmdj.detail, gmdj.blocks)
 
 
 def pull_join_out_of_base(gmdj: GMDJ) -> Join:

@@ -111,12 +111,46 @@ def _source_to_sql(operator, catalog: Catalog) -> str:
     )
 
 
+def _unqualify(expression: Expression) -> Expression:
+    """Strip qualifiers from column references (``b.K`` → ``K``).
+
+    The outer SELECT of :func:`plan_to_sql` reads from the derived table
+    ``gmdj_result``, whose columns carry the *bare* base-attribute names
+    — the original qualifiers are not in scope there.
+    """
+    if isinstance(expression, Column):
+        return Column(expression.reference.rpartition(".")[2])
+    if isinstance(expression, Comparison):
+        return Comparison(expression.op, _unqualify(expression.left),
+                          _unqualify(expression.right))
+    if isinstance(expression, And):
+        return And(_unqualify(expression.left), _unqualify(expression.right))
+    if isinstance(expression, Or):
+        return Or(_unqualify(expression.left), _unqualify(expression.right))
+    if isinstance(expression, Not):
+        return Not(_unqualify(expression.operand))
+    if isinstance(expression, Arithmetic):
+        return Arithmetic(expression.op, _unqualify(expression.left),
+                          _unqualify(expression.right))
+    if isinstance(expression, IsNull):
+        return IsNull(_unqualify(expression.operand), expression.negated)
+    if isinstance(expression, Coalesce):
+        return Coalesce(_unqualify(expression.first),
+                        _unqualify(expression.second))
+    return expression
+
+
 def gmdj_to_sql(gmdj: GMDJ, catalog: Catalog) -> str:
     """Emit the conditional-aggregation SQL for one GMDJ."""
     base_sql = _source_to_sql(gmdj.base, catalog)
     detail_sql = _source_to_sql(gmdj.detail, catalog)
     base_schema = gmdj.base.schema(catalog)
-    base_columns = ", ".join(base_schema.names)
+    base_columns = ", ".join(
+        field.full_name if field.full_name == field.name
+        else f"{field.full_name} AS {field.name}"
+        for field in base_schema.fields
+    )
+    group_by = ", ".join(field.full_name for field in base_schema.fields)
     output_columns = [base_columns]
     for block in gmdj.blocks:
         for spec in block.aggregates:
@@ -129,7 +163,7 @@ def gmdj_to_sql(gmdj: GMDJ, catalog: Catalog) -> str:
         f"FROM {base_sql}",
         f"LEFT OUTER JOIN {detail_sql}",
         f"  ON {join_filter}",
-        f"GROUP BY {base_columns}",
+        f"GROUP BY {group_by}",
     ]
     return "\n".join(lines)
 
@@ -173,10 +207,10 @@ def plan_to_sql(plan, catalog: Catalog) -> str:
     if selection is None and projection is None:
         return inner
     predicate = (
-        expression_to_sql(
+        expression_to_sql(_unqualify(
             selection.predicate if isinstance(selection, Select)
             else selection.selection
-        )
+        ))
         if selection is not None
         else None
     )
@@ -187,7 +221,7 @@ def plan_to_sql(plan, catalog: Catalog) -> str:
         rendered = []
         for item in projection.items:
             resolved = ProjectItem.of(item)
-            text = expression_to_sql(resolved.expression)
+            text = expression_to_sql(_unqualify(resolved.expression))
             if not resolved.preserve:
                 text += f" AS {resolved.name}"
             rendered.append(text)

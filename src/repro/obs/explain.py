@@ -1,0 +1,127 @@
+"""EXPLAIN ANALYZE: plan text plus a measured, attributed span tree.
+
+``EXPLAIN`` (the existing :func:`repro.algebra.printer.explain`) shows
+what the planner *intends*; ``EXPLAIN ANALYZE`` executes the query
+under tracing and shows what actually happened — per-span wall-clock
+and IOStats counter deltas — then runs the invariant checker over the
+trace so the paper's cost claims are verified on every analyzed query.
+
+For the coalescing strategies (``auto``, ``gmdj_optimized``,
+``gmdj_coalesce``) the renderer derives the Prop. 4.1 expectation
+automatically: any stored table that is the detail of exactly one GMDJ
+in the optimized plan must be detail-scanned exactly once at runtime.
+"""
+
+from __future__ import annotations
+
+from repro.obs.invariants import InvariantReport, check_trace
+
+#: Strategies whose plans claim coalesced (single-scan) evaluation.
+COALESCING_STRATEGIES = frozenset({"auto", "gmdj_optimized", "gmdj_coalesce"})
+
+
+def derive_single_scan_tables(plan) -> frozenset[str]:
+    """Tables that a coalesced plan promises to detail-scan exactly once.
+
+    A stored table appearing as the detail of exactly one GMDJ node is
+    scanned once per Prop. 4.1; a table feeding several GMDJs (a plan
+    the optimizer could not merge) makes no single-scan promise.
+    """
+    from repro.algebra.operators import ScanTable
+    from repro.gmdj.operator import GMDJ
+
+    counts: dict[str, int] = {}
+
+    def visit(node) -> None:
+        if isinstance(node, GMDJ) and isinstance(node.detail, ScanTable):
+            name = node.detail.table_name
+            counts[name] = counts.get(name, 0) + 1
+        for child in node.children():
+            visit(child)
+
+    visit(plan)
+    return frozenset(name for name, count in counts.items() if count == 1)
+
+
+def analyze(db, query, strategy: str = "auto", strict: bool = False):
+    """Execute ``query`` under tracing and check invariants.
+
+    Returns ``(report, invariants, single_scan_tables)`` where
+    ``report`` is the traced
+    :class:`~repro.engine.reports.ExecutionReport` and ``invariants``
+    the :class:`~repro.obs.invariants.InvariantReport`.
+    """
+    from repro.engine.executor import profile
+
+    expectations: frozenset[str] = frozenset()
+    if strategy in COALESCING_STRATEGIES:
+        from repro.unnesting.translate import subquery_to_gmdj
+
+        plan = subquery_to_gmdj(query, db.catalog, optimize=True)
+        expectations = derive_single_scan_tables(plan)
+    report = profile(query, db.catalog, strategy, trace=True)
+    invariants = check_trace(
+        report.trace, single_scan_tables=expectations, strict=strict
+    )
+    return report, invariants, expectations
+
+
+def explain_analyze(db, query, strategy: str = "auto",
+                    strict: bool = False) -> str:
+    """The full EXPLAIN ANALYZE text: plan, trace, counters, invariants."""
+    plan_text = db.explain(query, strategy)
+    report, invariants, expectations = analyze(db, query, strategy, strict)
+    counters = ", ".join(
+        f"{key}={value}"
+        for key, value in sorted(report.counters.items())
+        if value
+    )
+    lines = [
+        plan_text,
+        "",
+        f"-- EXPLAIN ANALYZE (strategy={strategy})",
+        report.trace.render(),
+        f"-- rows: {report.row_count}  "
+        f"time: {report.elapsed_seconds * 1000:.2f} ms",
+        f"-- {counters}",
+    ]
+    if expectations:
+        lines.append(
+            "-- single-scan expectation: "
+            + ", ".join(sorted(expectations))
+        )
+    lines.append(f"-- {invariants.summary()}")
+    return "\n".join(lines)
+
+
+def explain_analyze_json(db, query, strategy: str = "auto",
+                         strict: bool = False) -> dict:
+    """Machine-readable EXPLAIN ANALYZE (the ``--json`` trace export)."""
+    plan_text = db.explain(query, strategy)
+    report, invariants, expectations = analyze(db, query, strategy, strict)
+    return {
+        "strategy": strategy,
+        "plan": plan_text,
+        "rows": report.row_count,
+        "elapsed_ms": round(report.elapsed_seconds * 1000, 3),
+        "counters": {
+            key: value for key, value in sorted(report.counters.items())
+            if value
+        },
+        "single_scan_expectation": sorted(expectations),
+        "invariants": {
+            "checked": invariants.checked,
+            "violations": list(invariants.violations),
+        },
+        "trace": report.trace.to_json(),
+    }
+
+
+__all__ = [
+    "COALESCING_STRATEGIES",
+    "InvariantReport",
+    "analyze",
+    "derive_single_scan_tables",
+    "explain_analyze",
+    "explain_analyze_json",
+]

@@ -1,0 +1,145 @@
+"""A lightweight metrics registry: counters and fixed-bucket histograms.
+
+The bench runner and the fuzzer feed a process-wide registry so a
+campaign or sweep leaves queryable aggregates behind (run counts,
+latency distributions, divergence totals) without any dependency on an
+external metrics library.  Everything is plain dicts and lists;
+:meth:`MetricsRegistry.write` emits the JSON file that lands alongside
+``benchmark_results/``.
+
+Histograms use *fixed* bucket bounds chosen at creation: observation is
+a linear scan over ~a dozen bounds (cheap, allocation-free) and two
+histograms with the same bounds are directly comparable across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Default latency bounds, in milliseconds (upper-inclusive edges); the
+#: final bucket is the +Inf overflow.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_json(self) -> int:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count and sum."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total")
+
+    def __init__(self, name: str,
+                 bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.bucket_counts),
+            "count": self.count,
+            "sum": round(self.total, 6),
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, lazily created on first use."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def histogram(
+        self, name: str,
+        bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.histograms)
+
+    def to_json(self) -> dict:
+        return {
+            "counters": {
+                name: counter.to_json()
+                for name, counter in sorted(self.counters.items())
+            },
+            "histograms": {
+                name: histogram.to_json()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """A compact text summary (one line per metric)."""
+        lines = []
+        for name, counter in sorted(self.counters.items()):
+            lines.append(f"{name} = {counter.value}")
+        for name, histogram in sorted(self.histograms.items()):
+            lines.append(
+                f"{name}: n={histogram.count} mean={histogram.mean:.2f} "
+                f"sum={histogram.total:.2f}"
+            )
+        return "\n".join(lines)
+
+    def write(self, path) -> Path:
+        """Persist the registry as JSON; returns the written path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.histograms.clear()
+
+
+#: The process-wide registry the bench and fuzz runners feed.
+_default = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _default

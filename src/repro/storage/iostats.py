@@ -109,6 +109,11 @@ class IOStats:
 class collect:
     """Context manager that installs a fresh ambient IOStats object.
 
+    Re-entrant: the displaced ambient objects are kept on a stack, so a
+    single ``collect`` instance can be entered while already active (or
+    reused after exiting) and every exit restores exactly the object
+    that was ambient at the matching entry.
+
     >>> with collect() as stats:
     ...     pass  # run a query
     >>> stats.pages_read >= 0
@@ -117,12 +122,12 @@ class collect:
 
     def __init__(self) -> None:
         self.stats = IOStats()
-        self._previous: IOStats | None = None
+        self._previous: list[IOStats] = []
 
     def __enter__(self) -> IOStats:
-        self._previous = IOStats._set_ambient(self.stats)
+        self._previous.append(IOStats._set_ambient(self.stats))
         return self.stats
 
     def __exit__(self, *exc_info) -> None:
-        assert self._previous is not None
-        IOStats._set_ambient(self._previous)
+        assert self._previous, "collect.__exit__ without matching __enter__"
+        IOStats._set_ambient(self._previous.pop())

@@ -278,11 +278,22 @@ class _Translator:
         call itself propagates an existing pending, in which case the
         caller re-raises it explicitly).
         """
+        from repro.obs.tracer import span
+
         embedded: dict[int, str] = state["embedded"]
         if level in embedded:
             return embedded[level]
         self._push_counter += 1
         qualifier = f"__p{self._push_counter}"
+        with span("pushdown copy", kind="pushdown", level=level,
+                  qualifier=qualifier):
+            return self._embed_fresh(
+                state, level, pending, context, qualifier
+            )
+
+    def _embed_fresh(self, state, level, pending: "_Pending | None",
+                     context, qualifier: str) -> str:
+        embedded: dict[int, str] = state["embedded"]
         original = pending.original if pending is not None else context[level].source
         schema = pending.schema if pending is not None else context[level].schema
         state["source"] = Join(
@@ -404,10 +415,13 @@ def subquery_to_gmdj(query, catalog: Catalog, optimize: bool = False,
     (coalescing, completion fusion) are applied to the result; the two
     flags select them individually for ablation studies.
     """
-    plan = _Translator(catalog).translate_operator(query)
-    if optimize:
-        from repro.gmdj.optimize import optimize_plan
+    from repro.obs.tracer import span
 
-        plan = optimize_plan(plan, coalesce=coalesce, completion=completion,
-                             catalog=catalog)
-    return plan
+    with span("SubqueryToGMDJ", kind="translate", optimize=optimize):
+        plan = _Translator(catalog).translate_operator(query)
+        if optimize:
+            from repro.gmdj.optimize import optimize_plan
+
+            plan = optimize_plan(plan, coalesce=coalesce,
+                                 completion=completion, catalog=catalog)
+        return plan

@@ -116,6 +116,67 @@ class TestErrors:
         assert code == 2
 
 
+class TestExplainSubcommand:
+    SQL = ("SELECT f.SourceIP FROM flow f WHERE EXISTS "
+           "(SELECT * FROM users u WHERE u.IPAddress = f.SourceIP)")
+
+    def test_plain_explain_prints_plan(self, data_dir):
+        code, out = run_cli(["explain", self.SQL, "--data", str(data_dir)])
+        assert code == 0
+        assert "GMDJ" in out
+        assert "EXPLAIN ANALYZE" not in out
+
+    def test_analyze_annotates_with_trace_and_invariants(self, data_dir):
+        code, out = run_cli(["explain", self.SQL, "--data", str(data_dir),
+                             "--analyze"])
+        assert code == 0
+        assert "-- EXPLAIN ANALYZE (strategy=auto)" in out
+        assert "detail_scan" not in out  # spans render by name, not kind
+        assert "scan [" in out
+        assert "tuples_scanned=" in out
+        assert "-- single-scan expectation: users" in out
+        assert "all hold" in out
+
+    def test_analyze_single_scan_over_coalesced_detail(self, data_dir):
+        sql = ("SELECT f.SourceIP FROM flow f WHERE EXISTS "
+               "(SELECT * FROM flow g WHERE g.SourceIP = f.SourceIP "
+               "AND g.NumBytes > 60) AND EXISTS "
+               "(SELECT * FROM flow h WHERE h.SourceIP = f.SourceIP "
+               "AND h.NumBytes < 60)")
+        code, out = run_cli(["explain", sql, "--data", str(data_dir),
+                             "--analyze", "--strategy", "gmdj_optimized",
+                             "--strict-invariants"])
+        assert code == 0
+        # Both subqueries coalesced: the detail is scanned exactly once.
+        assert out.count("scan [relation=flow") == 1
+
+    def test_json_trace_export(self, data_dir):
+        import json
+
+        code, out = run_cli(["explain", self.SQL, "--data", str(data_dir),
+                             "--analyze", "--json"])
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["strategy"] == "auto"
+        assert payload["invariants"]["violations"] == []
+        assert payload["trace"]["spans"][0]["kind"] == "query"
+
+    def test_json_without_analyze_is_exit_2(self, data_dir):
+        code, _ = run_cli(["explain", self.SQL, "--data", str(data_dir),
+                           "--json"])
+        assert code == 2
+
+    def test_sql_error_is_exit_1(self, data_dir):
+        code, _ = run_cli(["explain", "SELECT FROM nothing",
+                           "--data", str(data_dir)])
+        assert code == 1
+
+    def test_missing_directory_is_exit_2(self, tmp_path):
+        code, _ = run_cli(["explain", "SELECT 1 FROM x",
+                           "--data", str(tmp_path / "nope")])
+        assert code == 2
+
+
 class TestEmitSql:
     def test_emit_sql_outputs_case_aggregation(self, data_dir):
         code, out = run_cli(

@@ -44,6 +44,38 @@ class TestAmbient:
         assert first.index_probes == 5
         assert second.index_probes == 2
 
+    def test_single_instance_reentry_restores_correctly(self):
+        # Regression: a single collect instance entered while already
+        # active used to clobber its saved previous object, so the
+        # outermost exit restored the wrong ambient.
+        outer = IOStats.ambient()
+        cm = collect()
+        with cm as stats:
+            with cm as again:
+                assert again is stats
+                assert IOStats.ambient() is stats
+            assert IOStats.ambient() is stats
+        assert IOStats.ambient() is outer
+
+    def test_single_instance_sequential_reuse(self):
+        outer = IOStats.ambient()
+        cm = collect()
+        with cm as stats:
+            IOStats.ambient().predicate_evals += 1
+        with cm:
+            IOStats.ambient().predicate_evals += 2
+        assert IOStats.ambient() is outer
+        assert stats.predicate_evals == 3  # same stats object both times
+
+    def test_unbalanced_exit_is_an_error(self):
+        cm = collect()
+        try:
+            cm.__exit__(None, None, None)
+        except AssertionError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected AssertionError on bare __exit__")
+
 
 class TestReset:
     def test_reset_zeroes_counters(self):

@@ -1,0 +1,112 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("runs")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.to_json() == 5
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("lat", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [1, 2, 1, 0]
+        assert histogram.count == 4
+        assert histogram.total == 60.5
+
+    def test_overflow_bucket(self):
+        histogram = Histogram("lat", bounds=(1.0, 10.0))
+        histogram.observe(999.0)
+        assert histogram.bucket_counts == [0, 0, 1]
+
+    def test_bound_is_upper_inclusive(self):
+        histogram = Histogram("lat", bounds=(10.0,))
+        histogram.observe(10.0)
+        assert histogram.bucket_counts == [1, 0]
+
+    def test_mean(self):
+        histogram = Histogram("lat")
+        assert histogram.mean == 0.0
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.mean == 3.0
+
+    def test_default_bounds_cover_latency_range(self):
+        histogram = Histogram("lat")
+        assert histogram.bounds == DEFAULT_LATENCY_BUCKETS_MS
+        assert len(histogram.bucket_counts) == len(histogram.bounds) + 1
+
+    def test_to_json_shape(self):
+        histogram = Histogram("lat", bounds=(1.0,))
+        histogram.observe(0.5)
+        assert histogram.to_json() == {
+            "bounds": [1.0], "buckets": [1, 0], "count": 1, "sum": 0.5,
+        }
+
+
+class TestRegistry:
+    def test_lazily_creates_and_memoizes(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_bool_reflects_contents(self):
+        registry = MetricsRegistry()
+        assert not registry
+        registry.counter("a")
+        assert registry
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("h").observe(1.0)
+        registry.reset()
+        assert not registry
+
+    def test_render_one_line_per_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("bench.runs").inc(3)
+        registry.histogram("bench.ms").observe(2.0)
+        text = registry.render()
+        assert "bench.runs = 3" in text
+        assert "bench.ms: n=1 mean=2.00 sum=2.00" in text
+
+    def test_write_emits_json_file(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("fuzz.iterations").inc(7)
+        registry.histogram("fuzz.case_ms", bounds=(10.0,)).observe(3.0)
+        path = registry.write(tmp_path / "sub" / "metrics.json")
+        payload = json.loads(path.read_text())
+        assert payload["counters"] == {"fuzz.iterations": 7}
+        assert payload["histograms"]["fuzz.case_ms"]["count"] == 1
+
+    def test_process_wide_registry_is_shared(self):
+        assert get_registry() is get_registry()
+
+
+class TestRunnerFeeds:
+    def test_fuzz_campaign_populates_registry(self):
+        from repro.fuzz.runner import FuzzConfig, run_fuzz
+
+        registry = get_registry()
+        before = registry.counter("fuzz.iterations").value
+        report = run_fuzz(FuzzConfig(seed=3, iterations=2, max_rows=4))
+        assert report.iterations_run == 2
+        assert registry.counter("fuzz.iterations").value == before + 2
+        assert registry.histogram("fuzz.case_ms").count >= 2

@@ -84,7 +84,9 @@ class TestPlanReduction:
         )
         plan = subquery_to_gmdj(query, catalog)
         sql = plan_to_sql(plan, catalog)
-        assert sql.startswith("SELECT b.K, b.X")
+        assert sql.startswith("SELECT K, X")
+        assert "b.K AS K" in sql  # inner SELECT aliases base columns bare
+        assert "GROUP BY b.K, b.X" in sql
         assert "WHERE" in sql
         assert "COUNT(CASE WHEN" in sql
 
