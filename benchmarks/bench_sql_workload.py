@@ -9,6 +9,7 @@ Section 5 presentation over a workload instead of a single query shape.
 from __future__ import annotations
 
 import pytest
+from repro import QueryOptions
 
 from conftest import write_report
 from repro.data import TpcrSizes, build_tpcr_catalog
@@ -103,7 +104,7 @@ def test_sql_workload_report(benchmark):
             row = f"{name:>28s}"
             reference = None
             for strategy in STRATEGIES:
-                report = db.profile(plan, strategy)
+                report = db.profile(plan, QueryOptions(strategy))
                 if reference is None:
                     reference = report.result
                 else:

@@ -15,6 +15,7 @@ Run:  python examples/active_users.py
 
 from repro import (
     Database,
+    QueryOptions,
     Exists,
     NestedSelect,
     Subquery,
@@ -66,7 +67,7 @@ def main() -> None:
     print(explain(translated))
     print()
 
-    gmdj_result = db.execute(query, "gmdj")
+    gmdj_result = db.execute(query, QueryOptions("gmdj"))
     naive_result = evaluate_naive(query, db.catalog)
     assert gmdj_result.bag_equal(naive_result), "strategies disagree!"
     print(f"Users active in every one of the {len(db.table('Hours'))} hours "

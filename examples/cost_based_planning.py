@@ -10,7 +10,7 @@ measures all strategies to check the pick.
 Run:  python examples/cost_based_planning.py
 """
 
-from repro import Database, col, lit
+from repro import QueryOptions, Database, col, lit
 from repro.algebra.nested import (
     Exists,
     NestedSelect,
@@ -91,7 +91,7 @@ def main() -> None:
             if strategy == "unnest_join" and title.startswith("ALL"):
                 print("   unnest_join      (skipped: O(n^2) on this shape)")
                 continue
-            report = db.profile(query, strategy)
+            report = db.profile(query, QueryOptions(strategy))
             if reference is None:
                 reference = report.result
             else:

@@ -8,7 +8,7 @@ evaluation strategy.
 Run:  python examples/quickstart.py
 """
 
-from repro import Database, DataType, agg, col, lit, md, scan
+from repro import QueryOptions, Database, DataType, agg, col, lit, md, scan
 
 
 def main() -> None:
@@ -55,7 +55,7 @@ def main() -> None:
     print("Hours with FTP traffic (correlated EXISTS), per strategy:")
     for strategy in ("naive", "native", "unnest_join", "gmdj",
                      "gmdj_optimized"):
-        report = db.profile_sql(sql, strategy)
+        report = db.profile_sql(sql, QueryOptions(strategy))
         print(f"  {report.summary()}")
     print()
 

@@ -8,7 +8,7 @@ machine-independent work for each — a miniature of the paper's Section 5.
 Run:  python examples/tpcr_subqueries.py
 """
 
-from repro import Database
+from repro import QueryOptions, Database
 from repro.data import TpcrSizes, build_tpcr_catalog
 
 QUERIES = {
@@ -58,7 +58,7 @@ def main() -> None:
         print(f"   {sql}")
         reference = None
         for strategy in STRATEGIES:
-            report = db.profile_sql(sql, strategy)
+            report = db.profile_sql(sql, QueryOptions(strategy))
             if reference is None:
                 reference = report.result
             else:

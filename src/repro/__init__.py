@@ -37,7 +37,14 @@ from repro.algebra import (
     scan,
     select,
 )
-from repro.engine import Database, ExecutionReport, STRATEGIES, execute, profile
+from repro.engine import (
+    Database,
+    ExecutionReport,
+    QueryOptions,
+    STRATEGIES,
+    execute,
+    profile,
+)
 from repro.errors import InvariantViolation, ReproError
 from repro.gmdj import GMDJ, md, optimize_plan
 from repro.obs import Tracer, check_trace, explain_analyze, tracing
@@ -57,6 +64,7 @@ __all__ = [
     "InvariantViolation",
     "NestedSelect",
     "QuantifiedComparison",
+    "QueryOptions",
     "Relation",
     "ReproError",
     "STRATEGIES",

@@ -7,6 +7,12 @@ Usage::
          (SELECT * FROM orders o WHERE o.custkey = c.custkey)" \\
         --strategy gmdj_optimized --profile
 
+Parallel and memory-bounded GMDJ execution hang off the same flags:
+``--workers N`` evaluates detail partitions on a worker pool
+(``--partitions`` controls the fragment count), ``--chunk-budget``
+switches to memory-bounded chunked evaluation, and ``--no-cache``
+bypasses the database's plan/result cache.
+
 Every ``*.csv`` file in ``--data`` (written by
 :func:`repro.storage.save_csv`, i.e. with a typed ``name:type`` header)
 becomes a table named after the file stem.  ``--index table.attr`` adds
@@ -43,8 +49,50 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.engine import STRATEGIES, Database
+from repro.engine import STRATEGIES, Database, QueryOptions
 from repro.errors import ReproError
+
+
+def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """The strategy/mode/parallelism knobs shared by run and explain."""
+    parser.add_argument(
+        "--strategy", choices=STRATEGIES, default="auto",
+        help="evaluation strategy (default: auto)",
+    )
+    parser.add_argument(
+        "--mode", choices=["plain", "chunked", "partitioned"], default=None,
+        help="GMDJ execution regime (default: inferred from the other "
+             "knobs; e.g. --workers implies partitioned)",
+    )
+    parser.add_argument(
+        "--partitions", type=int, default=None, metavar="N",
+        help="detail partitions for partitioned evaluation",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker pool size for partitioned evaluation "
+             "(also via REPRO_WORKERS)",
+    )
+    parser.add_argument(
+        "--chunk-budget", type=int, default=None, metavar="TUPLES",
+        help="in-memory tuple budget for chunked evaluation",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the plan/result cache for this run",
+    )
+
+
+def query_options(args) -> QueryOptions:
+    """Build the QueryOptions a parsed CLI invocation asks for."""
+    return QueryOptions(
+        strategy=args.strategy,
+        mode=args.mode,
+        partitions=args.partitions,
+        workers=args.workers,
+        chunk_budget=args.chunk_budget,
+        use_cache=not args.no_cache,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,10 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--data", type=Path, default=None,
         help="directory of *.csv files to load as tables",
     )
-    parser.add_argument(
-        "--strategy", choices=STRATEGIES, default="auto",
-        help="evaluation strategy (default: auto)",
-    )
+    add_execution_arguments(parser)
     parser.add_argument(
         "--index", action="append", default=[], metavar="TABLE.ATTR",
         help="create a hash index before running (repeatable)",
@@ -208,10 +253,7 @@ def build_explain_parser() -> argparse.ArgumentParser:
         "--data", type=Path, default=None,
         help="directory of *.csv files to load as tables",
     )
-    parser.add_argument(
-        "--strategy", choices=STRATEGIES, default="auto",
-        help="evaluation strategy (default: auto)",
-    )
+    add_execution_arguments(parser)
     parser.add_argument(
         "--index", action="append", default=[], metavar="TABLE.ATTR",
         help="create a hash index before running (repeatable)",
@@ -243,9 +285,10 @@ def explain_main(argv: list[str], out) -> int:
         status = _load_and_index(db, args)
         if status:
             return status
+        options = query_options(args)
         query = db.sql(args.sql)
         if not args.analyze:
-            print(db.explain(query, args.strategy), file=out)
+            print(db.explain(query, options), file=out)
             return 0
         from repro.errors import InvariantViolation
         from repro.obs.explain import explain_analyze, explain_analyze_json
@@ -256,12 +299,12 @@ def explain_main(argv: list[str], out) -> int:
                 import json
 
                 payload = explain_analyze_json(
-                    db, query, args.strategy, strict=strict
+                    db, query, options, strict=strict
                 )
                 print(json.dumps(payload, indent=2), file=out)
             else:
                 print(
-                    explain_analyze(db, query, args.strategy, strict=strict),
+                    explain_analyze(db, query, options, strict=strict),
                     file=out,
                 )
         except InvariantViolation as violation:
@@ -306,8 +349,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
         status = _load_and_index(db, args)
         if status:
             return status
+        options = query_options(args)
         if args.explain:
-            print(db.explain(db.sql(args.sql), args.strategy), file=out)
+            print(db.explain(db.sql(args.sql), options), file=out)
             return 0
         if args.emit_sql:
             from repro.gmdj.to_sql import plan_to_sql
@@ -318,12 +362,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
             print(plan_to_sql(plan, db.catalog), file=out)
             return 0
         if args.profile:
-            report = db.profile_sql(args.sql, args.strategy)
+            report = db.profile_sql(args.sql, options)
             print(report.result.pretty(limit=args.limit), file=out)
             print(file=out)
             print(report.summary(), file=out)
         else:
-            result = db.execute_sql(args.sql, args.strategy)
+            result = db.execute_sql(args.sql, options)
             print(result.pretty(limit=args.limit), file=out)
         return 0
     except ReproError as error:

@@ -1,7 +1,9 @@
 """Query engine: database façade, strategy planner, executor, reports."""
 
+from repro.engine.cache import PlanCache
 from repro.engine.database import Database
-from repro.engine.executor import execute, profile
+from repro.engine.executor import execute, profile, run
+from repro.engine.options import QueryOptions
 from repro.engine.planner import STRATEGIES, contains_nested_select, make_executor
 from repro.engine.reports import ExecutionReport
 from repro.engine.statistics import ColumnStatistics, TableStatistics, analyze_catalog, analyze_table
@@ -9,6 +11,8 @@ from repro.engine.statistics import ColumnStatistics, TableStatistics, analyze_c
 __all__ = [
     "ColumnStatistics",
     "Database",
+    "PlanCache",
+    "QueryOptions",
     "TableStatistics",
     "analyze_catalog",
     "analyze_table",
@@ -18,4 +22,5 @@ __all__ = [
     "execute",
     "make_executor",
     "profile",
+    "run",
 ]

@@ -1,0 +1,137 @@
+"""Normalized-plan-keyed translation and result caching.
+
+Repeated subquery workloads (dashboards re-issuing the same OLAP
+queries, the fuzzer replaying a corpus, benchmark sweeps) pay the
+SubqueryToGMDJ translation and a full detail scan on every run even
+though nothing changed.  :class:`PlanCache` memoizes both layers:
+
+* the **translation cache** maps a normalized plan rendering (the
+  deterministic :func:`repro.algebra.printer.explain` text) plus the
+  translation flags to the translated GMDJ plan — re-running a query
+  skips the rewrite pipeline;
+* the **result cache** maps the normalized plan plus the
+  result-relevant :class:`~repro.engine.options.QueryOptions` components
+  to the finished relation — re-running skips the scan entirely.
+
+Both are bounded LRU maps.  Staleness is handled by *explicit
+invalidation*: every :class:`~repro.engine.database.Database` DDL entry
+point (``create_table``, ``register``, ``load_csv``, ``create_index``,
+``drop_indexes``) clears the cache, because any of them can change what
+a plan means (schemas, data, access paths).  Mutating a
+:class:`~repro.storage.relation.Relation` object in place behind the
+catalog's back bypasses this — go through ``register`` to swap data.
+
+Profiled runs (``Database.profile``, EXPLAIN ANALYZE) never consult the
+result cache: their purpose is to measure the work, and a cache hit
+would measure nothing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.storage.relation import Relation
+
+
+class _LRU:
+    """A small insertion-bounded LRU map."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+
+class PlanCache:
+    """Per-database LRU cache of translated plans and query results."""
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = capacity
+        self._translations = _LRU(capacity)
+        self._results = _LRU(capacity)
+        self.translation_hits = 0
+        self.translation_misses = 0
+        self.result_hits = 0
+        self.result_misses = 0
+        self.invalidations = 0
+
+    # -- keys ------------------------------------------------------------------
+
+    @staticmethod
+    def plan_key(query) -> str:
+        """The normalized rendering that identifies a logical plan."""
+        from repro.algebra.printer import explain
+
+        return explain(query)
+
+    # -- translation cache -----------------------------------------------------
+
+    def translation(self, key):
+        """A cached translated plan, or None (counts hit/miss)."""
+        plan = self._translations.get(key)
+        if plan is None:
+            self.translation_misses += 1
+        else:
+            self.translation_hits += 1
+        return plan
+
+    def store_translation(self, key, plan) -> None:
+        self._translations.put(key, plan)
+
+    # -- result cache ----------------------------------------------------------
+
+    def result(self, key) -> Relation | None:
+        """A cached result relation (defensively copied), or None."""
+        cached = self._results.get(key)
+        if cached is None:
+            self.result_misses += 1
+            return None
+        self.result_hits += 1
+        # Copy rows so a caller mutating the returned relation cannot
+        # corrupt later hits.
+        return Relation(cached.schema, cached.rows, name=cached.name,
+                        validate=False)
+
+    def store_result(self, key, relation: Relation) -> None:
+        # Snapshot: the caller holds (and may mutate) the original.
+        self._results.put(key, Relation(relation.schema, relation.rows,
+                                        name=relation.name, validate=False))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every cached artifact (called on any DDL change)."""
+        self._translations.clear()
+        self._results.clear()
+        self.invalidations += 1
+
+    def stats(self) -> dict:
+        return {
+            "translations": len(self._translations),
+            "results": len(self._results),
+            "translation_hits": self.translation_hits,
+            "translation_misses": self.translation_misses,
+            "result_hits": self.result_hits,
+            "result_misses": self.result_misses,
+            "invalidations": self.invalidations,
+        }

@@ -4,6 +4,20 @@
 under any strategy, EXPLAIN output, and (once the SQL frontend is bound)
 textual SQL.  This is the object the examples and benchmarks construct.
 
+Execution knobs are carried by one frozen
+:class:`~repro.engine.options.QueryOptions` object::
+
+    db.execute(query, QueryOptions(strategy="gmdj_optimized",
+                                   mode="partitioned", workers=4))
+
+Passing a bare strategy string (``db.execute(query, "gmdj")``) still
+works but is deprecated and emits :class:`DeprecationWarning`.
+
+Every query runs through one internal path (:meth:`Database._run`),
+which also fronts the database's :class:`~repro.engine.cache.PlanCache`:
+repeated queries skip re-translation (and, for plain ``execute``,
+re-scanning).  All DDL entry points invalidate the cache.
+
 >>> from repro import Database, DataType
 >>> db = Database()
 >>> _ = db.create_table("T", [("K", DataType.INTEGER)], [(1,), (2,)])
@@ -13,12 +27,14 @@ textual SQL.  This is the object the examples and benchmarks construct.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Iterable, Sequence
 
 from repro.algebra.operators import Operator
 from repro.algebra.printer import explain as explain_plan
-from repro.engine.executor import execute, profile
-from repro.engine.planner import STRATEGIES
+from repro.engine.cache import PlanCache
+from repro.engine.executor import run
+from repro.engine.options import QueryOptions, STRATEGIES
 from repro.engine.reports import ExecutionReport
 from repro.errors import PlanError
 from repro.storage.catalog import Catalog
@@ -31,8 +47,9 @@ from repro.unnesting.translate import subquery_to_gmdj
 class Database:
     """An in-process OLAP database with GMDJ-based subquery processing."""
 
-    def __init__(self) -> None:
+    def __init__(self, cache_size: int = 128) -> None:
         self.catalog = Catalog()
+        self.cache = PlanCache(cache_size)
 
     # -- DDL -----------------------------------------------------------------
 
@@ -44,23 +61,28 @@ class Database:
     ) -> Relation:
         """Create a table from ``(name, dtype)`` pairs and initial rows."""
         relation = Relation.from_columns(columns, rows, name=name)
+        self.cache.invalidate()
         return self.catalog.create_table(name, relation)
 
     def register(self, name: str, relation: Relation) -> Relation:
         """Install an existing relation as a table (replaces silently)."""
+        self.cache.invalidate()
         return self.catalog.replace_table(name, relation)
 
     def load_csv(self, name: str, path) -> Relation:
         """Create a table from a CSV written by ``repro.storage.save_csv``."""
+        self.cache.invalidate()
         return self.catalog.create_table(name, load_csv(path, name=name))
 
     def create_index(self, table: str, attribute: str) -> None:
         """Create a single-attribute hash index (conventional engines'
         correlation lookups and indexed joins use these)."""
+        self.cache.invalidate()
         self.catalog.create_hash_index(table, [attribute])
 
     def drop_indexes(self, table: str | None = None) -> int:
         """Drop indexes to study strategy stability (Figure 5)."""
+        self.cache.invalidate()
         return self.catalog.drop_all_indexes(table)
 
     def table(self, name: str) -> Relation:
@@ -68,38 +90,122 @@ class Database:
 
     # -- queries ----------------------------------------------------------------
 
-    def execute(self, query: Operator, strategy: str = "auto") -> Relation:
-        """Evaluate an algebra query (flat or nested) under a strategy."""
-        return execute(query, self.catalog, strategy)
+    def _options(
+        self,
+        options: QueryOptions | str | None,
+        strategy: str | None,
+        caller: str,
+    ) -> QueryOptions:
+        """Coerce the options argument, shimming the deprecated forms."""
+        if isinstance(options, str):
+            warnings.warn(
+                f"passing a strategy string to Database.{caller} is "
+                f"deprecated; pass QueryOptions(strategy={options!r})",
+                DeprecationWarning, stacklevel=3,
+            )
+            options = QueryOptions(strategy=options)
+        else:
+            options = QueryOptions.of(options)
+        if strategy is not None:
+            warnings.warn(
+                f"the strategy= keyword of Database.{caller} is "
+                f"deprecated; pass QueryOptions(strategy={strategy!r})",
+                DeprecationWarning, stacklevel=3,
+            )
+            import dataclasses
 
-    def profile(self, query: Operator, strategy: str = "auto",
-                trace: bool = False) -> ExecutionReport:
+            options = dataclasses.replace(options, strategy=strategy)
+        return options
+
+    def _run(
+        self, query: Operator, options: QueryOptions, profiled: bool
+    ) -> ExecutionReport:
+        """The single execution path behind execute/profile/EXPLAIN ANALYZE.
+
+        Plain (unprofiled) cached runs are served straight from the
+        result cache; profiled runs always execute (their purpose is
+        measurement) but still share the translation cache.
+        """
+        result_key = None
+        if not profiled and options.use_cache:
+            result_key = (options.cache_key(), PlanCache.plan_key(query))
+            cached = self.cache.result(result_key)
+            if cached is not None:
+                return ExecutionReport(
+                    strategy=options.strategy, elapsed_seconds=0.0,
+                    result=cached, options=options,
+                )
+        report = run(query, self.catalog, options, cache=self.cache,
+                     profiled=profiled)
+        if result_key is not None:
+            self.cache.store_result(result_key, report.result)
+        return report
+
+    def execute(
+        self,
+        query: Operator,
+        options: QueryOptions | str | None = None,
+        *,
+        strategy: str | None = None,
+    ) -> Relation:
+        """Evaluate an algebra query (flat or nested) under the options."""
+        options = self._options(options, strategy, "execute")
+        return self._run(query, options, profiled=False).result
+
+    def profile(
+        self,
+        query: Operator,
+        options: QueryOptions | str | None = None,
+        *,
+        strategy: str | None = None,
+        trace: bool | None = None,
+    ) -> ExecutionReport:
         """Evaluate and return timing plus work counters.
 
-        With ``trace=True`` the run also records an operator span tree
-        (attached as ``report.trace``) for EXPLAIN ANALYZE and the
-        invariant checker.
+        With ``trace`` (or ``QueryOptions(trace=True)``) the run also
+        records an operator span tree (attached as ``report.trace``) for
+        EXPLAIN ANALYZE and the invariant checker.
         """
-        return profile(query, self.catalog, strategy, trace=trace)
+        options = self._options(options, strategy, "profile")
+        if trace is not None:
+            options = options.with_trace(trace)
+        return self._run(query, options, profiled=True)
 
-    def explain(self, query: Operator, strategy: str = "auto") -> str:
-        """Render the plan that the given strategy would execute."""
-        if strategy in ("auto", "gmdj_optimized"):
-            return explain_plan(subquery_to_gmdj(query, self.catalog, optimize=True))
-        if strategy in ("gmdj", "gmdj_chunked", "gmdj_parallel"):
+    def explain(
+        self,
+        query: Operator,
+        options: QueryOptions | str | None = None,
+        *,
+        strategy: str | None = None,
+    ) -> str:
+        """Render the plan that the given options would execute."""
+        options = self._options(options, strategy, "explain")
+        resolved = options.canonical().strategy
+        if resolved in ("auto", "gmdj_optimized"):
+            return explain_plan(
+                subquery_to_gmdj(query, self.catalog, optimize=True)
+            )
+        if resolved in ("gmdj", "gmdj_coalesce", "gmdj_completion"):
             return explain_plan(subquery_to_gmdj(query, self.catalog))
-        if strategy in STRATEGIES:
+        if resolved in STRATEGIES:
             return explain_plan(query)
-        raise PlanError(f"unknown strategy {strategy!r}")
+        raise PlanError(f"unknown strategy {resolved!r}")
 
-    def explain_analyze(self, query: Operator, strategy: str = "auto",
-                        strict: bool = False) -> str:
+    def explain_analyze(
+        self,
+        query: Operator,
+        options: QueryOptions | str | None = None,
+        *,
+        strategy: str | None = None,
+        strict: bool = False,
+    ) -> str:
         """EXPLAIN plus actual execution: plan text, the measured span
         tree with per-operator counter deltas, and the invariant
         checker's verdict (see :mod:`repro.obs`)."""
         from repro.obs.explain import explain_analyze
 
-        return explain_analyze(self, query, strategy, strict=strict)
+        options = self._options(options, strategy, "explain_analyze")
+        return explain_analyze(self, query, options, strict=strict)
 
     # -- SQL ------------------------------------------------------------------------
 
@@ -109,9 +215,23 @@ class Database:
 
         return compile_sql(text, self.catalog)
 
-    def execute_sql(self, text: str, strategy: str = "auto") -> Relation:
+    def execute_sql(
+        self,
+        text: str,
+        options: QueryOptions | str | None = None,
+        *,
+        strategy: str | None = None,
+    ) -> Relation:
         """Parse, bind, and evaluate a SQL query."""
-        return self.execute(self.sql(text), strategy)
+        options = self._options(options, strategy, "execute_sql")
+        return self._run(self.sql(text), options, profiled=False).result
 
-    def profile_sql(self, text: str, strategy: str = "auto") -> ExecutionReport:
-        return self.profile(self.sql(text), strategy)
+    def profile_sql(
+        self,
+        text: str,
+        options: QueryOptions | str | None = None,
+        *,
+        strategy: str | None = None,
+    ) -> ExecutionReport:
+        options = self._options(options, strategy, "profile_sql")
+        return self._run(self.sql(text), options, profiled=True)

@@ -1,10 +1,20 @@
-"""Query execution with timing, work accounting, and optional tracing."""
+"""Query execution with timing, work accounting, and optional tracing.
+
+:func:`run` is the single execution path: it coerces whatever options
+form the caller holds, builds the executor, and (when profiling)
+captures wall-clock, counters, and the span tree.  ``execute`` and
+``profile`` are thin spellings over it — ``execute`` skips the
+counter-collection swap entirely so callers may keep wrapping it in
+their own :func:`repro.storage.iostats.collect`.
+"""
 
 from __future__ import annotations
 
 import time
 
 from repro.algebra.operators import Operator
+from repro.engine.cache import PlanCache
+from repro.engine.options import QueryOptions
 from repro.engine.planner import make_executor
 from repro.engine.reports import ExecutionReport
 from repro.obs.tracer import Tracer, tracing, tracing_enabled
@@ -12,28 +22,35 @@ from repro.storage.catalog import Catalog
 from repro.storage.iostats import collect
 
 
-def execute(query: Operator, catalog: Catalog, strategy: str = "auto"):
-    """Evaluate ``query`` under ``strategy``; returns the result relation."""
-    return make_executor(query, catalog, strategy)()
-
-
-def profile(
-    query: Operator, catalog: Catalog, strategy: str = "auto",
-    trace: bool = False,
+def run(
+    query: Operator,
+    catalog: Catalog,
+    options: QueryOptions | str | None = None,
+    cache: PlanCache | None = None,
+    profiled: bool = True,
 ) -> ExecutionReport:
-    """Evaluate ``query`` and capture wall-clock time and work counters.
+    """Evaluate ``query`` under ``options``; the one execution path.
 
-    With ``trace=True`` a tracer is installed for the run (unless one is
-    already active) and the finished span tree is attached to the
-    report as ``report.trace`` — this is what EXPLAIN ANALYZE consumes.
-    The ``collect()`` swap happens *outside* the traced region so every
-    span snapshots the same ambient stats object it diffs against.
+    With ``profiled`` the run is wrapped in a fresh IOStats collection
+    and timed, and ``options.trace`` installs a tracer (unless one is
+    already active) whose finished span tree lands on the report — this
+    is what EXPLAIN ANALYZE consumes.  The ``collect()`` swap happens
+    *outside* the traced region so every span snapshots the same ambient
+    stats object it diffs against.  Without ``profiled`` the query just
+    runs: no counter swap (the caller may be collecting), no tracer
+    installation, and the report carries only the result.
     """
-    runner = make_executor(query, catalog, strategy)
+    options = QueryOptions.of(options)
+    runner = make_executor(query, catalog, options, cache=cache)
+    if not profiled:
+        return ExecutionReport(
+            strategy=options.strategy, elapsed_seconds=0.0,
+            result=runner(), options=options,
+        )
     trace_obj = None
     with collect() as stats:
         started = time.perf_counter()
-        if trace and not tracing_enabled():
+        if options.trace and not tracing_enabled():
             tracer = Tracer()
             with tracing(tracer):
                 result = runner()
@@ -42,9 +59,28 @@ def profile(
             result = runner()
         elapsed = time.perf_counter() - started
     return ExecutionReport(
-        strategy=strategy,
+        strategy=options.strategy,
         elapsed_seconds=elapsed,
         counters=stats.snapshot(),
         result=result,
         trace=trace_obj,
+        options=options,
     )
+
+
+def execute(query: Operator, catalog: Catalog,
+            options: QueryOptions | str = "auto"):
+    """Evaluate ``query`` under ``options``; returns the result relation."""
+    return run(query, catalog, options, profiled=False).result
+
+
+def profile(
+    query: Operator, catalog: Catalog,
+    options: QueryOptions | str = "auto",
+    trace: bool = False,
+) -> ExecutionReport:
+    """Evaluate ``query`` and capture wall-clock time and work counters."""
+    options = QueryOptions.of(options)
+    if trace:
+        options = options.with_trace(True)
+    return run(query, catalog, options)

@@ -1,0 +1,171 @@
+"""The unified query-options object.
+
+Every knob that used to be threaded through ``Database.execute`` /
+``profile`` / ``explain_analyze`` as an ad-hoc keyword now lives on one
+frozen dataclass, :class:`QueryOptions`:
+
+* ``strategy``      — which evaluation strategy runs (see
+  :data:`STRATEGIES`; the planner's docstring describes each).
+* ``mode``          — the GMDJ execution regime: ``None``/"plain" for
+  single-scan evaluation, ``"chunked"`` for memory-bounded base
+  chunking (§2.3), ``"partitioned"`` for detail-partitioned evaluation
+  with columnwise merge.
+* ``partitions``    — fragment count for partitioned mode.
+* ``workers``       — worker-pool size for partitioned mode (1 =
+  sequential fragments; defaults to ``REPRO_WORKERS``).
+* ``chunk_budget``  — base-tuple memory budget for chunked mode.
+* ``trace``         — record an operator span tree during profiling.
+* ``use_cache``     — consult the database's plan/result cache.
+
+The legacy strategy names ``gmdj_chunked`` / ``gmdj_parallel`` conflated
+strategy with execution mode; :meth:`QueryOptions.canonical` maps them
+onto ``strategy="gmdj"`` plus the corresponding ``mode`` so the rest of
+the engine only ever sees the separated form.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, PlanError
+
+STRATEGIES = (
+    "naive",
+    "native",
+    "native_noindex",
+    "unnest_join",
+    "unnest_join_noindex",
+    "gmdj",
+    "gmdj_coalesce",
+    "gmdj_completion",
+    "gmdj_optimized",
+    "gmdj_chunked",
+    "gmdj_parallel",
+    "cost_based",
+    "auto",
+)
+
+#: Strategies that produce a GMDJ plan — the only ones an execution
+#: ``mode`` applies to.
+GMDJ_STRATEGIES = frozenset({
+    "gmdj", "gmdj_coalesce", "gmdj_completion", "gmdj_optimized",
+    "gmdj_chunked", "gmdj_parallel", "auto", "cost_based",
+})
+
+MODES = (None, "plain", "chunked", "partitioned")
+
+#: Legacy strategy names that really name (strategy, mode) pairs.
+_LEGACY_MODES = {
+    "gmdj_chunked": ("gmdj", "chunked"),
+    "gmdj_parallel": ("gmdj", "partitioned"),
+}
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Immutable bundle of execution options for one query run."""
+
+    strategy: str = "auto"
+    mode: str | None = None
+    partitions: int | None = None
+    workers: int | None = None
+    chunk_budget: int | None = None
+    trace: bool = False
+    use_cache: bool = True
+
+    def __post_init__(self):
+        if self.strategy not in STRATEGIES:
+            raise PlanError(
+                f"unknown strategy {self.strategy!r}; "
+                f"choose one of {STRATEGIES}"
+            )
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"unknown mode {self.mode!r}; choose one of {MODES}"
+            )
+        for name in ("partitions", "workers", "chunk_budget"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigurationError(
+                    f"{name} must be >= 1, got {value}"
+                )
+
+    @classmethod
+    def of(cls, value: "QueryOptions | str | None") -> "QueryOptions":
+        """Coerce ``None`` / a strategy string / an options object.
+
+        The string form exists for the deprecated ``strategy: str``
+        shims; new code should construct :class:`QueryOptions` directly.
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(strategy=value)
+        raise ConfigurationError(
+            f"expected QueryOptions, a strategy name, or None; "
+            f"got {value!r}"
+        )
+
+    def canonical(self) -> "QueryOptions":
+        """Normalize legacy strategy names and infer the execution mode.
+
+        * ``gmdj_chunked`` / ``gmdj_parallel`` become ``gmdj`` plus the
+          matching mode;
+        * requesting ``partitions``/``workers`` (or ``chunk_budget``)
+          without a mode implies ``partitioned`` (``chunked``) for
+          GMDJ-producing strategies;
+        * a mode on a non-GMDJ strategy is a configuration error — the
+          baselines have no GMDJ nodes to fragment.
+        """
+        strategy, mode = self.strategy, self.mode
+        if strategy in _LEGACY_MODES:
+            base, implied = _LEGACY_MODES[strategy]
+            if mode not in (None, "plain", implied):
+                raise ConfigurationError(
+                    f"strategy {strategy!r} implies mode {implied!r}; "
+                    f"got mode {mode!r}"
+                )
+            strategy, mode = base, (implied if mode != "plain" else "plain")
+        if mode is None:
+            if self.partitions is not None or self.workers is not None:
+                if self.chunk_budget is not None:
+                    raise ConfigurationError(
+                        "cannot infer a mode from both partitions/workers "
+                        "and chunk_budget; set mode explicitly"
+                    )
+                mode = "partitioned"
+            elif self.chunk_budget is not None:
+                mode = "chunked"
+        if mode == "plain":
+            mode = None
+        if mode is not None and strategy not in GMDJ_STRATEGIES:
+            raise ConfigurationError(
+                f"mode {mode!r} applies only to GMDJ strategies, "
+                f"not {strategy!r}"
+            )
+        if mode == "partitioned" and self.chunk_budget is not None:
+            raise ConfigurationError(
+                "chunk_budget is meaningless in partitioned mode"
+            )
+        if mode == "chunked" and (self.partitions is not None
+                                  or self.workers is not None):
+            raise ConfigurationError(
+                "partitions/workers are meaningless in chunked mode"
+            )
+        if strategy == self.strategy and mode == self.mode:
+            return self
+        return dataclasses.replace(self, strategy=strategy, mode=mode)
+
+    def with_trace(self, trace: bool) -> "QueryOptions":
+        if trace == self.trace:
+            return self
+        return dataclasses.replace(self, trace=trace)
+
+    def cache_key(self) -> tuple:
+        """The options components that affect a query's cached artifacts."""
+        canon = self.canonical()
+        return (canon.strategy, canon.mode, canon.partitions,
+                canon.workers, canon.chunk_budget)

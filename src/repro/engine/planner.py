@@ -12,12 +12,19 @@ The planner exposes the strategies the paper's experiments compare:
                     (sort-merge instead of indexed joins);
 ``gmdj``            Algorithm SubqueryToGMDJ, unoptimized;
 ``gmdj_optimized``  SubqueryToGMDJ + coalescing + completion (Section 4);
-``gmdj_chunked``    SubqueryToGMDJ with memory-bounded (base-chunked)
-                    GMDJ evaluation (Section 2.3);
-``gmdj_parallel``   SubqueryToGMDJ with partitioned detail evaluation
-                    and columnwise merge;
+``gmdj_chunked``    legacy alias for ``gmdj`` + ``mode="chunked"``
+                    (memory-bounded base-chunked evaluation, §2.3);
+``gmdj_parallel``   legacy alias for ``gmdj`` + ``mode="partitioned"``
+                    (detail-partitioned evaluation, columnwise merge,
+                    optionally on a worker pool);
 ``auto``            gmdj_optimized for nested queries, plain evaluation
                     otherwise.
+
+Orthogonally to the strategy, a :class:`~repro.engine.options.QueryOptions`
+``mode`` selects the GMDJ execution regime (plain / chunked /
+partitioned) with its ``partitions`` / ``workers`` / ``chunk_budget``
+knobs, and ``use_cache`` lets a :class:`~repro.engine.cache.PlanCache`
+skip re-translation of plans the database has seen before.
 """
 
 from __future__ import annotations
@@ -30,26 +37,27 @@ from repro.algebra.rewrite import map_children
 from repro.baselines.join_unnest import evaluate_join_unnest
 from repro.baselines.native import evaluate_native
 from repro.baselines.nested_loop import evaluate_naive
+from repro.engine.cache import PlanCache
+from repro.engine.options import GMDJ_STRATEGIES, QueryOptions, STRATEGIES
 from repro.errors import PlanError
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
 from repro.unnesting.translate import subquery_to_gmdj
 
-STRATEGIES = (
-    "naive",
-    "native",
-    "native_noindex",
-    "unnest_join",
-    "unnest_join_noindex",
-    "gmdj",
-    "gmdj_coalesce",
-    "gmdj_completion",
-    "gmdj_optimized",
-    "gmdj_chunked",
-    "gmdj_parallel",
-    "cost_based",
-    "auto",
-)
+__all__ = [
+    "STRATEGIES",
+    "contains_nested_select",
+    "make_executor",
+]
+
+#: Translation flags per GMDJ strategy, also the translation-cache key
+#: component (strategy name alone would alias distinct plans).
+_TRANSLATION_FLAGS = {
+    "gmdj": dict(optimize=False),
+    "gmdj_coalesce": dict(optimize=True, coalesce=True, completion=False),
+    "gmdj_completion": dict(optimize=True, coalesce=False, completion=True),
+    "gmdj_optimized": dict(optimize=True),
+}
 
 
 def contains_nested_select(operator: Operator) -> bool:
@@ -68,91 +76,114 @@ def contains_nested_select(operator: Operator) -> bool:
 
 
 def make_executor(
-    query: Operator, catalog: Catalog, strategy: str
+    query: Operator,
+    catalog: Catalog,
+    options: QueryOptions | str = "auto",
+    cache: PlanCache | None = None,
 ) -> Callable[[], Relation]:
     """Return a zero-argument callable that evaluates ``query``.
 
     Translation-time work (for the GMDJ strategies) happens inside the
     callable as well, matching how the paper's timings include rewrite
-    cost (it is negligible; evaluation dominates).  When tracing is
-    enabled the run is wrapped in a ``query`` span carrying the
-    resolved strategy name, so traces attribute all work to the
-    strategy that actually ran.
+    cost (it is negligible; evaluation dominates) — unless ``cache``
+    holds the translated plan already.  When tracing is enabled the run
+    is wrapped in a ``query`` span carrying the resolved strategy name,
+    so traces attribute all work to the strategy that actually ran.
     """
-    requested = strategy
-    resolved, runner = _resolve_executor(query, catalog, strategy)
+    options = QueryOptions.of(options)
+    requested = options.strategy
+    options = options.canonical()
+    resolved, mode, runner = _resolve_executor(query, catalog, options, cache)
 
     def traced() -> Relation:
         from repro.obs.tracer import span
 
-        with span("query", kind="query", strategy=resolved,
-                  requested=requested):
+        attrs = dict(strategy=resolved, requested=requested)
+        if mode is not None:
+            attrs["mode"] = mode
+        with span("query", kind="query", **attrs):
             return runner()
 
     return traced
 
 
-def _resolve_executor(
-    query: Operator, catalog: Catalog, strategy: str
-) -> tuple[str, Callable[[], Relation]]:
-    """Resolve ``auto``/``cost_based`` and build the raw runner."""
-    if strategy == "auto":
-        strategy = (
-            "gmdj_optimized" if contains_nested_select(query) else "gmdj"
+def _translator(query, catalog, strategy, options, cache):
+    """A callable producing the translated GMDJ plan, cache-aware."""
+    flags = _TRANSLATION_FLAGS[strategy]
+    if cache is None or not options.use_cache:
+        return lambda: subquery_to_gmdj(query, catalog, **flags)
+
+    key = (strategy, PlanCache.plan_key(query))
+
+    def translate():
+        plan = cache.translation(key)
+        if plan is None:
+            plan = subquery_to_gmdj(query, catalog, **flags)
+            cache.store_translation(key, plan)
+        return plan
+
+    return translate
+
+
+def _gmdj_runner(query, catalog, strategy, options, cache):
+    """Build the runner for a GMDJ strategy under the requested mode."""
+    translate = _translator(query, catalog, strategy, options, cache)
+    if options.mode == "chunked":
+        from repro.gmdj.modes import DEFAULT_MEMORY_TUPLES, evaluate_plan_chunked
+
+        budget = options.chunk_budget or DEFAULT_MEMORY_TUPLES
+        return lambda: evaluate_plan_chunked(translate(), catalog, budget)
+    if options.mode == "partitioned":
+        from repro.gmdj.modes import DEFAULT_PARTITIONS, evaluate_plan_partitioned
+
+        partitions = options.partitions or DEFAULT_PARTITIONS
+        return lambda: evaluate_plan_partitioned(
+            translate(), catalog, partitions, workers=options.workers,
         )
+    return lambda: translate().evaluate(catalog)
+
+
+def _resolve_executor(
+    query: Operator, catalog: Catalog, options: QueryOptions,
+    cache: PlanCache | None,
+) -> tuple[str, str | None, Callable[[], Relation]]:
+    """Resolve ``auto``/``cost_based`` and build the raw runner."""
+    strategy = options.strategy
+    if strategy == "auto":
         if not contains_nested_select(query):
-            return "plain", lambda: query.evaluate(catalog)
+            return "plain", None, lambda: query.evaluate(catalog)
+        strategy = "gmdj_optimized"
     if strategy == "cost_based":
         from repro.engine.costmodel import choose_strategy, contains_apply
 
         if not contains_nested_select(query) and not contains_apply(query):
-            return "plain", lambda: query.evaluate(catalog)
+            return "plain", None, lambda: query.evaluate(catalog)
         strategy = choose_strategy(query, catalog)
+        if strategy not in GMDJ_STRATEGIES and options.mode is not None:
+            # The cost model picked a baseline; there is no GMDJ to
+            # fragment, so the mode knobs do not apply.
+            options = QueryOptions.of(strategy)
     if strategy == "naive":
-        return strategy, lambda: evaluate_naive(query, catalog)
+        return strategy, None, lambda: evaluate_naive(query, catalog)
     if strategy == "native":
-        return strategy, lambda: evaluate_native(
+        return strategy, None, lambda: evaluate_native(
             query, catalog, use_indexes=True
         )
     if strategy == "native_noindex":
-        return strategy, lambda: evaluate_native(
+        return strategy, None, lambda: evaluate_native(
             query, catalog, use_indexes=False
         )
     if strategy == "unnest_join":
-        return strategy, lambda: evaluate_join_unnest(
+        return strategy, None, lambda: evaluate_join_unnest(
             query, catalog, use_indexes=True
         )
     if strategy == "unnest_join_noindex":
-        return strategy, lambda: evaluate_join_unnest(
+        return strategy, None, lambda: evaluate_join_unnest(
             query, catalog, use_indexes=False
         )
-    if strategy == "gmdj":
-        return strategy, lambda: subquery_to_gmdj(
-            query, catalog
-        ).evaluate(catalog)
-    if strategy == "gmdj_coalesce":
-        return strategy, lambda: subquery_to_gmdj(
-            query, catalog, optimize=True, coalesce=True, completion=False
-        ).evaluate(catalog)
-    if strategy == "gmdj_completion":
-        return strategy, lambda: subquery_to_gmdj(
-            query, catalog, optimize=True, coalesce=False, completion=True
-        ).evaluate(catalog)
-    if strategy == "gmdj_optimized":
-        return strategy, lambda: subquery_to_gmdj(
-            query, catalog, optimize=True
-        ).evaluate(catalog)
-    if strategy == "gmdj_chunked":
-        from repro.gmdj.modes import evaluate_plan_chunked
-
-        return strategy, lambda: evaluate_plan_chunked(
-            subquery_to_gmdj(query, catalog), catalog
-        )
-    if strategy == "gmdj_parallel":
-        from repro.gmdj.modes import evaluate_plan_partitioned
-
-        return strategy, lambda: evaluate_plan_partitioned(
-            subquery_to_gmdj(query, catalog), catalog
+    if strategy in _TRANSLATION_FLAGS:
+        return strategy, options.mode, _gmdj_runner(
+            query, catalog, strategy, options, cache
         )
     raise PlanError(
         f"unknown strategy {strategy!r}; choose one of {STRATEGIES}"

@@ -8,6 +8,7 @@ from typing import TYPE_CHECKING
 from repro.storage.relation import Relation
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.options import QueryOptions
     from repro.obs.tracer import Trace
 
 
@@ -29,6 +30,7 @@ class ExecutionReport:
     counters: dict = field(default_factory=dict)
     result: Relation | None = None
     trace: "Trace | None" = None
+    options: "QueryOptions | None" = None
 
     @property
     def row_count(self) -> int:

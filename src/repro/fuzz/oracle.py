@@ -23,6 +23,7 @@ crashes as findings.
 from __future__ import annotations
 
 import sqlite3
+from repro import QueryOptions
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -152,7 +153,7 @@ def run_differential(
                     result = evaluate_plan_partitioned(
                         plan, database.catalog, FUZZ_PARTITIONS)
             else:
-                result = database.execute_sql(repro_sql, engine)
+                result = database.execute_sql(repro_sql, QueryOptions(engine))
         except TranslationError:
             outcome.skipped.append(engine)
             continue

@@ -8,6 +8,12 @@ from repro.gmdj.modes import evaluate_plan_chunked, evaluate_plan_partitioned
 from repro.gmdj.operator import GMDJ, ThetaBlock, md
 from repro.gmdj.optimize import fuse_completion, optimize_plan, push_base_selections
 from repro.gmdj.parallel import evaluate_gmdj_partitioned, partition_rows
+from repro.gmdj.pool import (
+    choose_executor,
+    default_workers,
+    map_partitions,
+    resolve_workers,
+)
 from repro.gmdj.pushdown import (
     embed_base_in_detail,
     pull_join_out_of_base,
@@ -20,7 +26,9 @@ __all__ = [
     "GMDJ",
     "SelectGMDJ",
     "ThetaBlock",
+    "choose_executor",
     "coalesce_plan",
+    "default_workers",
     "derive_completion_rule",
     "detail_scans_required",
     "evaluate_gmdj_chunked",
@@ -31,8 +39,10 @@ __all__ = [
     "expression_to_sql",
     "fuse_completion",
     "gmdj_to_sql",
+    "map_partitions",
     "md",
     "merge_stacked",
+    "resolve_workers",
     "optimize_plan",
     "push_base_selections",
     "partition_rows",

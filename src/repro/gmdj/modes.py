@@ -54,16 +54,30 @@ def evaluate_plan_chunked(
 
 
 def evaluate_plan_partitioned(
-    plan: Operator, catalog: Catalog, partitions: int = DEFAULT_PARTITIONS
+    plan: Operator,
+    catalog: Catalog,
+    partitions: int = DEFAULT_PARTITIONS,
+    workers: int | None = None,
+    executor: str | None = None,
 ) -> Relation:
-    """Evaluate ``plan`` with every GMDJ's detail split into ``partitions``."""
+    """Evaluate ``plan`` with every GMDJ's detail split into ``partitions``.
+
+    ``workers`` > 1 evaluates the fragments of each GMDJ concurrently on
+    a worker pool (see :mod:`repro.gmdj.pool`); the default follows the
+    ``REPRO_WORKERS`` environment variable, else sequential fragments.
+    """
+    from repro.gmdj.pool import resolve_workers
+
     if partitions < 1:
         raise ConfigurationError(f"partitions must be >= 1, got {partitions}")
+    workers = resolve_workers(workers)
     with span("plan(partitioned)", kind="mode", mode="partitioned",
-              partitions=partitions):
+              partitions=partitions, workers=workers):
         return _evaluate(
             plan, catalog,
-            lambda gmdj: evaluate_gmdj_partitioned(gmdj, catalog, partitions),
+            lambda gmdj: evaluate_gmdj_partitioned(
+                gmdj, catalog, partitions, workers=workers, executor=executor,
+            ),
         )
 
 

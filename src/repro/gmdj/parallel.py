@@ -11,15 +11,21 @@ where *merge* combines the per-base-tuple aggregate values columnwise
 COUNT first since finalized averages do not merge).  The detail relation
 is split into ``partitions`` horizontal fragments, each fragment is
 evaluated independently against the same (replicated) base-values
-relation — one scan per fragment, executable on separate nodes — and the
-partial results are merged before finalization.
+relation — one scan per fragment — and the partial results are merged
+before finalization.
 
-This module evaluates the fragments sequentially in-process (worker
-threads would serialize on the interpreter lock anyway); what it
-demonstrates, and what the tests pin down, is the *correctness* of the
-partition/merge decomposition and its work profile: total tuples scanned
-equal the single-scan evaluation, i.e. parallelism costs no extra passes
-over the data.
+Two execution regimes share that decomposition:
+
+* ``workers=1`` (default) evaluates the fragments sequentially
+  in-process: it demonstrates, and the tests pin down, the *correctness*
+  of the partition/merge split and its work profile — total tuples
+  scanned equal the single-scan evaluation, i.e. parallelism costs no
+  extra passes over the data.
+* ``workers>1`` dispatches the fragments to a worker pool
+  (:mod:`repro.gmdj.pool`): processes for large details (true multi-core
+  speedup), threads for small ones.  Worker IOStats and trace spans are
+  propagated back, so counters, EXPLAIN ANALYZE, and the invariant
+  checker behave identically to the sequential path.
 
 Completion-fused evaluation (``SelectGMDJ``) is deliberately not
 partitioned: dooming decisions depend on global scan order, so the
@@ -118,16 +124,27 @@ def _shadow_plan(gmdj: GMDJ):
 
 
 def evaluate_gmdj_partitioned(
-    gmdj: GMDJ, catalog: Catalog, partitions: int = 4
+    gmdj: GMDJ,
+    catalog: Catalog,
+    partitions: int = 4,
+    workers: int | None = None,
+    executor: str | None = None,
 ) -> Relation:
     """Evaluate a GMDJ over a horizontally partitioned detail relation.
 
-    Bag-equivalent to ``gmdj.evaluate(catalog)`` for any partition count.
+    Bag-equivalent to ``gmdj.evaluate(catalog)`` for any partition count
+    and any worker count.  ``workers`` defaults to the ``REPRO_WORKERS``
+    environment variable (else 1 = sequential fragments); ``executor``
+    picks the pool flavour (``"thread"``/``"process"``/``"auto"``).
     """
+    from repro.gmdj.pool import resolve_workers
+
     if partitions < 1:
         raise ConfigurationError(f"partitions must be >= 1, got {partitions}")
+    workers = resolve_workers(workers)
     with span("GMDJ(partitioned)", kind="gmdj_partitioned",
-              partitions=partitions, blocks=len(gmdj.blocks)) as sp:
+              partitions=partitions, workers=workers,
+              blocks=len(gmdj.blocks)) as sp:
         with span("base", kind="materialize"):
             base = gmdj.base.evaluate(catalog)
         with span("detail", kind="materialize"):
@@ -143,12 +160,13 @@ def evaluate_gmdj_partitioned(
         if partitions == 1 or len(detail) == 0 or has_distinct:
             # DISTINCT aggregates finalize to unmergeable values; evaluate
             # them in one scan (a distributed engine would ship value sets).
-            sp.set(partitions=1)
+            sp.set(partitions=1, workers=1)
             result = run_gmdj(base, detail, gmdj, output_schema)
             sp.set(output_rows=len(result))
             return result
         result = _evaluate_partitions(
-            gmdj, base, detail, partitions, output_schema, catalog
+            gmdj, base, detail, partitions, output_schema, catalog,
+            workers, executor,
         )
         sp.set(output_rows=len(result))
         return result
@@ -161,28 +179,58 @@ def _evaluate_partitions(
     partitions: int,
     output_schema,
     catalog: Catalog,
+    workers: int = 1,
+    executor: str | None = None,
 ) -> Relation:
     """Partitioned evaluation proper: fragment scans + columnwise merge."""
     shadow, merge_kinds, reconstruct = _shadow_plan(gmdj)
     shadow_schema = shadow.schema(catalog)
-    base_arity = len(base.schema)
+    fragments = partition_rows(detail, partitions)
 
+    if workers > 1:
+        from repro.gmdj.pool import map_partitions
+
+        partials = map_partitions(base, fragments, shadow, shadow_schema,
+                                  workers, executor)
+    else:
+        partials = []
+        for number, fragment in enumerate(fragments, start=1):
+            with span(f"partition {number}", kind="partition",
+                      detail_rows=len(fragment)):
+                partials.append(
+                    run_gmdj(base, fragment, shadow, shadow_schema).rows
+                )
+
+    merged = _merge_partials(partials, merge_kinds, len(base.schema))
+    return _finalize(merged, reconstruct, shadow_schema, len(base.schema),
+                     output_schema)
+
+
+def _merge_partials(
+    partials: list[list], merge_kinds: list[str], base_arity: int
+) -> list[list]:
+    """Columnwise merge of per-fragment partial aggregate rows."""
     merged: list[list] | None = None
-    for number, fragment in enumerate(
-        partition_rows(detail, partitions), start=1
-    ):
-        with span(f"partition {number}", kind="partition",
-                  detail_rows=len(fragment)):
-            partial = run_gmdj(base, fragment, shadow, shadow_schema)
+    for partial_rows in partials:
         if merged is None:
-            merged = [list(row) for row in partial.rows]
+            merged = [list(row) for row in partial_rows]
             continue
-        for row_state, row in zip(merged, partial.rows):
+        for row_state, row in zip(merged, partial_rows):
             for offset in range(base_arity, len(row)):
                 merger = _MERGERS[merge_kinds[offset - base_arity]]
                 row_state[offset] = merger(row_state[offset], row[offset])
     assert merged is not None
+    return merged
 
+
+def _finalize(
+    merged: list[list],
+    reconstruct: list[tuple],
+    shadow_schema,
+    base_arity: int,
+    output_schema,
+) -> Relation:
+    """Map merged shadow columns back to the requested output columns."""
     shadow_index = {
         field.name: i for i, field in enumerate(shadow_schema.fields)
     }

@@ -1,0 +1,208 @@
+"""Worker-pool scheduler for partitioned GMDJ evaluation.
+
+:mod:`repro.gmdj.parallel` establishes the algebraic decomposition —
+``MD(B, R1 ∪ R2, l, θ) = merge(MD(B, R1, l, θ), MD(B, R2, l, θ))`` — and
+evaluates fragments sequentially.  This module supplies the actual
+concurrency: detail fragments are dispatched to a pool of workers via
+:mod:`concurrent.futures`, and each worker returns
+
+* the partial aggregate rows for its fragment (merged columnwise by the
+  caller with the same add/min/max machinery the sequential path uses),
+* an :class:`~repro.storage.iostats.IOStats` snapshot of the work it
+  performed, merged into the coordinator's ambient stats so query-level
+  counters are identical to a single-process run, and
+* when the coordinator is tracing, a serialized span subtree (the
+  ``partition``/``detail_scan`` spans) that is grafted back into the
+  parent :class:`~repro.obs.tracer.Tracer` — EXPLAIN ANALYZE and the
+  invariant checker (fragments tile the detail, output ≤ |B|) keep
+  working unchanged under parallelism.
+
+Executor selection (``choose_executor``):
+
+``process``  a :class:`~concurrent.futures.ProcessPoolExecutor`; true
+             multi-core speedup for CPU-bound aggregate scans, at the
+             price of pickling the base relation and each fragment.
+``thread``   a :class:`~concurrent.futures.ThreadPoolExecutor`; no extra
+             processes and no pickling, used for small inputs where
+             process start-up would dominate (GIL-serialized, so this is
+             an overhead-avoidance fallback, not a speedup path).
+``auto``     processes when the detail is large enough
+             (``PROCESS_MIN_DETAIL_ROWS``) and the task pickles, threads
+             otherwise.
+
+Environment knobs (read at call time, so CI can force them suite-wide):
+
+* ``REPRO_WORKERS``   — default worker count when none is requested.
+* ``REPRO_EXECUTOR``  — force ``thread``/``process``/``auto``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.obs.tracer import Tracer, attach_subtrace, span, tracing, tracing_enabled
+from repro.storage.iostats import IOStats, collect
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+#: Below this many detail rows ``auto`` prefers threads: forking and
+#: pickling would cost more than the scan itself.
+PROCESS_MIN_DETAIL_ROWS = 20_000
+
+_EXECUTOR_KINDS = ("auto", "thread", "process")
+
+
+def default_workers() -> int:
+    """The worker count used when none is requested (``REPRO_WORKERS``)."""
+    raw = os.environ.get("REPRO_WORKERS")
+    if raw is None:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_WORKERS must be an integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ConfigurationError(f"REPRO_WORKERS must be >= 1, got {workers}")
+    return workers
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Validate an explicit worker count or fall back to the env default."""
+    if workers is None:
+        return default_workers()
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def choose_executor(kind: str | None, detail_rows: int, task_sample) -> str:
+    """Resolve ``auto`` to a concrete executor kind for this input.
+
+    ``task_sample`` is any object that must survive pickling for the
+    process path (the shadow plan); unpicklable plans degrade to
+    threads rather than failing.
+    """
+    kind = kind or os.environ.get("REPRO_EXECUTOR") or "auto"
+    if kind not in _EXECUTOR_KINDS:
+        raise ConfigurationError(
+            f"executor must be one of {_EXECUTOR_KINDS}, got {kind!r}"
+        )
+    if kind != "auto":
+        return kind
+    if detail_rows < PROCESS_MIN_DETAIL_ROWS:
+        return "thread"
+    try:
+        pickle.dumps(task_sample)
+    except Exception:
+        return "thread"
+    return "process"
+
+
+@dataclass
+class PartitionTask:
+    """One picklable unit of pool work: a fragment against the base."""
+
+    number: int
+    base: Relation
+    fragment: Relation
+    shadow: object  # the AVG-decomposed GMDJ (repro.gmdj.operator.GMDJ)
+    shadow_schema: Schema
+    trace: bool
+
+
+@dataclass
+class PartitionResult:
+    """What a worker ships back to the coordinator."""
+
+    number: int
+    rows: list
+    counters: dict
+    spans: list | None
+
+
+def run_partition(task: PartitionTask) -> PartitionResult:
+    """Evaluate one detail fragment (executed inside a pool worker).
+
+    The worker isolates its own IOStats and (when requested) its own
+    tracer — both are context-local, so thread workers never race the
+    coordinator's accounting — and returns everything as plain data.
+    """
+    from repro.gmdj.evaluate import run_gmdj
+
+    tracer = Tracer() if task.trace else None
+    with collect() as stats:
+        if tracer is not None:
+            with tracing(tracer):
+                with span(f"partition {task.number}", kind="partition",
+                          detail_rows=len(task.fragment),
+                          worker=os.getpid()):
+                    partial = run_gmdj(task.base, task.fragment, task.shadow,
+                                       task.shadow_schema)
+        else:
+            partial = run_gmdj(task.base, task.fragment, task.shadow,
+                               task.shadow_schema)
+    return PartitionResult(
+        number=task.number,
+        rows=partial.rows,
+        counters=stats.snapshot(),
+        spans=(tracer.trace().to_json()["spans"]
+               if tracer is not None else None),
+    )
+
+
+def _make_pool(kind: str, workers: int):
+    if kind == "process":
+        import multiprocessing
+
+        # Prefer fork where available: workers start in milliseconds and
+        # inherit imports, which keeps small-query overhead low.  Other
+        # platforms fall back to the default start method.
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+            return ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=context)
+        return ProcessPoolExecutor(max_workers=workers)
+    return ThreadPoolExecutor(max_workers=workers,
+                              thread_name_prefix="gmdj-worker")
+
+
+def map_partitions(
+    base: Relation,
+    fragments: list[Relation],
+    shadow,
+    shadow_schema: Schema,
+    workers: int,
+    executor: str | None = None,
+) -> list[list]:
+    """Evaluate every fragment on a worker pool; returns partial row lists.
+
+    Results are returned in fragment order.  Worker IOStats snapshots are
+    merged into the coordinator's ambient stats and worker span subtrees
+    are grafted into the active tracer before returning, so from the
+    outside the evaluation is indistinguishable from the sequential path
+    except for wall-clock.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    trace = tracing_enabled()
+    kind = choose_executor(executor, sum(len(f) for f in fragments), shadow)
+    tasks = [
+        PartitionTask(number, base, fragment, shadow, shadow_schema, trace)
+        for number, fragment in enumerate(fragments, start=1)
+    ]
+    with span("pool", kind="pool", executor=kind, workers=workers,
+              partitions=len(fragments)):
+        with _make_pool(kind, workers) as pool:
+            results = list(pool.map(run_partition, tasks))
+        ambient = IOStats.ambient()
+        for result in results:
+            ambient.merge(result.counters)
+            if result.spans:
+                attach_subtrace(result.spans)
+    return [result.rows for result in results]

@@ -6,6 +6,11 @@ under tracing and shows what actually happened — per-span wall-clock
 and IOStats counter deltas — then runs the invariant checker over the
 trace so the paper's cost claims are verified on every analyzed query.
 
+All entry points accept a :class:`~repro.engine.options.QueryOptions`
+(or a plain strategy string), so analyzed runs cover the chunked and
+partitioned GMDJ modes — including multi-worker runs, whose worker span
+subtrees are grafted back into the coordinator trace.
+
 For the coalescing strategies (``auto``, ``gmdj_optimized``,
 ``gmdj_coalesce``) the renderer derives the Prop. 4.1 expectation
 automatically: any stored table that is the detail of exactly one GMDJ
@@ -43,7 +48,22 @@ def derive_single_scan_tables(plan) -> frozenset[str]:
     return frozenset(name for name, count in counts.items() if count == 1)
 
 
-def analyze(db, query, strategy: str = "auto", strict: bool = False):
+def _coerce(options):
+    from repro.engine.options import QueryOptions
+
+    return QueryOptions.of(options)
+
+
+def _label(options) -> str:
+    """The human-facing ``strategy=... [mode=...]`` header fragment."""
+    label = f"strategy={options.strategy}"
+    mode = options.canonical().mode
+    if mode is not None:
+        label += f" mode={mode}"
+    return label
+
+
+def analyze(db, query, options="auto", strict: bool = False):
     """Execute ``query`` under tracing and check invariants.
 
     Returns ``(report, invariants, single_scan_tables)`` where
@@ -51,26 +71,25 @@ def analyze(db, query, strategy: str = "auto", strict: bool = False):
     :class:`~repro.engine.reports.ExecutionReport` and ``invariants``
     the :class:`~repro.obs.invariants.InvariantReport`.
     """
-    from repro.engine.executor import profile
-
+    options = _coerce(options)
     expectations: frozenset[str] = frozenset()
-    if strategy in COALESCING_STRATEGIES:
+    if options.canonical().strategy in COALESCING_STRATEGIES:
         from repro.unnesting.translate import subquery_to_gmdj
 
         plan = subquery_to_gmdj(query, db.catalog, optimize=True)
         expectations = derive_single_scan_tables(plan)
-    report = profile(query, db.catalog, strategy, trace=True)
+    report = db._run(query, options.with_trace(True), profiled=True)
     invariants = check_trace(
         report.trace, single_scan_tables=expectations, strict=strict
     )
     return report, invariants, expectations
 
 
-def explain_analyze(db, query, strategy: str = "auto",
-                    strict: bool = False) -> str:
+def explain_analyze(db, query, options="auto", strict: bool = False) -> str:
     """The full EXPLAIN ANALYZE text: plan, trace, counters, invariants."""
-    plan_text = db.explain(query, strategy)
-    report, invariants, expectations = analyze(db, query, strategy, strict)
+    options = _coerce(options)
+    plan_text = db.explain(query, options)
+    report, invariants, expectations = analyze(db, query, options, strict)
     counters = ", ".join(
         f"{key}={value}"
         for key, value in sorted(report.counters.items())
@@ -79,7 +98,7 @@ def explain_analyze(db, query, strategy: str = "auto",
     lines = [
         plan_text,
         "",
-        f"-- EXPLAIN ANALYZE (strategy={strategy})",
+        f"-- EXPLAIN ANALYZE ({_label(options)})",
         report.trace.render(),
         f"-- rows: {report.row_count}  "
         f"time: {report.elapsed_seconds * 1000:.2f} ms",
@@ -94,13 +113,16 @@ def explain_analyze(db, query, strategy: str = "auto",
     return "\n".join(lines)
 
 
-def explain_analyze_json(db, query, strategy: str = "auto",
+def explain_analyze_json(db, query, options="auto",
                          strict: bool = False) -> dict:
     """Machine-readable EXPLAIN ANALYZE (the ``--json`` trace export)."""
-    plan_text = db.explain(query, strategy)
-    report, invariants, expectations = analyze(db, query, strategy, strict)
+    options = _coerce(options)
+    plan_text = db.explain(query, options)
+    report, invariants, expectations = analyze(db, query, options, strict)
+    canonical = options.canonical()
     return {
-        "strategy": strategy,
+        "strategy": options.strategy,
+        "mode": canonical.mode,
         "plan": plan_text,
         "rows": report.row_count,
         "elapsed_ms": round(report.elapsed_seconds * 1000, 3),

@@ -136,6 +136,19 @@ def check_trace(
                     f"{scanned} tuples of a {detail_rows}-tuple detail "
                     f"(fragments must tile it exactly)"
                 )
+            # Def. 2.1 survives the columnwise merge: however many
+            # workers computed partials, the merged output still has at
+            # most one tuple per base tuple.
+            report.checked += 1
+            base_rows = owner.attrs.get("base_rows")
+            output_rows = owner.attrs.get("output_rows")
+            if (base_rows is not None and output_rows is not None
+                    and output_rows > base_rows):
+                report.violations.append(
+                    f"|B|-bound: partitioned GMDJ over "
+                    f"{owner.attrs.get('relation')!r} emitted "
+                    f"{output_rows} rows from a {base_rows}-row base"
+                )
 
     for table in sorted(single_scan_tables):
         report.checked += 1

@@ -34,6 +34,7 @@ reported to the inner object).
 from __future__ import annotations
 
 import time
+from contextvars import ContextVar
 
 from repro.storage.iostats import IOStats
 
@@ -55,25 +56,51 @@ class _NoOpSpan:
 
 _NOOP_SPAN = _NoOpSpan()
 
-#: The installed tracer, or None when tracing is disabled.
-_active: "Tracer | None" = None
+#: The installed tracer, or None when tracing is disabled.  Tracked per
+#: execution context (``ContextVar``) so pool worker threads never push
+#: spans onto the coordinator's span stack concurrently — a worker that
+#: wants tracing installs its *own* tracer and the finished subtree is
+#: grafted back with :func:`attach_subtrace`.
+_active_var: ContextVar["Tracer | None"] = ContextVar(
+    "repro_active_tracer", default=None
+)
 
 
 def tracing_enabled() -> bool:
     """True when a tracer is installed (spans are being recorded)."""
-    return _active is not None
+    return _active_var.get() is not None
 
 
 def current_tracer() -> "Tracer | None":
-    return _active
+    return _active_var.get()
 
 
 def span(name: str, kind: str = "op", **attrs) -> "Span | _NoOpSpan":
     """Open a span on the active tracer; a shared no-op when disabled."""
-    tracer = _active
+    tracer = _active_var.get()
     if tracer is None:
         return _NOOP_SPAN
     return Span(tracer, name, kind, attrs)
+
+
+def attach_subtrace(records) -> None:
+    """Graft serialized spans (``Span.to_json`` dicts) into the live trace.
+
+    The parallel pool runs each partition in a worker (thread or
+    process) whose spans are recorded on a private tracer and shipped
+    back as JSON.  This reattaches them under the currently open span of
+    the active tracer, so EXPLAIN ANALYZE and the invariant checker see
+    one contiguous span tree regardless of where the work ran.  A no-op
+    when tracing is disabled.
+    """
+    tracer = _active_var.get()
+    if tracer is None:
+        return
+    spans = [Span.from_json(record) for record in records]
+    if tracer._stack:
+        tracer._stack[-1].children.extend(spans)
+    else:
+        tracer.roots.extend(spans)
 
 
 class Span:
@@ -119,6 +146,23 @@ class Span:
         }
         self._tracer._pop(self)
         return False
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Span":
+        """Rebuild a finished span (and subtree) from ``to_json`` output.
+
+        Used to graft pool-worker subtraces back into the coordinator's
+        trace; the rebuilt span is already closed, so it is never pushed
+        onto any tracer stack.
+        """
+        span_ = cls(None, data["name"], data.get("kind", "op"),
+                    dict(data.get("attrs", ())))
+        span_.elapsed_seconds = data.get("elapsed_ms", 0.0) / 1000.0
+        span_.counters = dict(data.get("counters", ()))
+        span_.children = [
+            cls.from_json(child) for child in data.get("children", ())
+        ]
+        return span_
 
     def self_counters(self) -> dict:
         """Counter deltas minus the children's (work done by this span)."""
@@ -239,11 +283,9 @@ class tracing:
         self._previous: Tracer | None = None
 
     def __enter__(self) -> Tracer:
-        global _active
-        self._previous = _active
-        _active = self.tracer
+        self._previous = _active_var.get()
+        _active_var.set(self.tracer)
         return self.tracer
 
     def __exit__(self, *exc_info) -> None:
-        global _active
-        _active = self._previous
+        _active_var.set(self._previous)

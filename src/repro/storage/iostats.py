@@ -32,10 +32,20 @@ a fresh object and restores the previous one on exit.
 from __future__ import annotations
 
 import math
+from contextvars import ContextVar
 from dataclasses import dataclass, field, fields as dataclass_fields
 
 #: Simulated page capacity used for page accounting.
 TUPLES_PER_PAGE = 100
+
+#: The ambient stats object, tracked per execution context.  A
+#: ``ContextVar`` rather than a module global so worker threads (the
+#: parallel GMDJ pool) each get their own accumulator instead of racing
+#: unsynchronized ``+=`` against the coordinator's object; the pool
+#: merges worker snapshots back explicitly via :meth:`IOStats.merge`.
+_ambient_var: ContextVar["IOStats | None"] = ContextVar(
+    "repro_iostats_ambient", default=None
+)
 
 
 @dataclass
@@ -54,19 +64,19 @@ class IOStats:
     completed_tuples: int = 0
     extra: dict = field(default_factory=dict)
 
-    _ambient: "IOStats | None" = None
-
     @classmethod
     def ambient(cls) -> "IOStats":
-        """The process-wide stats object operators report into."""
-        if cls._ambient is None:
-            cls._ambient = cls()
-        return cls._ambient
+        """The context-wide stats object operators report into."""
+        stats = _ambient_var.get()
+        if stats is None:
+            stats = cls()
+            _ambient_var.set(stats)
+        return stats
 
     @classmethod
     def _set_ambient(cls, stats: "IOStats") -> "IOStats":
         previous = cls.ambient()
-        cls._ambient = stats
+        _ambient_var.set(stats)
         return previous
 
     def reset(self) -> None:
@@ -81,6 +91,18 @@ class IOStats:
         self.relation_scans += 1
         self.tuples_scanned += tuple_count
         self.pages_read += math.ceil(tuple_count / TUPLES_PER_PAGE)
+
+    def merge(self, snapshot: dict) -> None:
+        """Add a counter snapshot (e.g. from a pool worker) into this object.
+
+        Only integer counters known to this dataclass are merged; unknown
+        keys are ignored so snapshots survive schema drift between
+        coordinator and worker versions.
+        """
+        for fld in dataclass_fields(self):
+            value = snapshot.get(fld.name)
+            if isinstance(value, int) and isinstance(getattr(self, fld.name), int):
+                setattr(self, fld.name, getattr(self, fld.name) + value)
 
     def snapshot(self) -> dict:
         """A plain-dict copy of all integer counters (for reporting)."""

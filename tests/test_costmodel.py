@@ -1,6 +1,7 @@
 """Tests for the cost model and cost-based strategy selection."""
 
 import pytest
+from repro import QueryOptions
 
 from repro.algebra.expressions import col, lit
 from repro.algebra.nested import Exists, NestedSelect, Subquery, QuantifiedComparison
@@ -108,17 +109,17 @@ class TestChoice:
 
 class TestCostBasedStrategy:
     def test_cost_based_executes_correctly(self, db):
-        expected = db.execute(exists_query(), "naive")
-        result = db.execute(exists_query(), "cost_based")
+        expected = db.execute(exists_query(), QueryOptions("naive"))
+        result = db.execute(exists_query(), QueryOptions("cost_based"))
         assert expected.bag_equal(result)
 
     def test_cost_based_on_flat_query(self, db):
         from repro.algebra.operators import Select
 
         query = Select(ScanTable("small", "b"), col("b.K") > lit(15))
-        assert len(db.execute(query, "cost_based")) == 4
+        assert len(db.execute(query, QueryOptions("cost_based"))) == 4
 
     def test_cost_based_with_index(self, db):
         db.create_index("big", "K")
-        expected = db.execute(exists_query(), "naive")
-        assert expected.bag_equal(db.execute(exists_query(), "cost_based"))
+        expected = db.execute(exists_query(), QueryOptions("naive"))
+        assert expected.bag_equal(db.execute(exists_query(), QueryOptions("cost_based")))

@@ -1,6 +1,7 @@
 """Tests for DISTINCT aggregates through every layer."""
 
 import pytest
+from repro import QueryOptions
 
 from repro.algebra.aggregates import AggregateSpec, agg
 from repro.algebra.expressions import col
@@ -100,10 +101,10 @@ class TestThroughSQL:
     def test_scalar_subquery_with_distinct(self, db):
         sql = ("SELECT b.K FROM B b WHERE 2 = "
                "(SELECT count(DISTINCT r.Y) FROM R r WHERE r.K = b.K)")
-        reference = db.execute_sql(sql, "naive")
+        reference = db.execute_sql(sql, QueryOptions("naive"))
         assert sorted(row[0] for row in reference.rows) == [1]
         for strategy in ("gmdj", "gmdj_optimized"):
-            assert reference.bag_equal(db.execute_sql(sql, strategy))
+            assert reference.bag_equal(db.execute_sql(sql, QueryOptions(strategy)))
 
     def test_distinct_star_rejected(self, db):
         with pytest.raises(SQLSyntaxError):

@@ -1,6 +1,7 @@
 """Tests for the engine: Database façade, planner, executor, reports."""
 
 import pytest
+from repro import QueryOptions
 
 from repro.algebra.expressions import col, lit
 from repro.algebra.nested import Exists, NestedSelect, Subquery
@@ -70,20 +71,20 @@ class TestDatabaseDDL:
 class TestStrategies:
     @pytest.mark.parametrize("strategy", [s for s in STRATEGIES if s != "auto"])
     def test_every_strategy_agrees(self, db, strategy):
-        expected = db.execute(nested_query(), "naive")
-        assert expected.bag_equal(db.execute(nested_query(), strategy))
+        expected = db.execute(nested_query(), QueryOptions("naive"))
+        assert expected.bag_equal(db.execute(nested_query(), QueryOptions(strategy)))
 
     def test_auto_on_nested(self, db):
-        expected = db.execute(nested_query(), "naive")
-        assert expected.bag_equal(db.execute(nested_query(), "auto"))
+        expected = db.execute(nested_query(), QueryOptions("naive"))
+        assert expected.bag_equal(db.execute(nested_query(), QueryOptions("auto")))
 
     def test_auto_on_flat(self, db):
         query = Select(ScanTable("B", "b"), col("b.X") > lit(2))
-        assert len(db.execute(query, "auto")) == 2
+        assert len(db.execute(query, QueryOptions("auto"))) == 2
 
     def test_unknown_strategy(self, db):
         with pytest.raises(PlanError):
-            db.execute(nested_query(), "quantum")
+            db.execute(nested_query(), QueryOptions("quantum"))
 
     def test_contains_nested_select(self):
         assert contains_nested_select(nested_query())
@@ -96,23 +97,23 @@ class TestStrategies:
 
 class TestProfile:
     def test_profile_report_fields(self, db):
-        report = db.profile(nested_query(), "gmdj")
+        report = db.profile(nested_query(), QueryOptions("gmdj"))
         assert report.strategy == "gmdj"
         assert report.row_count == 2
         assert report.elapsed_seconds >= 0
         assert report.pages_read > 0
 
     def test_profile_counters_isolated(self, db):
-        first = db.profile(nested_query(), "gmdj")
-        second = db.profile(nested_query(), "gmdj")
+        first = db.profile(nested_query(), QueryOptions("gmdj"))
+        second = db.profile(nested_query(), QueryOptions("gmdj"))
         assert first.counters["pages_read"] == second.counters["pages_read"]
 
     def test_summary_string(self, db):
-        text = db.profile(nested_query(), "gmdj").summary()
+        text = db.profile(nested_query(), QueryOptions("gmdj")).summary()
         assert "gmdj" in text and "rows=" in text
 
     def test_total_work_positive(self, db):
-        assert db.profile(nested_query(), "naive").total_work > 0
+        assert db.profile(nested_query(), QueryOptions("naive")).total_work > 0
 
     def test_module_level_profile(self, db):
         report = profile(nested_query(), db.catalog, "native")
@@ -125,16 +126,16 @@ class TestExplain:
         assert "GMDJ" in text or "SelectGMDJ" in text
 
     def test_explain_plain_strategy_shows_nested(self, db):
-        text = db.explain(nested_query(), "naive")
+        text = db.explain(nested_query(), QueryOptions("naive"))
         assert "NestedSelect" in text
 
     def test_explain_gmdj(self, db):
-        text = db.explain(nested_query(), "gmdj")
+        text = db.explain(nested_query(), QueryOptions("gmdj"))
         assert "GMDJ" in text
 
     def test_explain_unknown_strategy(self, db):
         with pytest.raises(PlanError):
-            db.explain(nested_query(), "nope")
+            db.explain(nested_query(), QueryOptions("nope"))
 
 
 class TestSQLIntegration:
@@ -150,7 +151,7 @@ class TestSQLIntegration:
                "(SELECT AVG(r.Y) FROM R r WHERE r.K = b.K)")
         for strategy in ("naive", "unnest_join", "gmdj_optimized"):
             assert sorted(
-                row[0] for row in db.execute_sql(sql, strategy).rows
+                row[0] for row in db.execute_sql(sql, QueryOptions(strategy)).rows
             ) == [2]
 
     def test_profile_sql(self, db):

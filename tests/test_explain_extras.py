@@ -2,6 +2,7 @@
 explain_analyze."""
 
 import pytest
+from repro import QueryOptions
 
 from repro.algebra.apply_op import Apply
 from repro.algebra.expressions import col, lit
@@ -60,7 +61,7 @@ class TestExplainAnalyze:
             ScanTable("T", "t"),
             Exists(Subquery(ScanTable("U", "u"), col("u.k") == col("t.k"))),
         )
-        text = db.explain_analyze(query, "gmdj")
+        text = db.explain_analyze(query, QueryOptions("gmdj"))
         assert "GMDJ" in text
         assert "rows: 1" in text
         assert "tuples_scanned=" in text
@@ -70,5 +71,5 @@ class TestExplainAnalyze:
             ScanTable("T", "t"),
             Exists(Subquery(ScanTable("U", "u"), col("u.k") == col("t.k"))),
         )
-        text = db.explain_analyze(query, "naive")
+        text = db.explain_analyze(query, QueryOptions("naive"))
         assert "NestedSelect" in text

@@ -3,7 +3,7 @@ strategies in agreement, paper examples reproduced."""
 
 import pytest
 
-from repro import Database
+from repro import QueryOptions, Database
 from repro.algebra.expressions import col, lit
 from repro.algebra.nested import Exists, NestedSelect, Subquery
 from repro.algebra.operators import Project, ScanTable
@@ -74,15 +74,15 @@ class TestTpcrStrategiesAgree:
     @pytest.mark.parametrize("sql", TPCR_SQL,
                              ids=[f"q{i}" for i in range(len(TPCR_SQL))])
     def test_all_strategies_agree(self, tpcr_db, sql):
-        reference = tpcr_db.execute_sql(sql, "naive")
+        reference = tpcr_db.execute_sql(sql, QueryOptions("naive"))
         for strategy in STRATEGIES[1:]:
-            result = tpcr_db.execute_sql(sql, strategy)
+            result = tpcr_db.execute_sql(sql, QueryOptions(strategy))
             assert reference.bag_equal(result), strategy
 
     def test_non_trivial_answers(self, tpcr_db):
         # Guard against degenerate workloads: at least some of the suite
         # must return non-empty, non-total answers.
-        sizes = [len(tpcr_db.execute_sql(sql, "gmdj")) for sql in TPCR_SQL]
+        sizes = [len(tpcr_db.execute_sql(sql, QueryOptions("gmdj"))) for sql in TPCR_SQL]
         assert any(0 < size < 60 for size in sizes)
 
 
@@ -94,9 +94,9 @@ class TestNetflowScenarios:
             "AND f.StartTime < h.EndInterval AND "
             "f.DestIP = '167.167.167.0')"
         )
-        reference = netflow_db.execute_sql(sql, "naive")
+        reference = netflow_db.execute_sql(sql, QueryOptions("naive"))
         for strategy in STRATEGIES[1:]:
-            assert reference.bag_equal(netflow_db.execute_sql(sql, strategy))
+            assert reference.bag_equal(netflow_db.execute_sql(sql, QueryOptions(strategy)))
 
     def test_example_3_3_active_users(self, netflow_db):
         """Double NOT EXISTS with a non-neighboring predicate."""
@@ -115,9 +115,9 @@ class TestNetflowScenarios:
                             (col("H.StartInterval") >= lit(0)) & inner),
                    negated=True),
         )
-        reference = netflow_db.execute(query, "naive")
-        gmdj = netflow_db.execute(query, "gmdj")
-        optimized = netflow_db.execute(query, "gmdj_optimized")
+        reference = netflow_db.execute(query, QueryOptions("naive"))
+        gmdj = netflow_db.execute(query, QueryOptions("gmdj"))
+        optimized = netflow_db.execute(query, QueryOptions("gmdj_optimized"))
         assert reference.bag_equal(gmdj)
         assert reference.bag_equal(optimized)
 
@@ -126,9 +126,9 @@ class TestNetflowScenarios:
             "SELECT DISTINCT f.SourceIP FROM Flow f WHERE f.SourceIP NOT IN "
             "(SELECT g.SourceIP FROM Flow g WHERE g.Protocol = 'FTP')"
         )
-        reference = netflow_db.execute_sql(sql, "naive")
+        reference = netflow_db.execute_sql(sql, QueryOptions("naive"))
         for strategy in ("unnest_join", "gmdj", "gmdj_optimized"):
-            assert reference.bag_equal(netflow_db.execute_sql(sql, strategy))
+            assert reference.bag_equal(netflow_db.execute_sql(sql, QueryOptions(strategy)))
 
 
 class TestTable1Harness:
@@ -170,13 +170,13 @@ class TestStatsShapes:
             & Exists(flows_to("168.168.168.0", "F2"))
             & Exists(flows_to("169.169.169.0", "F3")),
         )
-        report_one = netflow_db.profile(one, "gmdj_optimized")
-        report_three = netflow_db.profile(three, "gmdj_optimized")
+        report_one = netflow_db.profile(one, QueryOptions("gmdj_optimized"))
+        report_three = netflow_db.profile(three, QueryOptions("gmdj_optimized"))
         assert (report_three.counters["relation_scans"]
                 == report_one.counters["relation_scans"])
 
     def test_naive_work_explodes_relative_to_gmdj(self, tpcr_db):
         sql = TPCR_SQL[0]
-        naive = tpcr_db.profile_sql(sql, "naive")
-        gmdj = tpcr_db.profile_sql(sql, "gmdj_optimized")
+        naive = tpcr_db.profile_sql(sql, QueryOptions("naive"))
+        gmdj = tpcr_db.profile_sql(sql, QueryOptions("gmdj_optimized"))
         assert naive.total_work > gmdj.total_work * 10

@@ -18,6 +18,7 @@ reintroduce them:
 from __future__ import annotations
 
 import pytest
+from repro import QueryOptions
 
 from repro.engine import STRATEGIES, Database
 from repro.errors import TranslationError
@@ -31,7 +32,7 @@ ALL_STRATEGIES = STRATEGIES
 def run(db: Database, sql: str, strategy: str):
     """Rows as a sorted list, or None when the strategy can't express it."""
     try:
-        result = db.execute_sql(sql, strategy)
+        result = db.execute_sql(sql, QueryOptions(strategy))
     except TranslationError:
         return None
     return sorted(result.rows, key=repr)

@@ -1,0 +1,139 @@
+"""Tests for the plan/result cache, especially staleness on DDL.
+
+The regression this file pins: a cached result must never be served
+after the data it was computed from changed.  Every Database DDL entry
+point invalidates, so re-executing after ``register``/``create_table``/
+``load_csv``/``create_index``/``drop_indexes`` recomputes.
+"""
+
+import pytest
+
+from repro import Database, DataType, QueryOptions, Relation
+from repro.engine.cache import PlanCache, _LRU
+from repro.storage import save_csv
+
+SQL = ("SELECT K FROM B b WHERE EXISTS "
+       "(SELECT * FROM R r WHERE r.K = b.K)")
+
+
+def make_db(r_rows) -> Database:
+    db = Database()
+    db.create_table("B", [("K", DataType.INTEGER)],
+                    [(i,) for i in range(4)])
+    db.create_table("R", [("K", DataType.INTEGER)], r_rows)
+    return db
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        lru = _LRU(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")          # refresh: b is now least recent
+        lru.put("c", 3)
+        assert "a" in lru and "c" in lru and "b" not in lru
+
+    def test_capacity_bound(self):
+        cache = PlanCache(capacity=3)
+        for i in range(10):
+            cache.store_translation(("gmdj", str(i)), object())
+        assert cache.stats()["translations"] == 3
+
+
+class TestResultCache:
+    def test_repeat_execute_hits(self):
+        db = make_db([(1,), (2,)])
+        first = db.execute_sql(SQL)
+        second = db.execute_sql(SQL)
+        assert first.bag_equal(second)
+        assert db.cache.stats()["result_hits"] == 1
+
+    def test_hit_returns_equal_but_independent_relation(self):
+        db = make_db([(1,)])
+        first = db.execute_sql(SQL)
+        first.rows.append((99,))  # a caller scribbling on its result
+        second = db.execute_sql(SQL)
+        assert second.rows == [(1,)]
+
+    def test_different_options_do_not_collide(self):
+        db = make_db([(1,), (3,)])
+        a = db.execute_sql(SQL, QueryOptions(strategy="naive"))
+        b = db.execute_sql(SQL, QueryOptions(strategy="gmdj"))
+        assert db.cache.stats()["result_hits"] == 0
+        assert a.bag_equal(b)
+
+    def test_use_cache_false_bypasses(self):
+        db = make_db([(1,)])
+        db.execute_sql(SQL, QueryOptions(use_cache=False))
+        db.execute_sql(SQL, QueryOptions(use_cache=False))
+        stats = db.cache.stats()
+        assert stats["results"] == 0 and stats["result_hits"] == 0
+
+    def test_profiled_runs_never_serve_cached_results(self):
+        db = make_db([(1,)])
+        db.execute_sql(SQL)  # populate
+        report = db.profile_sql(SQL)
+        # A cache hit would measure nothing; counters prove real work ran.
+        assert report.counters.get("tuples_scanned", 0) > 0
+
+
+class TestStaleness:
+    def test_register_invalidates(self):
+        db = make_db([(1,)])
+        assert db.execute_sql(SQL).rows == [(1,)]
+        db.register("R", Relation.from_columns(
+            [("K", DataType.INTEGER)], [(2,), (3,)], name="R",
+        ))
+        assert sorted(db.execute_sql(SQL).rows) == [(2,), (3,)]
+
+    def test_create_table_invalidates(self):
+        db = make_db([(0,), (1,)])
+        assert sorted(db.execute_sql(SQL).rows) == [(0,), (1,)]
+        db.catalog.drop_table("R")
+        db.create_table("R", [("K", DataType.INTEGER)], [(3,)])
+        assert db.execute_sql(SQL).rows == [(3,)]
+
+    def test_load_csv_invalidates(self, tmp_path):
+        db = make_db([(1,)])
+        db.execute_sql(SQL)
+        replacement = Relation.from_columns(
+            [("K", DataType.INTEGER)], [(2,)], name="R",
+        )
+        path = tmp_path / "R.csv"
+        save_csv(replacement, path)
+        db.catalog.drop_table("R")
+        db.load_csv("R", path)
+        assert db.execute_sql(SQL).rows == [(2,)]
+
+    def test_index_ddl_invalidates(self):
+        db = make_db([(1,)])
+        db.execute_sql(SQL)
+        db.create_index("R", "K")
+        assert db.cache.stats()["results"] == 0
+        db.execute_sql(SQL)
+        db.drop_indexes("R")
+        assert db.cache.stats()["results"] == 0
+
+    def test_invalidation_counter_increments(self):
+        db = make_db([(1,)])
+        before = db.cache.stats()["invalidations"]
+        db.drop_indexes()
+        assert db.cache.stats()["invalidations"] == before + 1
+
+
+class TestTranslationCache:
+    def test_translation_reused_across_runs(self):
+        db = make_db([(1,), (2,)])
+        db.execute_sql(SQL, QueryOptions(strategy="gmdj", use_cache=True))
+        hits_before = db.cache.stats()["translation_hits"]
+        # Same logical plan, different result-cache key (mode differs):
+        # translation is shared, evaluation re-runs.
+        db.execute_sql(SQL, QueryOptions(strategy="gmdj", partitions=2))
+        assert db.cache.stats()["translation_hits"] > hits_before
+
+    def test_translation_keyed_by_strategy_flags(self):
+        db = make_db([(1,)])
+        db.execute_sql(SQL, QueryOptions(strategy="gmdj"))
+        db.execute_sql(SQL, QueryOptions(strategy="gmdj_optimized"))
+        # Distinct flag sets must not alias each other's plans.
+        assert db.cache.stats()["translations"] == 2

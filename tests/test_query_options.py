@@ -1,0 +1,214 @@
+"""Tests for the unified QueryOptions API and the deprecation shims."""
+
+import dataclasses
+
+import pytest
+
+from repro import Database, DataType, QueryOptions
+from repro.engine.options import GMDJ_STRATEGIES, STRATEGIES
+from repro.errors import ConfigurationError, PlanError
+from repro.gmdj.pool import default_workers, resolve_workers
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.create_table(
+        "B", [("K", DataType.INTEGER)], [(i,) for i in range(4)]
+    )
+    database.create_table(
+        "R", [("K", DataType.INTEGER), ("V", DataType.INTEGER)],
+        [(i % 4, i) for i in range(12)],
+    )
+    return database
+
+
+SQL = ("SELECT K FROM B b WHERE EXISTS "
+       "(SELECT * FROM R r WHERE r.K = b.K AND r.V > 5)")
+
+
+class TestConstruction:
+    def test_defaults(self):
+        options = QueryOptions()
+        assert options.strategy == "auto"
+        assert options.mode is None
+        assert options.use_cache is True
+        assert options.trace is False
+
+    def test_frozen(self):
+        options = QueryOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            options.strategy = "gmdj"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(PlanError):
+            QueryOptions(strategy="quantum")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryOptions(mode="sharded")
+
+    @pytest.mark.parametrize("field", ["partitions", "workers",
+                                       "chunk_budget"])
+    def test_nonpositive_knobs_rejected(self, field):
+        with pytest.raises(ConfigurationError):
+            QueryOptions(**{field: 0})
+
+    def test_of_coerces_none_string_and_options(self):
+        assert QueryOptions.of(None) == QueryOptions()
+        assert QueryOptions.of("gmdj").strategy == "gmdj"
+        options = QueryOptions(strategy="naive")
+        assert QueryOptions.of(options) is options
+
+    def test_of_rejects_other_types(self):
+        with pytest.raises(ConfigurationError):
+            QueryOptions.of(42)
+
+    def test_reexported_from_package_root(self):
+        import repro
+
+        assert repro.QueryOptions is QueryOptions
+        assert "QueryOptions" in repro.__all__
+
+
+class TestCanonical:
+    def test_legacy_chunked_maps_to_mode(self):
+        canon = QueryOptions(strategy="gmdj_chunked").canonical()
+        assert (canon.strategy, canon.mode) == ("gmdj", "chunked")
+
+    def test_legacy_parallel_maps_to_mode(self):
+        canon = QueryOptions(strategy="gmdj_parallel").canonical()
+        assert (canon.strategy, canon.mode) == ("gmdj", "partitioned")
+
+    def test_legacy_name_with_conflicting_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryOptions(strategy="gmdj_parallel", mode="chunked").canonical()
+
+    def test_workers_imply_partitioned(self):
+        canon = QueryOptions(workers=2).canonical()
+        assert canon.mode == "partitioned"
+
+    def test_partitions_imply_partitioned(self):
+        assert QueryOptions(partitions=3).canonical().mode == "partitioned"
+
+    def test_chunk_budget_implies_chunked(self):
+        assert QueryOptions(chunk_budget=10).canonical().mode == "chunked"
+
+    def test_ambiguous_inference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryOptions(workers=2, chunk_budget=10).canonical()
+
+    def test_plain_mode_normalizes_to_none(self):
+        assert QueryOptions(mode="plain").canonical().mode is None
+
+    def test_mode_on_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryOptions(strategy="naive", mode="partitioned").canonical()
+
+    def test_mixed_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryOptions(mode="partitioned", chunk_budget=5).canonical()
+        with pytest.raises(ConfigurationError):
+            QueryOptions(mode="chunked", workers=2).canonical()
+
+    def test_canonical_is_idempotent_and_cheap(self):
+        options = QueryOptions(strategy="gmdj", mode="partitioned",
+                               partitions=2)
+        assert options.canonical() is options
+
+    def test_every_strategy_is_known(self):
+        assert GMDJ_STRATEGIES <= set(STRATEGIES)
+        for strategy in STRATEGIES:
+            QueryOptions(strategy=strategy)  # must not raise
+
+
+class TestDatabaseAcceptsOptions:
+    def test_execute_sql_with_options(self, db):
+        plain = db.execute_sql(SQL, QueryOptions(strategy="naive"))
+        gmdj = db.execute_sql(
+            SQL, QueryOptions(strategy="gmdj", mode="partitioned",
+                              partitions=3, workers=2)
+        )
+        assert plain.bag_equal(gmdj)
+
+    def test_profile_carries_options(self, db):
+        options = QueryOptions(strategy="gmdj_optimized")
+        report = db.profile(db.sql(SQL), options)
+        assert report.options == options
+        assert report.counters
+
+    def test_explain_accepts_options(self, db):
+        text = db.explain(db.sql(SQL), QueryOptions(strategy="gmdj"))
+        assert "GMDJ" in text
+
+    def test_explain_analyze_accepts_options(self, db):
+        text = db.explain_analyze(
+            db.sql(SQL),
+            QueryOptions(strategy="gmdj", mode="partitioned",
+                         partitions=2, workers=2),
+            strict=True,
+        )
+        assert "strategy=gmdj mode=partitioned" in text
+        assert "all hold" in text
+
+
+class TestDeprecatedShims:
+    def test_execute_sql_string_warns_but_works(self, db):
+        expected = db.execute_sql(SQL, QueryOptions(strategy="naive"))
+        with pytest.warns(DeprecationWarning, match="QueryOptions"):
+            result = db.execute_sql(SQL, "naive")
+        assert expected.bag_equal(result)
+
+    def test_execute_strategy_keyword_warns(self, db):
+        query = db.sql(SQL)
+        with pytest.warns(DeprecationWarning, match="strategy= keyword"):
+            result = db.execute(query, strategy="gmdj")
+        assert db.execute_sql(SQL, QueryOptions("naive")).bag_equal(result)
+
+    def test_profile_string_warns(self, db):
+        with pytest.warns(DeprecationWarning):
+            report = db.profile(db.sql(SQL), "gmdj")
+        assert report.strategy == "gmdj"
+
+    def test_explain_string_warns(self, db):
+        with pytest.warns(DeprecationWarning):
+            db.explain(db.sql(SQL), "gmdj")
+
+    def test_options_form_is_warning_free(self, db, recwarn):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            db.execute_sql(SQL, QueryOptions(strategy="gmdj"))
+            db.profile(db.sql(SQL), QueryOptions(strategy="naive"))
+
+
+class TestEnvironmentDefaults:
+    def test_default_workers_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() == 1
+
+    def test_default_workers_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        assert resolve_workers(None) == 3
+
+    def test_explicit_workers_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(2) == 2
+
+    @pytest.mark.parametrize("raw", ["zero", "-1", "0"])
+    def test_bad_env_values_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_WORKERS", raw)
+        with pytest.raises(ConfigurationError):
+            default_workers()
+
+    def test_env_workers_drive_execution(self, db, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_EXECUTOR", "thread")
+        expected = db.execute_sql(SQL, QueryOptions(strategy="naive"))
+        result = db.execute_sql(
+            SQL, QueryOptions(strategy="gmdj", mode="partitioned",
+                              partitions=4)
+        )
+        assert expected.bag_equal(result)

@@ -9,6 +9,7 @@ originally by the SQL fuzzer).
 """
 
 import pytest
+from repro import QueryOptions
 
 from repro.engine import Database
 from repro.storage import DataType
@@ -31,9 +32,9 @@ def db() -> Database:
 
 
 def agree(db: Database, sql: str):
-    reference = db.execute_sql(sql, "naive")
+    reference = db.execute_sql(sql, QueryOptions("naive"))
     for strategy in STRATEGIES[1:]:
-        assert reference.bag_equal(db.execute_sql(sql, strategy)), strategy
+        assert reference.bag_equal(db.execute_sql(sql, QueryOptions(strategy))), strategy
     return reference
 
 
@@ -62,9 +63,9 @@ class TestBareNameCapture:
         # remaining strategies.
         sql = ("SELECT a FROM T WHERE T.b > (SELECT sum(a) FROM U WHERE "
                "a < T.b)")
-        reference = db.execute_sql(sql, "naive")
+        reference = db.execute_sql(sql, QueryOptions("naive"))
         for strategy in ("native", "gmdj", "gmdj_optimized"):
-            assert reference.bag_equal(db.execute_sql(sql, strategy))
+            assert reference.bag_equal(db.execute_sql(sql, QueryOptions(strategy)))
         assert len(reference) > 0
 
     def test_scalar_aggregate_equality_correlation(self, db):
@@ -78,9 +79,9 @@ class TestBareNameCapture:
     def test_select_list_subquery_with_bare_correlation(self, db):
         sql = ("SELECT T.a, (SELECT count(*) FROM U WHERE a = T.a) AS n "
                "FROM T")
-        reference = db.execute_sql(sql, "naive")
+        reference = db.execute_sql(sql, QueryOptions("naive"))
         for strategy in ("gmdj", "gmdj_optimized", "unnest_join"):
-            assert reference.bag_equal(db.execute_sql(sql, strategy))
+            assert reference.bag_equal(db.execute_sql(sql, QueryOptions(strategy)))
         rows = {row[0]: row[1] for row in reference.rows}
         assert rows[1] == 1 and rows[7] == 0 and rows[None] == 0
 

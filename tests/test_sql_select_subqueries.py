@@ -1,6 +1,7 @@
 """Tests for scalar subqueries in the SELECT list (APPLY-based)."""
 
 import pytest
+from repro import QueryOptions
 
 from repro.algebra.apply_op import Apply
 from repro.algebra.operators import Project
@@ -56,15 +57,15 @@ class TestExecution:
            "AS total FROM customer c")
 
     def test_values(self, db):
-        result = db.execute_sql(self.SQL, "naive")
+        result = db.execute_sql(self.SQL, QueryOptions("naive"))
         rows = {row[0]: (row[1], row[2]) for row in result.rows}
         assert rows == {1: (2, 40), 2: (1, 5), 3: (0, None)}
 
     @pytest.mark.parametrize("strategy", ["naive", "native", "gmdj",
                                           "gmdj_optimized", "unnest_join"])
     def test_strategies_agree(self, db, strategy):
-        expected = db.execute_sql(self.SQL, "naive")
-        assert expected.bag_equal(db.execute_sql(self.SQL, strategy))
+        expected = db.execute_sql(self.SQL, QueryOptions("naive"))
+        assert expected.bag_equal(db.execute_sql(self.SQL, QueryOptions(strategy)))
 
     def test_gmdj_strategy_rewrites_apply(self, db):
         from repro.unnesting import subquery_to_gmdj
@@ -86,12 +87,12 @@ class TestExecution:
     def test_scalar_mode_select_subquery(self, db):
         sql = ("SELECT c.ck, (SELECT o.price FROM orders o "
                "WHERE o.ck = c.ck AND o.price > 20) AS big FROM customer c")
-        result = db.execute_sql(sql, "naive")
+        result = db.execute_sql(sql, QueryOptions("naive"))
         rows = {row[0]: row[1] for row in result.rows}
         assert rows == {1: 30, 2: None, 3: None}
 
     def test_uncorrelated_select_subquery(self, db):
         sql = ("SELECT c.ck, (SELECT max(o.price) FROM orders o) AS top "
                "FROM customer c")
-        result = db.execute_sql(sql, "gmdj_optimized")
+        result = db.execute_sql(sql, QueryOptions("gmdj_optimized"))
         assert all(row[1] == 99 for row in result.rows)
