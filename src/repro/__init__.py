@@ -45,8 +45,9 @@ from repro.engine import (
     execute,
     profile,
 )
-from repro.errors import InvariantViolation, ReproError
+from repro.errors import InvariantViolation, LintError, ReproError
 from repro.gmdj import GMDJ, md, optimize_plan
+from repro.lint import CostCertificate, LintReport, certify_plan, lint_plan
 from repro.obs import Tracer, check_trace, explain_analyze, tracing
 from repro.storage import Catalog, DataType, Relation, Schema, collect
 from repro.unnesting import subquery_to_gmdj
@@ -56,12 +57,15 @@ __version__ = "1.0.0"
 __all__ = [
     "AggregateSpec",
     "Catalog",
+    "CostCertificate",
     "Database",
     "DataType",
     "ExecutionReport",
     "Exists",
     "GMDJ",
     "InvariantViolation",
+    "LintError",
+    "LintReport",
     "NestedSelect",
     "QuantifiedComparison",
     "QueryOptions",
@@ -73,6 +77,7 @@ __all__ = [
     "Subquery",
     "Tracer",
     "agg",
+    "certify_plan",
     "check_trace",
     "col",
     "collect",
@@ -80,6 +85,7 @@ __all__ = [
     "execute",
     "explain_analyze",
     "in_predicate",
+    "lint_plan",
     "lit",
     "md",
     "not_in_predicate",

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import ExpressionError
-from repro.algebra.expressions import Expression
+from repro.algebra.expressions import Evaluator, Expression
 from repro.storage.iostats import IOStats
 from repro.storage.schema import Field, Schema
 from repro.storage.types import DataType
@@ -256,7 +256,7 @@ class AggregateSpec:
             return DistinctWrapper(inner)
         return inner
 
-    def bind_argument(self, schema: Schema):
+    def bind_argument(self, schema: Schema) -> Evaluator | None:
         """Compile the input expression (``None`` for count(*))."""
         if self.argument is None:
             return None
@@ -285,7 +285,9 @@ class AggregateBlock:
 
     __slots__ = ("specs", "_evaluators")
 
-    def __init__(self, specs: list[AggregateSpec], detail_schema: Schema):
+    def __init__(
+        self, specs: list[AggregateSpec], detail_schema: Schema
+    ) -> None:
         self.specs = specs
         self._evaluators = [spec.bind_argument(detail_schema) for spec in specs]
 

@@ -11,6 +11,12 @@ To evaluate them efficiently we factor θ into
 The same factoring decides the paper's Figure 4 story: a ``<>`` correlation
 predicate yields no equality conjunct, so the basic GMDJ degrades to
 scanning the base array per detail tuple, until tuple completion rescues it.
+
+This module deliberately stays *shallow*: :func:`refers_only_to` asks
+whether references resolve, nothing more.  Full schema/type inference —
+scope stacks for nested predicates, type checking, 3VL hazards, and
+structural cost certification — lives in :mod:`repro.lint`, which the
+planner, ``repro lint`` CLI, and fuzz oracle all drive.
 """
 
 from __future__ import annotations

@@ -55,7 +55,7 @@ class Apply(Operator):
     mode: str = "semi"
     output_name: str = "value"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.mode not in APPLY_MODES:
             raise PlanError(f"unknown APPLY mode {self.mode!r}")
         if self.mode == "scalar" and self.subquery.item is None:
@@ -63,7 +63,7 @@ class Apply(Operator):
         if self.mode == "aggregate" and self.subquery.aggregate is None:
             raise PlanError("aggregate APPLY needs a subquery aggregate")
 
-    def children(self):
+    def children(self) -> tuple[Operator, ...]:
         return (self.input,)
 
     def _output_field(self, catalog: Catalog) -> Field:

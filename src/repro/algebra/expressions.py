@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import operator
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from repro.algebra.truth import Truth
 from repro.errors import ExpressionError
@@ -85,58 +85,58 @@ class Expression:
 
     # -- DSL -------------------------------------------------------------------
 
-    def __eq__(self, other):  # type: ignore[override]
+    def __eq__(self, other: Any) -> "Comparison":  # type: ignore[override]
         return Comparison("=", self, _wrap(other))
 
-    def __ne__(self, other):  # type: ignore[override]
+    def __ne__(self, other: Any) -> "Comparison":  # type: ignore[override]
         return Comparison("<>", self, _wrap(other))
 
-    def __lt__(self, other):
+    def __lt__(self, other: Any) -> "Comparison":
         return Comparison("<", self, _wrap(other))
 
-    def __le__(self, other):
+    def __le__(self, other: Any) -> "Comparison":
         return Comparison("<=", self, _wrap(other))
 
-    def __gt__(self, other):
+    def __gt__(self, other: Any) -> "Comparison":
         return Comparison(">", self, _wrap(other))
 
-    def __ge__(self, other):
+    def __ge__(self, other: Any) -> "Comparison":
         return Comparison(">=", self, _wrap(other))
 
     __hash__ = None  # type: ignore[assignment]
 
-    def __and__(self, other):
+    def __and__(self, other: Any) -> "And":
         return And(self, _wrap_predicate(other))
 
-    def __or__(self, other):
+    def __or__(self, other: Any) -> "Or":
         return Or(self, _wrap_predicate(other))
 
-    def __invert__(self):
+    def __invert__(self) -> "Not":
         return Not(self)
 
-    def __add__(self, other):
+    def __add__(self, other: Any) -> "Arithmetic":
         return Arithmetic("+", self, _wrap(other))
 
-    def __sub__(self, other):
+    def __sub__(self, other: Any) -> "Arithmetic":
         return Arithmetic("-", self, _wrap(other))
 
-    def __mul__(self, other):
+    def __mul__(self, other: Any) -> "Arithmetic":
         return Arithmetic("*", self, _wrap(other))
 
-    def __truediv__(self, other):
+    def __truediv__(self, other: Any) -> "Arithmetic":
         return Arithmetic("/", self, _wrap(other))
 
     def is_null(self) -> "IsNull":
         return IsNull(self)
 
 
-def _wrap(value) -> Expression:
+def _wrap(value: Any) -> Expression:
     if isinstance(value, Expression):
         return value
     return Literal(value)
 
 
-def _wrap_predicate(value) -> Expression:
+def _wrap_predicate(value: Any) -> Expression:
     expr = _wrap(value)
     if not expr.is_predicate:
         raise ExpressionError(f"{expr!r} is not a predicate")
@@ -210,7 +210,7 @@ class Arithmetic(Expression):
         left = self.left.bind(schema)
         right = self.right.bind(schema)
 
-        def run(row):
+        def run(row: tuple) -> Any:
             a = left(row)
             b = right(row)
             if a is None or b is None:
@@ -237,7 +237,7 @@ class Comparison(Expression):
     right: Expression
     is_predicate = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.op not in _PY_COMPARE:
             raise ExpressionError(f"unknown comparison operator {self.op!r}")
 
@@ -272,7 +272,7 @@ class And(Expression):
         left = self.left.bind(schema)
         right = self.right.bind(schema)
 
-        def run(row):
+        def run(row: tuple) -> Truth:
             a = left(row)
             if a is Truth.FALSE:
                 return Truth.FALSE
@@ -297,7 +297,7 @@ class Or(Expression):
         left = self.left.bind(schema)
         right = self.right.bind(schema)
 
-        def run(row):
+        def run(row: tuple) -> Truth:
             a = left(row)
             if a is Truth.TRUE:
                 return Truth.TRUE
@@ -365,7 +365,7 @@ class Coalesce(Expression):
         first = self.first.bind(schema)
         second = self.second.bind(schema)
 
-        def run(row):
+        def run(row: tuple) -> Any:
             value = first(row)
             return value if value is not None else second(row)
 
@@ -410,7 +410,7 @@ def lit(value: Any) -> Literal:
     return Literal(value)
 
 
-def conjoin(predicates) -> Expression:
+def conjoin(predicates: Iterable[Expression]) -> Expression:
     """AND together a sequence of predicates (empty sequence → TRUE)."""
     result: Expression | None = None
     for predicate in predicates:
@@ -418,7 +418,7 @@ def conjoin(predicates) -> Expression:
     return result if result is not None else TRUE
 
 
-def disjoin(predicates) -> Expression:
+def disjoin(predicates: Iterable[Expression]) -> Expression:
     """OR together a sequence of predicates (empty sequence → FALSE)."""
     result: Expression | None = None
     for predicate in predicates:

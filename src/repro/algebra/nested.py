@@ -31,6 +31,7 @@ from repro.algebra.expressions import (
     And,
     Column,
     Comparison,
+    Evaluator,
     Expression,
     Literal,
     Not,
@@ -150,7 +151,7 @@ class Subquery:
     item: Expression | None = None
     aggregate: AggregateSpec | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.aggregate is not None and self.item is not None:
             raise ExpressionError("a subquery has either an item or an aggregate")
 
@@ -210,7 +211,7 @@ class SubqueryPredicate(Expression):
     is_predicate = True
     subquery: Subquery
 
-    def bind(self, schema: Schema):
+    def bind(self, schema: Schema) -> Evaluator:
         raise ExpressionError(
             "subquery predicates cannot be bound directly; evaluate them "
             "with evaluate_predicate or translate them away first"
@@ -241,7 +242,13 @@ class Exists(SubqueryPredicate):
     def references(self) -> set[str]:
         return set()
 
-    def evaluate_for(self, outer_schema, outer_row, catalog, env) -> Truth:
+    def evaluate_for(
+        self,
+        outer_schema: Schema,
+        outer_row: Row,
+        catalog: Catalog,
+        env: Environment,
+    ) -> Truth:
         inner_env = env_with_row(env, outer_schema, outer_row)
         for _ in self.subquery.matching_rows(catalog, inner_env):
             return Truth.of(not self.negated)
@@ -272,7 +279,13 @@ class ScalarComparison(SubqueryPredicate):
     def outer_references(self) -> set[str]:
         return self.outer.references()
 
-    def evaluate_for(self, outer_schema, outer_row, catalog, env) -> Truth:
+    def evaluate_for(
+        self,
+        outer_schema: Schema,
+        outer_row: Row,
+        catalog: Catalog,
+        env: Environment,
+    ) -> Truth:
         inner_env = env_with_row(env, outer_schema, outer_row)
         values = self.subquery.values(catalog, inner_env)
         if self.subquery.aggregate is not None:
@@ -312,7 +325,7 @@ class QuantifiedComparison(SubqueryPredicate):
     subquery: Subquery
     is_predicate = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.quantifier not in ("some", "all"):
             raise ExpressionError(f"bad quantifier {self.quantifier!r}")
 
@@ -322,7 +335,13 @@ class QuantifiedComparison(SubqueryPredicate):
     def outer_references(self) -> set[str]:
         return self.outer.references()
 
-    def evaluate_for(self, outer_schema, outer_row, catalog, env) -> Truth:
+    def evaluate_for(
+        self,
+        outer_schema: Schema,
+        outer_row: Row,
+        catalog: Catalog,
+        env: Environment,
+    ) -> Truth:
         inner_env = env_with_row(env, outer_schema, outer_row)
         closed = substitute_free(self.outer, outer_schema, env)
         outer_value = closed.bind(outer_schema)(outer_row)
@@ -413,7 +432,7 @@ class NestedSelect:
     child: Any  # Operator
     predicate: Expression
 
-    def children(self):
+    def children(self) -> tuple[Any, ...]:
         return (self.child,)
 
     def schema(self, catalog: Catalog) -> Schema:

@@ -15,19 +15,21 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.algebra.aggregates import AggregateSpec
-from repro.algebra.analysis import factor_condition, is_trivially_true
+from repro.algebra.analysis import (
+    FactoredCondition,
+    factor_condition,
+    is_trivially_true,
+)
 from repro.algebra.expressions import (
     Arithmetic,
     Column,
     Comparison,
     Expression,
     Literal,
-    TRUE,
 )
-from repro.algebra.truth import Truth
 from repro.errors import ExpressionError, PlanError, SchemaError
 from repro.storage.catalog import Catalog
 from repro.storage.iostats import IOStats
@@ -115,7 +117,7 @@ class Select(Operator):
     child: Operator
     predicate: Expression
 
-    def children(self):
+    def children(self) -> tuple["Operator", ...]:
         return (self.child,)
 
     def schema(self, catalog: Catalog) -> Schema:
@@ -150,7 +152,7 @@ class ProjectItem:
     preserve: bool = False
 
     @staticmethod
-    def of(item) -> "ProjectItem":
+    def of(item: "ProjectItem | str | tuple | Expression") -> "ProjectItem":
         if isinstance(item, ProjectItem):
             return item
         if isinstance(item, str):
@@ -174,7 +176,7 @@ class Project(Operator):
     items: Sequence
     distinct: bool = False
 
-    def children(self):
+    def children(self) -> tuple["Operator", ...]:
         return (self.child,)
 
     def _resolved_items(self) -> list[ProjectItem]:
@@ -209,7 +211,7 @@ class Rename(Operator):
     child: Operator
     qualifier: str
 
-    def children(self):
+    def children(self) -> tuple["Operator", ...]:
         return (self.child,)
 
     def schema(self, catalog: Catalog) -> Schema:
@@ -223,7 +225,7 @@ class Rename(Operator):
 class Distinct(Operator):
     child: Operator
 
-    def children(self):
+    def children(self) -> tuple["Operator", ...]:
         return (self.child,)
 
     def schema(self, catalog: Catalog) -> Schema:
@@ -250,7 +252,7 @@ class Union(Operator):
     right: Operator
     distinct: bool = False
 
-    def children(self):
+    def children(self) -> tuple["Operator", ...]:
         return (self.left, self.right)
 
     def schema(self, catalog: Catalog) -> Schema:
@@ -278,7 +280,7 @@ class Difference(Operator):
     right: Operator
     distinct: bool = False
 
-    def children(self):
+    def children(self) -> tuple["Operator", ...]:
         return (self.left, self.right)
 
     def schema(self, catalog: Catalog) -> Schema:
@@ -317,7 +319,7 @@ class Intersect(Operator):
     right: Operator
     distinct: bool = False
 
-    def children(self):
+    def children(self) -> tuple["Operator", ...]:
         return (self.left, self.right)
 
     def schema(self, catalog: Catalog) -> Schema:
@@ -351,11 +353,11 @@ class Limit(Operator):
     count: int
     offset: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.count < 0 or self.offset < 0:
             raise PlanError("LIMIT/OFFSET must be non-negative")
 
-    def children(self):
+    def children(self) -> tuple["Operator", ...]:
         return (self.child,)
 
     def schema(self, catalog: Catalog) -> Schema:
@@ -395,13 +397,13 @@ class Join(Operator):
     kind: str = "inner"
     method: str = "auto"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in JOIN_KINDS:
             raise PlanError(f"unknown join kind {self.kind!r}")
         if self.method not in JOIN_METHODS:
             raise PlanError(f"unknown join method {self.method!r}")
 
-    def children(self):
+    def children(self) -> tuple["Operator", ...]:
         return (self.left, self.right)
 
     def schema(self, catalog: Catalog) -> Schema:
@@ -431,7 +433,9 @@ class Join(Operator):
         return _emit_join(left, right, matches, self.kind)
 
 
-def _nested_matches(left: Relation, right: Relation, condition: Expression):
+def _nested_matches(
+    left: Relation, right: Relation, condition: Expression
+) -> Iterator[tuple[int, Row]]:
     """Yield (left_index, right_row) matching pairs via nested loops."""
     stats = IOStats.ambient()
     combined = left.schema.concat(right.schema)
@@ -446,7 +450,9 @@ def _nested_matches(left: Relation, right: Relation, condition: Expression):
                 yield left_index, right_row
 
 
-def _hash_matches(left: Relation, right: Relation, factored):
+def _hash_matches(
+    left: Relation, right: Relation, factored: FactoredCondition
+) -> Iterator[tuple[int, Row]]:
     """Yield matching pairs via a hash table built on the right input."""
     stats = IOStats.ambient()
     right_key_evals = [k.bind(right.schema) for k in factored.right_keys]
@@ -477,7 +483,9 @@ def _hash_matches(left: Relation, right: Relation, factored):
                     yield left_index, right_row
 
 
-def _merge_matches(left: Relation, right: Relation, factored):
+def _merge_matches(
+    left: Relation, right: Relation, factored: FactoredCondition
+) -> Iterator[tuple[int, Row]]:
     """Yield matching pairs via sort-merge on the first equality key."""
     stats = IOStats.ambient()
     left_key = factored.left_keys[0].bind(left.schema)
@@ -533,7 +541,12 @@ def _merge_matches(left: Relation, right: Relation, factored):
             i, j = i_end, j_end
 
 
-def _emit_join(left: Relation, right: Relation, matches, kind: str) -> Relation:
+def _emit_join(
+    left: Relation,
+    right: Relation,
+    matches: Iterable[tuple[int, Row]],
+    kind: str,
+) -> Relation:
     stats = IOStats.ambient()
     if kind == "inner":
         schema = left.schema.concat(right.schema)
@@ -576,7 +589,7 @@ class GroupBy(Operator):
     keys: Sequence[str]
     aggregates: Sequence[AggregateSpec]
 
-    def children(self):
+    def children(self) -> tuple["Operator", ...]:
         return (self.child,)
 
     def schema(self, catalog: Catalog) -> Schema:
@@ -625,7 +638,7 @@ class OrderBy(Operator):
     child: Operator
     keys: Sequence[tuple[str, bool]]
 
-    def children(self):
+    def children(self) -> tuple["Operator", ...]:
         return (self.child,)
 
     def schema(self, catalog: Catalog) -> Schema:

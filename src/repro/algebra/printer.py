@@ -10,6 +10,7 @@ from repro.algebra.operators import (
     Intersect,
     Join,
     Limit,
+    Operator,
     OrderBy,
     Project,
     ProjectItem,
@@ -21,7 +22,7 @@ from repro.algebra.operators import (
 )
 
 
-def explain(plan, indent: int = 0) -> str:
+def explain(plan: Operator, indent: int = 0) -> str:
     """Render an operator tree as an indented outline."""
     lines: list[str] = []
     _render(plan, indent, lines)
@@ -32,7 +33,7 @@ def _pad(indent: int) -> str:
     return "  " * indent
 
 
-def _render(node, indent: int, lines: list[str]) -> None:
+def _render(node: Operator, indent: int, lines: list[str]) -> None:
     from repro.gmdj.evaluate import SelectGMDJ
     from repro.gmdj.operator import GMDJ
 

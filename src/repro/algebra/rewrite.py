@@ -11,7 +11,7 @@ same table).
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable
+from typing import Any, Callable
 
 from repro.algebra.expressions import (
     And,
@@ -24,12 +24,13 @@ from repro.algebra.expressions import (
     Or,
 )
 from repro.algebra.operators import Operator
+from repro.storage.schema import Schema
 
 _CHILD_FIELDS = ("child", "left", "right", "base", "detail", "gmdj",
                  "source", "input")
 
 
-def map_children(node, transform: Callable):
+def map_children(node: Any, transform: Callable) -> Any:
     """Rebuild ``node`` with ``transform`` applied to operator-valued fields."""
     if not dataclasses.is_dataclass(node):
         return node
@@ -48,11 +49,11 @@ def map_children(node, transform: Callable):
     return dataclasses.replace(node, **changes)
 
 
-def _is_operator_like(value) -> bool:
+def _is_operator_like(value: Any) -> bool:
     return isinstance(value, Operator) or hasattr(value, "evaluate")
 
 
-def transform_bottom_up(node, transform: Callable):
+def transform_bottom_up(node: Any, transform: Callable) -> Any:
     """Apply ``transform`` to every node, children first, until each node
     reaches a local fixpoint (the transform keeps being re-applied to its
     own output while it changes something)."""
@@ -64,7 +65,7 @@ def transform_bottom_up(node, transform: Callable):
         rebuilt = replacement
 
 
-def plan_fingerprint(node) -> str:
+def plan_fingerprint(node: Any) -> str:
     """A structural identity string for an operator tree.
 
     Two plans with equal fingerprints compute identical relations (the
@@ -74,7 +75,7 @@ def plan_fingerprint(node) -> str:
     return repr(node)
 
 
-def qualify_references(expression: Expression, schema) -> Expression:
+def qualify_references(expression: Expression, schema: Schema) -> Expression:
     """Rewrite bare references resolvable in ``schema`` to full names.
 
     SQL scoping resolves a bare column name in the innermost block that

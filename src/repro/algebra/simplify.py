@@ -112,7 +112,7 @@ def simplify(expression: Expression) -> Expression:
     return expression
 
 
-def simplify_plan(plan):
+def simplify_plan(plan: Any) -> Any:
     """Simplify every condition in an operator tree, in place of nodes.
 
     Covers the condition-bearing nodes the translator emits: Select,
@@ -125,7 +125,7 @@ def simplify_plan(plan):
     from repro.gmdj.evaluate import SelectGMDJ
     from repro.gmdj.operator import GMDJ, ThetaBlock
 
-    def step(node):
+    def step(node: Any) -> Any:
         if isinstance(node, Select):
             simplified = simplify(node.predicate)
             if not simplified.same_as(node.predicate):

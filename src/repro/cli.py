@@ -31,6 +31,18 @@ paper's cost invariants over the finished trace (``--strict-invariants``
 turns violations into a non-zero exit).  ``--json`` emits the full
 trace as machine-readable JSON.
 
+The ``lint`` subcommand statically verifies plans without executing::
+
+    python -m repro lint "SELECT ..." --data warehouse_dir/
+    python -m repro lint --corpus tests/corpus --json
+
+It runs the static plan verifier (:mod:`repro.lint`) over the bound
+query and its GMDJ translations, printing every diagnostic (scope/type
+errors, 3VL NULL hazards, missed-rewrite advice) plus the structural
+cost certificate.  Exit status is 0 when no error-severity diagnostic
+fired, 1 otherwise.  With ``--corpus DIR`` it verifies every fuzz
+corpus case in DIR instead of a single statement.
+
 The ``fuzz`` subcommand runs the differential fuzzer instead::
 
     python -m repro fuzz --seed 42 --iterations 500
@@ -242,6 +254,147 @@ def fuzz_main(argv: list[str], out) -> int:
     return 0 if report.ok else 1
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Statically verify a query's plans without executing "
+                    "them: schema/type inference, 3VL NULL-safety lints, "
+                    "and the structural cost certificate.",
+    )
+    parser.add_argument(
+        "sql", nargs="?", default=None,
+        help="the SELECT statement to verify (omit with --corpus)",
+    )
+    parser.add_argument(
+        "--data", type=Path, default=None,
+        help="directory of *.csv files to load as tables",
+    )
+    parser.add_argument(
+        "--index", action="append", default=[], metavar="TABLE.ATTR",
+        help="create a hash index before linting (repeatable)",
+    )
+    parser.add_argument(
+        "--corpus", type=Path, default=None, metavar="DIR",
+        help="verify every fuzz corpus case (*.json) in DIR instead of "
+             "a single statement",
+    )
+    parser.add_argument(
+        "--strategy", choices=STRATEGIES, default="auto",
+        help="lint the plan this strategy would execute (default: auto)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit diagnostics and the cost certificate as JSON",
+    )
+    parser.add_argument(
+        "--no-advice", action="store_true",
+        help="suppress advisory (Axxx) diagnostics",
+    )
+    return parser
+
+
+def _lint_one(db: Database, sql: str, strategy: str, advice: bool):
+    """Lint the plan ``strategy`` would run; returns (report, certificate)."""
+    from repro.lint import certify_plan, lint_plan
+    from repro.unnesting import subquery_to_gmdj
+
+    query = db.sql(sql)
+    plan = query
+    resolved = QueryOptions(strategy=strategy).canonical().strategy
+    if resolved in ("auto", "gmdj_optimized", "cost_based"):
+        plan = subquery_to_gmdj(query, db.catalog, optimize=True)
+    elif resolved in ("gmdj", "gmdj_coalesce", "gmdj_completion"):
+        plan = subquery_to_gmdj(query, db.catalog)
+    return lint_plan(plan, db.catalog, advice=advice), certify_plan(plan)
+
+
+def _lint_corpus(args, out) -> int:
+    """Verify every corpus case; exit 1 on any error-severity finding."""
+    import json
+
+    from repro.fuzz.datagen import DatabaseSpec
+    from repro.fuzz.oracle import lint_findings
+    from repro.fuzz.runner import load_corpus
+
+    cases = load_corpus(args.corpus)
+    if not cases:
+        print(f"error: no *.json cases in {args.corpus}", file=sys.stderr)
+        return 2
+    failures = 0
+    results = []
+    for path, data in cases:
+        dbspec = DatabaseSpec.from_json(data["tables"])
+        database = Database()
+        for name, table_spec in dbspec.tables.items():
+            database.create_table(
+                name, list(table_spec.columns), table_spec.rows
+            )
+        findings = lint_findings(database, data["sql"])
+        if findings:
+            failures += 1
+        if args.json:
+            results.append({
+                "case": path.name,
+                "ok": not findings,
+                "diagnostics": [
+                    dict(plan=label, **diagnostic.to_json())
+                    for label, diagnostic in findings
+                ],
+            })
+        elif findings:
+            print(f"{path.name}: {len(findings)} error(s)", file=out)
+            for label, diagnostic in findings:
+                print(f"  {label}: {diagnostic.render()}", file=out)
+        else:
+            print(f"{path.name}: OK", file=out)
+    if args.json:
+        print(json.dumps({
+            "ok": failures == 0,
+            "cases": len(cases),
+            "failing": failures,
+            "results": results,
+        }, indent=2), file=out)
+    else:
+        print(f"linted {len(cases)} case(s), {failures} failing", file=out)
+    return 1 if failures else 0
+
+
+def lint_main(argv: list[str], out) -> int:
+    args = build_lint_parser().parse_args(argv)
+    if (args.sql is None) == (args.corpus is None):
+        print("error: provide either a SQL statement or --corpus DIR",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.corpus is not None:
+            if not args.corpus.is_dir():
+                print(f"error: {args.corpus} is not a directory",
+                      file=sys.stderr)
+                return 2
+            return _lint_corpus(args, out)
+        db = Database()
+        status = _load_and_index(db, args)
+        if status:
+            return status
+        report, certificate = _lint_one(
+            db, args.sql, args.strategy, advice=not args.no_advice
+        )
+        if args.json:
+            import json
+
+            print(json.dumps({
+                "lint": report.to_json(),
+                "certificate": certificate.to_json(),
+            }, indent=2), file=out)
+        else:
+            print(report.render(), file=out)
+            print(certificate.summary(), file=out)
+        return 0 if report.ok else 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
 def build_explain_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro explain",
@@ -343,6 +496,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return fuzz_main(argv[1:], out)
     if argv and argv[0] == "explain":
         return explain_main(argv[1:], out)
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:], out)
     args = build_parser().parse_args(argv)
     db = Database()
     try:

@@ -16,6 +16,10 @@ frozen dataclass, :class:`QueryOptions`:
 * ``chunk_budget``  — base-tuple memory budget for chunked mode.
 * ``trace``         — record an operator span tree during profiling.
 * ``use_cache``     — consult the database's plan/result cache.
+* ``lint``          — run the static plan verifier (:mod:`repro.lint`)
+  over the translated plan before executing it: ``None``/``"off"``
+  skips it, ``"warn"`` surfaces error diagnostics as Python warnings,
+  ``"strict"`` raises :class:`~repro.errors.LintError` fail-fast.
 
 The legacy strategy names ``gmdj_chunked`` / ``gmdj_parallel`` conflated
 strategy with execution mode; :meth:`QueryOptions.canonical` maps them
@@ -61,6 +65,8 @@ _LEGACY_MODES = {
     "gmdj_parallel": ("gmdj", "partitioned"),
 }
 
+LINT_LEVELS = (None, "off", "warn", "strict")
+
 
 @dataclass(frozen=True)
 class QueryOptions:
@@ -73,6 +79,7 @@ class QueryOptions:
     chunk_budget: int | None = None
     trace: bool = False
     use_cache: bool = True
+    lint: str | None = None
 
     def __post_init__(self):
         if self.strategy not in STRATEGIES:
@@ -83,6 +90,11 @@ class QueryOptions:
         if self.mode not in MODES:
             raise ConfigurationError(
                 f"unknown mode {self.mode!r}; choose one of {MODES}"
+            )
+        if self.lint not in LINT_LEVELS:
+            raise ConfigurationError(
+                f"unknown lint level {self.lint!r}; "
+                f"choose one of {LINT_LEVELS}"
             )
         for name in ("partitions", "workers", "chunk_budget"):
             value = getattr(self, name)
@@ -165,7 +177,13 @@ class QueryOptions:
         return dataclasses.replace(self, trace=trace)
 
     def cache_key(self) -> tuple:
-        """The options components that affect a query's cached artifacts."""
+        """The options components that affect a query's cached artifacts.
+
+        ``lint`` participates because a lint-gated run that would have
+        raised must not be satisfied from a result another options
+        object cached.
+        """
         canon = self.canonical()
+        lint = None if canon.lint == "off" else canon.lint
         return (canon.strategy, canon.mode, canon.partitions,
-                canon.workers, canon.chunk_budget)
+                canon.workers, canon.chunk_budget, lint)

@@ -60,6 +60,35 @@ _TRANSLATION_FLAGS = {
 }
 
 
+def _lint_gate(plan: Operator, catalog: Catalog, level: str) -> None:
+    """Fail-fast static verification of a plan about to execute.
+
+    Only error-severity diagnostics gate execution (the plan would raise
+    or silently diverge from SQL semantics); warnings and advice belong
+    to the CLI/EXPLAIN surfaces, not the hot path.
+    """
+    from repro.lint import lint_plan
+    from repro.lint.diagnostics import LintWarning
+
+    report = lint_plan(plan, catalog, advice=False)
+    if report.ok:
+        return
+    rendered = "; ".join(d.render() for d in report.errors)
+    if level == "strict":
+        from repro.errors import LintError
+
+        raise LintError(
+            f"static plan verification failed: {rendered}",
+            diagnostics=report.errors,
+        )
+    import warnings
+
+    warnings.warn(
+        f"static plan verification found errors: {rendered}",
+        LintWarning, stacklevel=3,
+    )
+
+
 def contains_nested_select(operator: Operator) -> bool:
     """True when the tree holds at least one NestedSelect node."""
     found = False
@@ -93,6 +122,12 @@ def make_executor(
     options = QueryOptions.of(options)
     requested = options.strategy
     options = options.canonical()
+    if options.lint in ("warn", "strict"):
+        # Verify the input tree eagerly — this covers the baseline
+        # strategies (which execute the query as-is); the GMDJ
+        # strategies additionally verify their translated plan inside
+        # the runner (see _translator).
+        _lint_gate(query, catalog, options.lint)
     resolved, mode, runner = _resolve_executor(query, catalog, options, cache)
 
     def traced() -> Relation:
@@ -108,10 +143,23 @@ def make_executor(
 
 
 def _translator(query, catalog, strategy, options, cache):
-    """A callable producing the translated GMDJ plan, cache-aware."""
+    """A callable producing the translated GMDJ plan, cache-aware.
+
+    With ``options.lint`` active the translated plan passes through the
+    static verifier before it is returned for evaluation — *after* any
+    cache retrieval, since the translation cache is shared across
+    options objects and a cached plan may never have been linted.
+    """
     flags = _TRANSLATION_FLAGS[strategy]
+    lint = options.lint if options.lint in ("warn", "strict") else None
+
+    def verified(plan):
+        if lint is not None:
+            _lint_gate(plan, catalog, lint)
+        return plan
+
     if cache is None or not options.use_cache:
-        return lambda: subquery_to_gmdj(query, catalog, **flags)
+        return lambda: verified(subquery_to_gmdj(query, catalog, **flags))
 
     key = (strategy, PlanCache.plan_key(query))
 
@@ -120,7 +168,7 @@ def _translator(query, catalog, strategy, options, cache):
         if plan is None:
             plan = subquery_to_gmdj(query, catalog, **flags)
             cache.store_translation(key, plan)
-        return plan
+        return verified(plan)
 
     return translate
 

@@ -28,7 +28,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.engine.database import Database
-from repro.errors import TranslationError
+from repro.errors import ReproError, TranslationError
 from repro.fuzz.datagen import DatabaseSpec
 from repro.gmdj.modes import evaluate_plan_chunked, evaluate_plan_partitioned
 from repro.unnesting.translate import subquery_to_gmdj
@@ -129,18 +129,75 @@ def sqlite_oracle_rows(dbspec: DatabaseSpec, sqlite_sql: str) -> Counter:
     return normalize_rows(rows)
 
 
+def lint_findings(database: Database, repro_sql: str) -> list[tuple[str, object]]:
+    """Error-severity lint diagnostics for a query and its translations.
+
+    Statically verifies the bound query tree plus both GMDJ translations
+    (plain and optimized).  Returns ``(plan_label, diagnostic)`` pairs —
+    an oracle-accepted query must produce none, so the fuzzer reports
+    each as a divergence of the pseudo-engine ``"lint"``.
+    """
+    from repro.lint import lint_plan
+
+    findings: list[tuple[str, object]] = []
+    try:
+        query = database.sql(repro_sql)
+    except ReproError:
+        # The frontend rejected the SQL; every engine will report that
+        # on its own — there is no plan to verify.
+        return findings
+    builders = (
+        ("query", lambda: query),
+        ("gmdj", lambda: subquery_to_gmdj(query, database.catalog)),
+        ("gmdj_optimized",
+         lambda: subquery_to_gmdj(query, database.catalog, optimize=True)),
+    )
+    seen: set[tuple[str, str, str]] = set()
+    for label, build in builders:
+        try:
+            plan = build()
+        except TranslationError:
+            continue
+        report = lint_plan(plan, database.catalog, advice=False)
+        for diagnostic in report.errors:
+            key = (diagnostic.code, diagnostic.path, diagnostic.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append((label, diagnostic))
+    return findings
+
+
 def run_differential(
     dbspec: DatabaseSpec,
     repro_sql: str,
     sqlite_sql: str,
     engines=ALL_ENGINES,
 ) -> CaseOutcome:
-    """Run one case through every engine and diff against SQLite."""
+    """Run one case through every engine and diff against SQLite.
+
+    Besides executing, the case is *statically verified*: the linter
+    (:mod:`repro.lint`) runs over the query and its GMDJ translations,
+    and any error-severity diagnostic is reported as a divergence of the
+    pseudo-engine ``"lint"`` — the linter's soundness contract is that
+    it never fires at error severity on an oracle-accepted query.
+    """
     expected = sqlite_oracle_rows(dbspec, sqlite_sql)
     outcome = CaseOutcome()
     database = Database()
     for name, table_spec in dbspec.tables.items():
         database.create_table(name, list(table_spec.columns), table_spec.rows)
+    try:
+        for label, diagnostic in lint_findings(database, repro_sql):
+            outcome.divergences.append(Divergence(
+                engine="lint", kind="lint-error",
+                detail=f"{label}: {diagnostic.render()}",
+            ))
+    except Exception as error:  # the linter itself must never crash
+        outcome.divergences.append(Divergence(
+            engine="lint", kind="lint-error",
+            detail=f"linter crashed: {type(error).__name__}: {error}",
+        ))
     for engine in engines:
         try:
             if engine in MODE_ENGINES:

@@ -1,0 +1,747 @@
+"""Non-executing schema and type inference over algebra/GMDJ plans.
+
+:class:`PlanTyper` walks a plan tree and re-derives every operator's
+output schema *without evaluating anything*, mirroring the composition
+rules the operators apply at run time (``Schema.concat``/``extend``,
+projection item fields, aggregate output fields).  Where the runtime
+would raise — an unresolvable reference, a string/number comparison, a
+union arity mismatch — the typer records a
+:class:`~repro.lint.diagnostics.PlanDiagnostic` instead and keeps going,
+so one lint run reports every problem in the plan.
+
+Scoping follows the engine's two regimes:
+
+* **flat operators** bind expressions against their own input schema
+  only (``Expression.bind``); a reference that escapes is an error;
+* **nested predicates** (``NestedSelect`` / ``Subquery`` trees) resolve
+  references through the stack of enclosing scopes, innermost first,
+  exactly like :func:`repro.algebra.nested.substitute_free` does with
+  its environment.
+
+The typer also collects the structural facts the rule modules need
+(GMDJ block scopes, quantified-comparison sites) and invokes the checks
+in :mod:`repro.lint.rules` / :mod:`repro.lint.advice` at the matching
+nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.aggregates import AggregateSpec
+from repro.algebra.apply_op import Apply
+from repro.algebra.expressions import (
+    And,
+    Arithmetic,
+    Coalesce,
+    Column,
+    Comparison,
+    Expression,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    TruthLiteral,
+)
+from repro.algebra.nested import (
+    Exists,
+    NestedSelect,
+    QuantifiedComparison,
+    ScalarComparison,
+    Subquery,
+    SubqueryPredicate,
+)
+from repro.algebra.operators import (
+    Difference,
+    Distinct,
+    GroupBy,
+    Intersect,
+    Join,
+    Limit,
+    Operator,
+    OrderBy,
+    Project,
+    ProjectItem,
+    Rename,
+    ScanTable,
+    Select,
+    TableValue,
+    Union,
+)
+from repro.errors import (
+    AmbiguousAttributeError,
+    CatalogError,
+    ExpressionError,
+    ReproError,
+    SchemaError,
+    TypeCheckError,
+    UnknownAttributeError,
+)
+from repro.gmdj.evaluate import SelectGMDJ
+from repro.gmdj.operator import GMDJ
+from repro.lint.diagnostics import LintReport
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Field, Schema
+from repro.storage.types import DataType
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One visible scope: its schema plus the operator that produced it.
+
+    ``origin`` is kept so NULL-safety rules can trace a resolved column
+    back to stored data (see :meth:`PlanTyper.column_possibly_null`).
+    """
+
+    schema: Schema
+    origin: Operator | None = None
+
+
+#: Operators whose output preserves their input's column order — safe to
+#: unwrap when tracing a column back to a stored table.
+_ORDER_PRESERVING = (Select, Distinct, OrderBy, Limit, Rename, NestedSelect)
+
+
+class _ScopedResolver:
+    """Reference resolution through a scope stack, innermost first.
+
+    Mirrors the runtime environment semantics of
+    :func:`~repro.algebra.nested.env_with_row`: a bare name that is
+    ambiguous in an enclosing scope poisons the lookup rather than
+    falling through to a further-out scope.
+    """
+
+    def __init__(
+        self,
+        report: LintReport,
+        frames: list[Frame],
+        path: str,
+        unknown_code: str = "L001",
+        scope_note: str = "",
+    ) -> None:
+        self.report = report
+        self.frames = frames
+        self.path = path
+        self.unknown_code = unknown_code
+        self.scope_note = scope_note
+
+    def resolve(self, reference: str) -> tuple[Frame, Field] | None:
+        local_ambiguous = False
+        for depth, frame in enumerate(self.frames):
+            try:
+                field = frame.schema.field_of(reference)
+            except AmbiguousAttributeError:
+                if depth == 0:
+                    # The runtime skips an ambiguous *local* match and
+                    # consults the environment, so keep looking outward.
+                    local_ambiguous = True
+                    continue
+                self.report.add(
+                    "L002",
+                    f"reference {reference!r} is ambiguous in an "
+                    f"enclosing scope",
+                    self.path,
+                    hint="qualify the reference with its relation alias",
+                )
+                return None
+            except UnknownAttributeError:
+                continue
+            return frame, field
+        if local_ambiguous:
+            self.report.add(
+                "L002",
+                f"ambiguous reference {reference!r}",
+                self.path,
+                hint="qualify the reference with its relation alias",
+            )
+        else:
+            visible = [
+                name for frame in self.frames for name in frame.schema.names
+            ]
+            note = f" {self.scope_note}" if self.scope_note else ""
+            self.report.add(
+                self.unknown_code,
+                f"unresolved reference {reference!r}{note}; "
+                f"visible attributes: {visible}",
+                self.path,
+            )
+        return None
+
+    def resolve_type(self, reference: str) -> DataType | None:
+        resolved = self.resolve(reference)
+        return resolved[1].dtype if resolved is not None else None
+
+
+class PlanTyper:
+    """One lint run's inference state over one plan tree."""
+
+    def __init__(self, catalog: Catalog, report: LintReport,
+                 advice: bool = True) -> None:
+        self.catalog = catalog
+        self.report = report
+        self.advice = advice
+
+    # -- operator walk ------------------------------------------------------
+
+    def infer(self, node: Operator, path: str = "") -> Schema | None:
+        """Schema of ``node``, or None when an error makes it unknowable."""
+        name = type(node).__name__
+        path = f"{path}/{name}" if path else name
+        method = getattr(self, f"_infer_{name}", None)
+        if method is not None:
+            return method(node, path)
+        return self._infer_generic(node, path)
+
+    def _infer_generic(self, node: Operator, path: str) -> Schema | None:
+        """Unknown node type: trust its own schema method, guarded."""
+        for child in node.children():
+            self.infer(child, path)
+        try:
+            return node.schema(self.catalog)
+        except ReproError as error:
+            self.report.add(
+                "L001",
+                f"cannot derive a schema for {type(node).__name__}: {error}",
+                path,
+            )
+            return None
+
+    def _infer_ScanTable(self, node: ScanTable, path: str) -> Schema | None:
+        try:
+            relation = self.catalog.table(node.table_name)
+        except CatalogError:
+            self.report.add(
+                "L008",
+                f"table {node.table_name!r} does not exist; catalog has "
+                f"{self.catalog.table_names()}",
+                path,
+            )
+            return None
+        return relation.schema.rename(node.alias or node.table_name)
+
+    def _infer_TableValue(self, node: TableValue, path: str) -> Schema | None:
+        schema = node.relation.schema
+        return schema.rename(node.alias) if node.alias is not None else schema
+
+    def _infer_Select(self, node: Select, path: str) -> Schema | None:
+        schema = self.infer(node.child, path)
+        if schema is not None:
+            self.check_predicate(
+                node.predicate, [Frame(schema, node.child)],
+                f"{path}:predicate",
+            )
+        return schema
+
+    def _infer_Project(self, node: Project, path: str) -> Schema | None:
+        child_schema = self.infer(node.child, path)
+        if child_schema is None:
+            return None
+        fields = []
+        frames = [Frame(child_schema, node.child)]
+        for position, raw in enumerate(node.items):
+            item_path = f"{path}:items[{position}]"
+            try:
+                item = ProjectItem.of(raw)
+            except ExpressionError as error:
+                self.report.add("L010", str(error), item_path)
+                continue
+            self.check_expression(item.expression, frames, item_path)
+            try:
+                fields.append(item.output_field(child_schema))
+            except ReproError:
+                fields.append(Field(item.name, DataType.FLOAT))
+        return self._build_schema(fields, path)
+
+    def _infer_Rename(self, node: Rename, path: str) -> Schema | None:
+        schema = self.infer(node.child, path)
+        return schema.rename(node.qualifier) if schema is not None else None
+
+    def _infer_Distinct(self, node: Distinct, path: str) -> Schema | None:
+        return self.infer(node.child, path)
+
+    def _infer_Limit(self, node: Limit, path: str) -> Schema | None:
+        return self.infer(node.child, path)
+
+    def _infer_OrderBy(self, node: OrderBy, path: str) -> Schema | None:
+        schema = self.infer(node.child, path)
+        if schema is None:
+            return None
+        resolver = _ScopedResolver(
+            self.report, [Frame(schema, node.child)], f"{path}:keys"
+        )
+        for reference, _descending in node.keys:
+            resolver.resolve(reference)
+        return schema
+
+    def _infer_setop(
+        self, node: Union | Difference | Intersect, path: str
+    ) -> Schema | None:
+        left = self.infer(node.left, path)
+        right = self.infer(node.right, path)
+        if left is None or right is None:
+            return left
+        if len(left) != len(right):
+            self.report.add(
+                "L004",
+                f"{type(node).__name__.lower()} arity mismatch: "
+                f"{len(left)} vs {len(right)} columns",
+                path,
+                hint="project both inputs to the same column list",
+            )
+        return left
+
+    _infer_Union = _infer_setop
+    _infer_Difference = _infer_setop
+    _infer_Intersect = _infer_setop
+
+    def _infer_Join(self, node: Join, path: str) -> Schema | None:
+        left = self.infer(node.left, path)
+        right = self.infer(node.right, path)
+        if left is None or right is None:
+            return None
+        combined = self._concat_schemas(left, right, path)
+        if combined is not None:
+            self.check_predicate(
+                node.condition, [Frame(combined, None)], f"{path}:condition"
+            )
+        if self.advice:
+            from repro.lint.advice import check_join_pushdown
+
+            check_join_pushdown(node, left, self, path)
+        if node.kind in ("semi", "anti"):
+            return left
+        return combined
+
+    def _infer_GroupBy(self, node: GroupBy, path: str) -> Schema | None:
+        child_schema = self.infer(node.child, path)
+        if child_schema is None:
+            return None
+        resolver = _ScopedResolver(
+            self.report, [Frame(child_schema, node.child)], f"{path}:keys"
+        )
+        fields = []
+        for key in node.keys:
+            resolved = resolver.resolve(key)
+            if resolved is not None:
+                fields.append(resolved[1])
+        for position, spec in enumerate(node.aggregates):
+            agg_path = f"{path}:aggregates[{position}]"
+            self.check_aggregate(
+                spec, [Frame(child_schema, node.child)], agg_path
+            )
+            fields.append(self._aggregate_field(spec, child_schema))
+        return self._build_schema(fields, path)
+
+    def _infer_NestedSelect(self, node: NestedSelect, path: str) -> Schema | None:
+        schema = self.infer(node.child, path)
+        if schema is not None:
+            self.check_nested_predicate(
+                node.predicate, [Frame(schema, node.child)],
+                f"{path}:predicate",
+            )
+        return schema
+
+    def _infer_Apply(self, node: Apply, path: str) -> Schema | None:
+        input_schema = self.infer(node.input, path)
+        if input_schema is None:
+            return None
+        self._check_subquery_block(
+            node.subquery, [Frame(input_schema, node.input)],
+            f"{path}:subquery",
+        )
+        if node.mode in ("semi", "anti"):
+            return input_schema
+        try:
+            return node.schema(self.catalog)
+        except ReproError:
+            return input_schema.extend(
+                [Field(node.output_name, DataType.FLOAT)]
+            )
+
+    def _infer_GMDJ(self, node: GMDJ, path: str) -> Schema | None:
+        base_schema = self.infer(node.base, f"{path}/base")
+        detail_schema = self.infer(node.detail, f"{path}/detail")
+        if base_schema is None or detail_schema is None:
+            return None
+        combined = self._concat_schemas(base_schema, detail_schema, path)
+        output_fields: list[Field] = []
+        for position, block in enumerate(node.blocks):
+            block_path = f"{path}:blocks[{position}]"
+            if combined is not None:
+                self.check_predicate(
+                    block.condition, [Frame(combined, None)],
+                    f"{block_path}:condition",
+                    unknown_code="L006",
+                    scope_note="(theta must reference only base and "
+                               "detail attributes — attr(θ) ⊆ B ∪ R)",
+                )
+            for spec in block.aggregates:
+                self.check_aggregate(
+                    spec, [Frame(detail_schema, node.detail)], block_path,
+                    unknown_code="L006",
+                    scope_note="(aggregate arguments range over the "
+                               "detail relation only)",
+                )
+                output_fields.append(self._aggregate_field(spec, detail_schema))
+        from repro.lint.rules import check_gmdj_blocks
+
+        check_gmdj_blocks(node, base_schema, detail_schema, self.report, path)
+        if self.advice:
+            from repro.lint.advice import (
+                check_missed_coalesce,
+                check_theta_hashability,
+            )
+
+            check_missed_coalesce(node, self.report, path)
+            check_theta_hashability(
+                node, base_schema, detail_schema, self.report, path
+            )
+        try:
+            return base_schema.extend(output_fields)
+        except SchemaError as error:
+            self.report.add("L005", str(error), path)
+            return None
+
+    def _infer_SelectGMDJ(self, node: SelectGMDJ, path: str) -> Schema | None:
+        schema = self.infer(node.gmdj, path)
+        if schema is not None:
+            self.check_predicate(
+                node.selection, [Frame(schema, node.gmdj)],
+                f"{path}:selection",
+            )
+        return schema
+
+    # -- schema assembly helpers --------------------------------------------
+
+    def _build_schema(self, fields: list[Field], path: str) -> Schema | None:
+        try:
+            return Schema(fields)
+        except SchemaError as error:
+            self.report.add("L005", str(error), path)
+            return None
+
+    def _concat_schemas(
+        self, left: Schema, right: Schema, path: str
+    ) -> Schema | None:
+        try:
+            return left.concat(right)
+        except SchemaError as error:
+            self.report.add("L005", str(error), path)
+            return None
+
+    def _aggregate_field(self, spec: AggregateSpec, schema: Schema) -> Field:
+        try:
+            return spec.output_field(schema)
+        except ReproError:
+            return Field(spec.output_name, DataType.FLOAT)
+
+    # -- expression checking ------------------------------------------------
+
+    def check_predicate(
+        self,
+        expression: Expression,
+        frames: list[Frame],
+        path: str,
+        unknown_code: str = "L001",
+        scope_note: str = "",
+    ) -> None:
+        """Type-check a filter; it must be a predicate expression."""
+        if not expression.is_predicate:
+            self.report.add(
+                "L010",
+                f"{expression!r} is not a predicate; filters must produce "
+                f"a truth value",
+                path,
+                hint="compare the expression against a value, or test "
+                     "IS NULL",
+            )
+            return
+        self.check_expression(
+            expression, frames, path, unknown_code=unknown_code,
+            scope_note=scope_note,
+        )
+
+    def check_expression(
+        self,
+        expression: Expression,
+        frames: list[Frame],
+        path: str,
+        unknown_code: str = "L001",
+        scope_note: str = "",
+    ) -> DataType | None:
+        """Infer an expression's type, reporting mismatches on the way."""
+        resolver = _ScopedResolver(
+            self.report, frames, path, unknown_code, scope_note
+        )
+        return self._type_of(expression, resolver, path)
+
+    def _type_of(
+        self, expression: Expression, resolver: _ScopedResolver, path: str
+    ) -> DataType | None:
+        if isinstance(expression, Column):
+            return resolver.resolve_type(expression.reference)
+        if isinstance(expression, Literal):
+            if expression.value is None:
+                return None
+            try:
+                return DataType.infer(expression.value)
+            except TypeCheckError as error:
+                self.report.add("L003", str(error), path)
+                return None
+        if isinstance(expression, TruthLiteral):
+            return DataType.BOOLEAN
+        if isinstance(expression, Arithmetic):
+            left = self._type_of(expression.left, resolver, path)
+            right = self._type_of(expression.right, resolver, path)
+            for side in (left, right):
+                if side is DataType.STRING:
+                    self.report.add(
+                        "L003",
+                        f"arithmetic {expression.op!r} over a STRING "
+                        f"operand in {expression!r}",
+                        path,
+                    )
+                    return None
+            if expression.op == "/":
+                return DataType.FLOAT
+            if left is DataType.INTEGER and right is DataType.INTEGER:
+                return DataType.INTEGER
+            return DataType.FLOAT
+        if isinstance(expression, Comparison):
+            self._check_comparison(expression, resolver, path)
+            return DataType.BOOLEAN
+        if isinstance(expression, (And, Or)):
+            for side in (expression.left, expression.right):
+                if not side.is_predicate:
+                    self.report.add(
+                        "L010",
+                        f"{side!r} is not a predicate but is an operand "
+                        f"of {type(expression).__name__.upper()}",
+                        path,
+                    )
+                else:
+                    self._type_of(side, resolver, path)
+            return DataType.BOOLEAN
+        if isinstance(expression, Not):
+            if not expression.operand.is_predicate:
+                self.report.add(
+                    "L010",
+                    f"{expression.operand!r} is not a predicate but is "
+                    f"negated by NOT",
+                    path,
+                )
+            else:
+                self._type_of(expression.operand, resolver, path)
+            return DataType.BOOLEAN
+        if isinstance(expression, IsNull):
+            self._type_of(expression.operand, resolver, path)
+            return DataType.BOOLEAN
+        if isinstance(expression, Coalesce):
+            first = self._type_of(expression.first, resolver, path)
+            second = self._type_of(expression.second, resolver, path)
+            return first if first is not None else second
+        if isinstance(expression, SubqueryPredicate):
+            self.report.add(
+                "L010",
+                f"subquery predicate {expression!r} cannot be bound by a "
+                f"flat operator",
+                path,
+                hint="wrap the selection in a NestedSelect or translate "
+                     "the subquery away first",
+            )
+            return DataType.BOOLEAN
+        # Unknown expression node: resolve its references, type unknown.
+        for reference in expression.references():
+            resolver.resolve(reference)
+        return None
+
+    def _check_comparison(
+        self, expression: Comparison, resolver: _ScopedResolver, path: str
+    ) -> None:
+        left = self._type_of(expression.left, resolver, path)
+        right = self._type_of(expression.right, resolver, path)
+        self._check_comparable(left, right, expression, path)
+        for side in (expression.left, expression.right):
+            if isinstance(side, Literal) and side.value is None:
+                self.report.add(
+                    "W102",
+                    f"comparison {expression!r} against a NULL literal is "
+                    f"always UNKNOWN and never satisfies a filter",
+                    path,
+                    hint="use IS NULL / IS NOT NULL",
+                )
+
+    def _check_comparable(
+        self,
+        left: DataType | None,
+        right: DataType | None,
+        expression: Expression,
+        path: str,
+    ) -> None:
+        """Mirror the runtime rule: string vs non-string cannot compare."""
+        if left is None or right is None:
+            return
+        if (left is DataType.STRING) != (right is DataType.STRING):
+            self.report.add(
+                "L003",
+                f"cannot compare {left.value} with {right.value} in "
+                f"{expression!r} (string vs non-string)",
+                path,
+                hint="cast one side or fix the column reference",
+            )
+
+    # -- aggregates ----------------------------------------------------------
+
+    def check_aggregate(
+        self,
+        spec: AggregateSpec,
+        frames: list[Frame],
+        path: str,
+        unknown_code: str = "L001",
+        scope_note: str = "",
+    ) -> None:
+        if spec.argument is None:
+            return
+        dtype = self.check_expression(
+            spec.argument, frames, f"{path}:{spec.output_name}",
+            unknown_code=unknown_code, scope_note=scope_note,
+        )
+        if spec.function in ("sum", "avg") and dtype is DataType.STRING:
+            self.report.add(
+                "L009",
+                f"{spec.function}() over STRING argument "
+                f"{spec.argument!r}",
+                f"{path}:{spec.output_name}",
+                hint="sum/avg need a numeric argument; min/max/count "
+                     "accept strings",
+            )
+
+    # -- nested predicates ----------------------------------------------------
+
+    def check_nested_predicate(
+        self, predicate: Expression, frames: list[Frame], path: str
+    ) -> None:
+        """Check a predicate that may contain subquery leaves."""
+        if isinstance(predicate, SubqueryPredicate):
+            self._check_subquery_leaf(predicate, frames, path)
+            return
+        if isinstance(predicate, (And, Or)):
+            kind = type(predicate).__name__.upper()
+            for side in (predicate.left, predicate.right):
+                if not side.is_predicate:
+                    self.report.add(
+                        "L010",
+                        f"{side!r} is not a predicate but is an operand "
+                        f"of {kind}",
+                        path,
+                    )
+                else:
+                    self.check_nested_predicate(side, frames, path)
+            return
+        if isinstance(predicate, Not):
+            self.check_nested_predicate(predicate.operand, frames, path)
+            return
+        self.check_predicate(predicate, frames, path)
+
+    def _check_subquery_leaf(
+        self, leaf: SubqueryPredicate, frames: list[Frame], path: str
+    ) -> None:
+        inner_frames = self._check_subquery_block(
+            leaf.subquery, frames, f"{path}/subquery"
+        )
+        if isinstance(leaf, Exists):
+            return
+        outer_type = self.check_expression(
+            getattr(leaf, "outer"), frames, f"{path}:outer"
+        )
+        inner_type = self._subquery_value_type(leaf.subquery, inner_frames,
+                                               path)
+        self._check_comparable(outer_type, inner_type, leaf, path)
+        if isinstance(leaf, QuantifiedComparison):
+            from repro.lint.rules import check_quantifier_nullability
+
+            check_quantifier_nullability(leaf, frames, inner_frames, self,
+                                         path)
+        if isinstance(leaf, ScalarComparison):
+            from repro.lint.advice import check_extremum_quantifier
+
+            if self.advice:
+                check_extremum_quantifier(leaf, self.report, path)
+
+    def _check_subquery_block(
+        self, subquery: Subquery, frames: list[Frame], path: str
+    ) -> list[Frame]:
+        """Check one subquery block; returns the extended scope stack."""
+        source_schema = self.infer(subquery.source, f"{path}/source")
+        if source_schema is None:
+            return frames
+        inner_frames = [Frame(source_schema, subquery.source)] + frames
+        self.check_nested_predicate(
+            subquery.predicate, inner_frames, f"{path}:predicate"
+        )
+        if subquery.item is not None:
+            self.check_expression(subquery.item, inner_frames,
+                                  f"{path}:item")
+        if subquery.aggregate is not None:
+            self.check_aggregate(subquery.aggregate, inner_frames,
+                                 f"{path}:aggregate")
+        return inner_frames
+
+    def _subquery_value_type(
+        self, subquery: Subquery, inner_frames: list[Frame], path: str
+    ) -> DataType | None:
+        """The type of a subquery's produced value (item or aggregate)."""
+        resolver = _ScopedResolver(self.report, inner_frames, path)
+        if subquery.aggregate is not None:
+            spec = subquery.aggregate
+            if spec.function == "count":
+                return DataType.INTEGER
+            if spec.function == "avg":
+                return DataType.FLOAT
+            if isinstance(spec.argument, Column):
+                resolved = resolver.resolve(spec.argument.reference)
+                return resolved[1].dtype if resolved else None
+            return None
+        if subquery.item is not None and isinstance(subquery.item, Column):
+            resolved = resolver.resolve(subquery.item.reference)
+            return resolved[1].dtype if resolved else None
+        return None
+
+    # -- nullability oracle ----------------------------------------------------
+
+    def column_possibly_null(
+        self, expression: Expression, frames: list[Frame]
+    ) -> bool:
+        """True when ``expression`` is a column whose stored data holds NULLs.
+
+        Conservative in the quiet direction: anything that cannot be
+        traced back to catalog rows (computed columns, projections,
+        joins) reports False, so the W101 warning only fires on columns
+        *demonstrably* containing NULLs right now.
+        """
+        if not isinstance(expression, Column):
+            return False
+        for frame in frames:
+            try:
+                index = frame.schema.index_of(expression.reference)
+            except (UnknownAttributeError, AmbiguousAttributeError):
+                continue
+            rows = self._stored_rows(frame.origin)
+            if rows is None:
+                return False
+            return any(row[index] is None for row in rows)
+        return False
+
+    def _stored_rows(self, origin: Operator | None) -> list | None:
+        """Rows of the stored table behind an order-preserving chain."""
+        node = origin
+        while isinstance(node, _ORDER_PRESERVING):
+            node = node.child
+        if isinstance(node, ScanTable):
+            try:
+                return self.catalog.table(node.table_name).rows
+            except CatalogError:
+                return None
+        if isinstance(node, TableValue):
+            return node.relation.rows
+        return None

@@ -63,24 +63,58 @@ def _label(options) -> str:
     return label
 
 
+def static_report(db, query, options="auto"):
+    """Lint + cost-certify the plan the given options would execute.
+
+    Returns ``(lint_report, certificate)`` — the
+    :class:`~repro.lint.diagnostics.LintReport` and
+    :class:`~repro.lint.cost.CostCertificate` of the same plan
+    ``db.explain`` renders for these options.
+    """
+    from repro.lint import certify_plan, lint_plan
+
+    options = _coerce(options)
+    resolved = options.canonical().strategy
+    plan = query
+    if resolved in ("auto", "gmdj_optimized"):
+        from repro.unnesting.translate import subquery_to_gmdj
+
+        plan = subquery_to_gmdj(query, db.catalog, optimize=True)
+    elif resolved in ("gmdj", "gmdj_coalesce", "gmdj_completion"):
+        from repro.unnesting.translate import subquery_to_gmdj
+
+        plan = subquery_to_gmdj(query, db.catalog)
+    return lint_plan(plan, db.catalog), certify_plan(plan)
+
+
 def analyze(db, query, options="auto", strict: bool = False):
     """Execute ``query`` under tracing and check invariants.
 
     Returns ``(report, invariants, single_scan_tables)`` where
     ``report`` is the traced
     :class:`~repro.engine.reports.ExecutionReport` and ``invariants``
-    the :class:`~repro.obs.invariants.InvariantReport`.
+    the :class:`~repro.obs.invariants.InvariantReport`.  For plain-mode
+    coalescing strategies the statically derived
+    :class:`~repro.lint.cost.CostCertificate` is cross-checked against
+    the trace (chunked/partitioned runs produce different span kinds,
+    so their exact counts are not comparable).
     """
     options = _coerce(options)
+    canonical = options.canonical()
     expectations: frozenset[str] = frozenset()
-    if options.canonical().strategy in COALESCING_STRATEGIES:
+    certificate = None
+    if canonical.strategy in COALESCING_STRATEGIES:
+        from repro.lint import certify_plan
         from repro.unnesting.translate import subquery_to_gmdj
 
         plan = subquery_to_gmdj(query, db.catalog, optimize=True)
         expectations = derive_single_scan_tables(plan)
+        if canonical.mode is None:
+            certificate = certify_plan(plan)
     report = db._run(query, options.with_trace(True), profiled=True)
     invariants = check_trace(
-        report.trace, single_scan_tables=expectations, strict=strict
+        report.trace, single_scan_tables=expectations, strict=strict,
+        certificate=certificate,
     )
     return report, invariants, expectations
 
@@ -109,6 +143,10 @@ def explain_analyze(db, query, options="auto", strict: bool = False) -> str:
             "-- single-scan expectation: "
             + ", ".join(sorted(expectations))
         )
+    lint, certificate = static_report(db, query, options)
+    lines.append(f"-- lint: {lint.summary()}")
+    lines.extend(f"--   {d.render()}" for d in lint.sorted())
+    lines.append(f"-- {certificate.summary()}")
     lines.append(f"-- {invariants.summary()}")
     return "\n".join(lines)
 
@@ -119,6 +157,7 @@ def explain_analyze_json(db, query, options="auto",
     options = _coerce(options)
     plan_text = db.explain(query, options)
     report, invariants, expectations = analyze(db, query, options, strict)
+    lint, certificate = static_report(db, query, options)
     canonical = options.canonical()
     return {
         "strategy": options.strategy,
@@ -131,6 +170,8 @@ def explain_analyze_json(db, query, options="auto",
             if value
         },
         "single_scan_expectation": sorted(expectations),
+        "lint": lint.to_json(),
+        "certificate": certificate.to_json(),
         "invariants": {
             "checked": invariants.checked,
             "violations": list(invariants.violations),
@@ -146,4 +187,5 @@ __all__ = [
     "derive_single_scan_tables",
     "explain_analyze",
     "explain_analyze_json",
+    "static_report",
 ]

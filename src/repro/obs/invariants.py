@@ -84,17 +84,27 @@ def check_trace(
     trace: Trace,
     single_scan_tables: tuple[str, ...] | frozenset[str] = (),
     strict: bool = False,
+    certificate=None,
 ) -> InvariantReport:
     """Check every cost invariant the trace makes claims about.
 
     ``single_scan_tables`` names stored relations the caller expects to
     be detail-scanned at most once across the whole trace — the
-    Prop. 4.1 claim for a fully coalesced plan.  With ``strict`` the
-    first report of any violation raises
+    Prop. 4.1 claim for a fully coalesced plan.  ``certificate`` is an
+    optional statically derived
+    :class:`~repro.lint.cost.CostCertificate` for the executed plan;
+    when it is *complete* (no nested residue) its exact per-table
+    detail-scan counts and GMDJ operator count are cross-checked
+    against the trace, and its single-scan tables join the caller's.
+    With ``strict`` the first report of any violation raises
     :class:`~repro.errors.InvariantViolation`; otherwise violations are
     collected on the report for the caller to surface as warnings.
     """
     report = InvariantReport()
+    if certificate is not None:
+        single_scan_tables = (
+            frozenset(single_scan_tables) | certificate.single_scan_tables
+        )
 
     for owner, scans in _attribute_scans(trace).values():
         if owner.kind == "gmdj":
@@ -163,6 +173,29 @@ def check_trace(
                 f"scanned {len(scans)} times; a coalesced plan scans it "
                 f"once (Prop. 4.1)"
             )
+
+    if certificate is not None and certificate.complete:
+        spans = list(trace.walk())
+        report.checked += 1
+        gmdj_spans = [s for s in spans if s.kind == "gmdj"]
+        if len(gmdj_spans) != len(certificate.entries):
+            report.violations.append(
+                f"certificate: plan certified {len(certificate.entries)} "
+                f"GMDJ operator(s), trace shows {len(gmdj_spans)} "
+                f"gmdj span(s)"
+            )
+        for table, expected in certificate.detail_scan_counts:
+            report.checked += 1
+            actual = sum(
+                1 for s in spans
+                if s.kind == "detail_scan"
+                and s.attrs.get("relation") == table
+            )
+            if actual != expected:
+                report.violations.append(
+                    f"certificate: detail relation {table!r} certified "
+                    f"for exactly {expected} scan(s), trace shows {actual}"
+                )
 
     if strict and report.violations:
         raise InvariantViolation(

@@ -33,7 +33,6 @@ from repro.algebra.nested import (
     QuantifiedComparison,
     ScalarComparison,
 )
-from repro.algebra.truth import Truth
 from repro.algebra.expressions import COMPLEMENT
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro import QueryOptions
 
 from repro.algebra.apply_op import Apply
-from repro.algebra.expressions import col, lit
+from repro.algebra.expressions import col
 from repro.algebra.nested import Exists, NestedSelect, Subquery
 from repro.algebra.operators import (
     Intersect,

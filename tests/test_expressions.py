@@ -5,15 +5,12 @@ import pytest
 from repro.algebra.expressions import (
     And,
     Coalesce,
-    Column,
     Comparison,
     FALSE,
     IsNull,
-    Literal,
     Not,
     Or,
     TRUE,
-    TruthLiteral,
     col,
     conjoin,
     conjuncts_of,

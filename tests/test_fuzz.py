@@ -17,7 +17,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.fuzz import (
-    ALL_ENGINES,
     DatabaseSpec,
     FuzzConfig,
     GrammarConfig,
@@ -89,8 +88,6 @@ class TestGeneratorDeterminism:
     def test_all_table_one_forms_appear(self):
         # Across a modest sample the grammar must exercise every
         # Table-1 subquery form at least once.
-        from repro.fuzz.queries import AggCmp, ExistsP, InP, QuantCmp
-
         rng = random.Random(3)
         seen = set()
         for _ in range(300):

@@ -6,9 +6,7 @@ from repro.algebra.aggregates import agg, count_star
 from repro.algebra.expressions import Column, Comparison, Literal, col, lit
 from repro.algebra.operators import Project, ScanTable, Select
 from repro.gmdj import (
-    GMDJ,
     SelectGMDJ,
-    ThetaBlock,
     derive_completion_rule,
     fuse_completion,
     md,

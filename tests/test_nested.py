@@ -21,7 +21,7 @@ from repro.algebra.nested import (
 from repro.algebra.operators import ScanTable
 from repro.algebra.truth import Truth
 from repro.errors import CardinalityError, UnknownAttributeError
-from repro.storage import Catalog, DataType, Relation
+from repro.storage import Catalog, DataType
 from repro.storage.schema import Field, Schema
 
 B_SCHEMA = Schema([Field("K", DataType.INTEGER, "b"),

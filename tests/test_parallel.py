@@ -4,8 +4,8 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.algebra.aggregates import agg, count_star
-from repro.algebra.expressions import TRUE, col, lit
-from repro.algebra.operators import ScanTable, TableValue
+from repro.algebra.expressions import TRUE, col
+from repro.algebra.operators import ScanTable
 from repro.errors import ConfigurationError, ReproError
 from repro.gmdj import evaluate_gmdj_partitioned, md, partition_rows
 from repro.storage import Catalog, DataType, Relation, collect

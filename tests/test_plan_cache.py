@@ -6,7 +6,6 @@ point invalidates, so re-executing after ``register``/``create_table``/
 ``load_csv``/``create_index``/``drop_indexes`` recomputes.
 """
 
-import pytest
 
 from repro import Database, DataType, QueryOptions, Relation
 from repro.engine.cache import PlanCache, _LRU

@@ -9,7 +9,6 @@ defines.  NULLs are injected everywhere so three-valued logic stays hot.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.algebra.aggregates import agg

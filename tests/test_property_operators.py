@@ -11,7 +11,7 @@ from collections import Counter, defaultdict
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.algebra.aggregates import agg, count_star
-from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.expressions import Comparison, col
 from repro.algebra.operators import (
     Difference,
     GroupBy,

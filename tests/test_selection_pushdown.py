@@ -7,7 +7,6 @@ from repro.algebra.nested import Exists, NestedSelect, Subquery
 from repro.algebra.operators import ScanTable, Select
 from repro.baselines import evaluate_naive
 from repro.gmdj import GMDJ, md, push_base_selections
-from repro.gmdj.evaluate import SelectGMDJ
 from repro.algebra.aggregates import count_star
 from repro.storage import Catalog, DataType, Relation, collect
 from repro.unnesting import subquery_to_gmdj
@@ -81,8 +80,6 @@ class TestEndToEnd:
         plain = subquery_to_gmdj(query, catalog, optimize=True,
                                  coalesce=False, completion=False)
         # Without push-down (optimize with everything off except folding):
-        from repro.gmdj.optimize import optimize_plan
-
         unpushed = subquery_to_gmdj(query, catalog)
         with collect() as pushed_stats:
             pushed_result = plain.evaluate(catalog)

@@ -1,6 +1,5 @@
 """Tests for predicate simplification (constant folding)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.algebra.expressions import (

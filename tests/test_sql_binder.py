@@ -10,7 +10,6 @@ from repro.algebra.nested import (
 )
 from repro.algebra.operators import (
     Distinct,
-    GroupBy,
     Join,
     OrderBy,
     Project,

@@ -3,7 +3,6 @@ and the Intersect/Limit operators."""
 
 import pytest
 
-from repro.algebra.expressions import col, lit
 from repro.algebra.operators import Intersect, Limit, ScanTable
 from repro.errors import PlanError, SQLSyntaxError
 from repro.sql import compile_sql, parse_sql

@@ -5,7 +5,7 @@ from repro import QueryOptions
 
 from repro.algebra.apply_op import Apply
 from repro.algebra.operators import Project
-from repro.engine import Database, execute
+from repro.engine import Database
 from repro.errors import BindError
 from repro.gmdj import GMDJ
 from repro.sql import compile_sql

@@ -1,0 +1,61 @@
+"""The deprecated ``repro.engine.stats`` alias warns exactly once."""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+import pytest
+
+
+def _forget_shim() -> None:
+    sys.modules.pop("repro.engine.stats", None)
+
+
+def test_import_warns_exactly_once():
+    _forget_shim()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        import repro.engine.stats  # noqa: F401
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "repro.engine.reports" in str(deprecations[0].message)
+
+
+def test_reimport_is_silent():
+    _forget_shim()
+    with warnings.catch_warnings(record=True):
+        warnings.simplefilter("always")
+        import repro.engine.stats  # noqa: F401
+    # A second import hits sys.modules and must not re-execute the module.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        import repro.engine.stats  # noqa: F401
+    assert [w for w in caught if issubclass(w.category, DeprecationWarning)] == []
+
+
+def test_shim_reexports_execution_report():
+    _forget_shim()
+    with pytest.warns(DeprecationWarning):
+        import repro.engine.stats as stats
+    from repro.engine.reports import ExecutionReport
+
+    assert stats.ExecutionReport is ExecutionReport
+    assert stats.__all__ == ["ExecutionReport"]
+
+
+def test_no_straggler_imports_in_package():
+    """No module under repro imports the shim any more."""
+    import pathlib
+
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    offenders = []
+    for path in root.rglob("*.py"):
+        if path.name == "stats.py":
+            continue
+        text = path.read_text()
+        if "engine.stats" in text or "engine import stats" in text:
+            offenders.append(str(path))
+    assert offenders == []

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.algebra.aggregates import agg, count_star
-from repro.algebra.expressions import Coalesce, IsNull, Not, col, lit
+from repro.algebra.expressions import Coalesce, IsNull, col, lit
 from repro.algebra.nested import Exists, NestedSelect, Subquery
 from repro.algebra.operators import ScanTable
 from repro.errors import TranslationError
