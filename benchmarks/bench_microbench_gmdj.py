@@ -7,20 +7,25 @@ figures rely on, at the operator level:
 * the invariant-block optimization (uncorrelated θ computed once);
 * memory-bounded base chunking: cost steps with ceil(|B|/M);
 * partitioned (parallel-style) evaluation vs single scan;
-* coalescing width: k blocks in one GMDJ vs k stacked GMDJs.
+* coalescing width: k blocks in one GMDJ vs k stacked GMDJs;
+* row interpreter vs columnar batch (vectorized) kernel, with the
+  machine-readable baseline written to ``BENCH_gmdj.json``.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from conftest import write_report
+from conftest import write_json, write_report
 from repro.algebra.aggregates import agg, count_star
 from repro.algebra.expressions import TRUE, col, lit
 from repro.algebra.operators import ScanTable
 from repro.gmdj import (
     evaluate_gmdj_chunked,
     evaluate_gmdj_partitioned,
+    evaluate_plan_vectorized,
     md,
 )
 from repro.storage import Catalog, DataType, Relation, collect
@@ -139,6 +144,187 @@ def test_coalescing_width(benchmark, width):
         lambda: plan.evaluate(catalog), rounds=1, iterations=1
     )
     assert len(result) == BASE_ROWS
+
+
+VEC_BASE_ROWS = 200
+VEC_DETAIL_ROWS = 100_000
+_vec_catalog = None
+
+
+def _vec_setup() -> Catalog:
+    global _vec_catalog
+    if _vec_catalog is None:
+        rng = make_rng(7, "vectorized")
+        catalog = Catalog()
+        catalog.create_table("B", Relation.from_columns(
+            [("K", DataType.INTEGER), ("X", DataType.INTEGER)],
+            [(i, rng.randint(0, 1000)) for i in range(VEC_BASE_ROWS)],
+        ))
+        catalog.create_table("R", Relation.from_columns(
+            [("K", DataType.INTEGER), ("V", DataType.INTEGER)],
+            [(rng.randrange(VEC_BASE_ROWS), rng.randint(0, 1000))
+             for _ in range(VEC_DETAIL_ROWS)],
+        ))
+        _vec_catalog = catalog
+    return _vec_catalog
+
+
+def vec_plans():
+    """Plan shapes for the row-vs-batch comparison.
+
+    ``hash_residual`` is the headline workload: a hash-partitioned block
+    whose residual predicate and three aggregates dominate per-tuple
+    interpreter dispatch — the regime the batch kernel targets.
+    """
+    return {
+        "hash_residual": md(
+            ScanTable("B", "b"), ScanTable("R", "r"),
+            [[count_star("c"), agg("sum", col("r.V"), "s"),
+              agg("avg", col("r.V"), "a")]],
+            [(col("b.K") == col("r.K")) & (col("r.V") > lit(100))
+             & (col("r.V") < lit(900))],
+        ),
+        "invariant": md(
+            ScanTable("B", "b"), ScanTable("R", "r"),
+            [[count_star("c"), agg("sum", col("r.V"), "s")]],
+            [col("r.V") > lit(500)],
+        ),
+        "coalesced_2blocks": md(
+            ScanTable("B", "b"), ScanTable("R", "r"),
+            [[count_star("c1")], [agg("sum", col("r.V"), "s2")]],
+            [col("b.K") == col("r.K"),
+             (col("b.K") == col("r.K")) & (col("r.V") > lit(250))],
+        ),
+    }
+
+
+def _timed(fn, repeats=3):
+    """Best-of-N wall time with the result of the last run."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _certificate_status(plan, catalog, runner) -> str:
+    """Run ``runner`` under tracing and cross-check the cost certificate."""
+    from repro.lint import certify_plan
+    from repro.obs.invariants import check_trace
+    from repro.obs.tracer import Tracer, tracing
+
+    tracer = Tracer()
+    with tracing(tracer):
+        runner()
+    report = check_trace(tracer.trace(), certificate=certify_plan(plan))
+    return "pass" if not report.violations else "FAIL"
+
+
+def test_vectorized_vs_row_kernel(benchmark):
+    """Acceptance gate: batch kernel ≥ 2x rows/sec on 100k detail rows.
+
+    Both modes must also agree on the IOStats page/tuple accounting
+    (the batch kernel is a physical rewrite, not a cost change) and
+    pass the static cost-certificate cross-check.
+    """
+    catalog = _vec_setup()
+    plan = vec_plans()["hash_residual"]
+
+    def run():
+        with collect() as row_stats:
+            row_wall, row_result = _timed(lambda: plan.evaluate(catalog))
+        with collect() as vec_stats:
+            vec_wall, vec_result = _timed(
+                lambda: evaluate_plan_vectorized(plan, catalog)
+            )
+        return row_wall, vec_wall, row_stats, vec_stats, row_result, vec_result
+
+    row_wall, vec_wall, row_stats, vec_stats, row_result, vec_result = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    assert vec_result.rows == row_result.rows
+    assert vec_stats.snapshot() == row_stats.snapshot()
+    assert _certificate_status(
+        plan, catalog, lambda: plan.evaluate(catalog)) == "pass"
+    assert _certificate_status(
+        plan, catalog,
+        lambda: evaluate_plan_vectorized(plan, catalog)) == "pass"
+    speedup = row_wall / vec_wall
+    assert speedup >= 2.0, (
+        f"vectorized kernel only {speedup:.2f}x over the row interpreter "
+        f"(row {row_wall:.3f}s vs batch {vec_wall:.3f}s on "
+        f"{VEC_DETAIL_ROWS} detail rows)"
+    )
+
+
+def test_vectorized_report(benchmark):
+    """Row-vs-batch comparison table + committed BENCH_gmdj.json baseline."""
+    catalog = _vec_setup()
+
+    def run():
+        payload = {
+            "base_rows": VEC_BASE_ROWS,
+            "detail_rows": VEC_DETAIL_ROWS,
+            "headline": "hash_residual",
+            "workloads": {},
+        }
+        lines = [
+            "== GMDJ row interpreter vs columnar batch kernel ==",
+            f"|B|={VEC_BASE_ROWS}  |R|={VEC_DETAIL_ROWS}  (best of 3)",
+            f"{'workload':<18} {'row s':>8} {'batch s':>8} "
+            f"{'row rows/s':>12} {'batch rows/s':>13} {'speedup':>8}",
+        ]
+        for name, plan in vec_plans().items():
+            with collect() as row_stats:
+                row_wall, row_result = _timed(lambda: plan.evaluate(catalog))
+            with collect() as vec_stats:
+                vec_wall, vec_result = _timed(
+                    lambda: evaluate_plan_vectorized(plan, catalog)
+                )
+            identical = (
+                vec_result.rows == row_result.rows
+                and vec_stats.snapshot() == row_stats.snapshot()
+            )
+            row_rate = VEC_DETAIL_ROWS / row_wall
+            vec_rate = VEC_DETAIL_ROWS / vec_wall
+            payload["workloads"][name] = {
+                "modes": {
+                    "row": {
+                        "wall_seconds": round(row_wall, 6),
+                        "rows_per_sec": round(row_rate, 1),
+                    },
+                    "gmdj_vectorized": {
+                        "wall_seconds": round(vec_wall, 6),
+                        "rows_per_sec": round(vec_rate, 1),
+                    },
+                },
+                "speedup": round(row_wall / vec_wall, 2),
+                "identical_iostats": identical,
+                "certificate": {
+                    "row": _certificate_status(
+                        plan, catalog, lambda: plan.evaluate(catalog)),
+                    "gmdj_vectorized": _certificate_status(
+                        plan, catalog,
+                        lambda: evaluate_plan_vectorized(plan, catalog)),
+                },
+            }
+            lines.append(
+                f"{name:<18} {row_wall:>8.3f} {vec_wall:>8.3f} "
+                f"{row_rate:>12.0f} {vec_rate:>13.0f} "
+                f"{row_wall / vec_wall:>7.2f}x"
+            )
+        return payload, "\n".join(lines)
+
+    payload, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(text)
+    write_report("vectorized_gmdj", text)
+    write_json("BENCH_gmdj", payload)
+    headline = payload["workloads"][payload["headline"]]
+    assert headline["identical_iostats"]
+    assert headline["certificate"] == {"row": "pass",
+                                       "gmdj_vectorized": "pass"}
 
 
 def test_microbench_report(benchmark):

@@ -22,6 +22,16 @@ def write_report(name: str, text: str) -> Path:
     return path
 
 
+def write_json(name: str, payload) -> Path:
+    """Persist one experiment's machine-readable result set."""
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 class WorkloadCache:
     """Build-once cache for (point → Workload) within a module."""
 

@@ -294,6 +294,19 @@ class AggregateBlock:
     def new_state(self) -> list[Accumulator]:
         return [spec.make_accumulator() for spec in self.specs]
 
+    def recompile(
+        self, compiler: Callable[[Expression], Evaluator]
+    ) -> None:
+        """Swap in alternative argument evaluators (e.g. codegen'd ones).
+
+        ``compiler`` must be a drop-in for ``argument.bind(detail_schema)``;
+        count(*) specs keep their ``None`` evaluator.
+        """
+        self._evaluators = [
+            None if spec.argument is None else compiler(spec.argument)
+            for spec in self.specs
+        ]
+
     def update(self, state: list[Accumulator], detail_row: tuple) -> None:
         stats = IOStats.ambient()
         for accumulator, evaluator in zip(state, self._evaluators):

@@ -24,6 +24,8 @@ objects are **not** usable as dict keys; structural identity is exposed via
 from __future__ import annotations
 
 import operator
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -32,6 +34,50 @@ from repro.errors import ExpressionError
 from repro.storage.schema import Schema
 
 Evaluator = Callable[[tuple], Any]
+
+#: Bound-evaluator memoization, keyed per (expression, schema) *object*
+#: pair.  Chunked, partitioned, and pool evaluation re-bind the same
+#: residual/key expressions against the same schema objects once per
+#: fragment; the cache makes the repeat binds O(1) instead of re-walking
+#: the tree.  Entries hold strong references to both objects, so a live
+#: key can never alias a recycled ``id()``; the OrderedDict is LRU-capped
+#: to keep long fuzzing sessions bounded.
+_BIND_CACHE_LIMIT = 512
+_bind_cache: OrderedDict[tuple[int, int], tuple["Expression", Schema,
+                                                Evaluator]] = OrderedDict()
+_bind_lock = threading.Lock()
+
+
+def bind_cache_clear() -> None:
+    """Drop all memoized bound evaluators (tests and benchmarks)."""
+    with _bind_lock:
+        _bind_cache.clear()
+
+
+def _bind_cache_count(name: str) -> None:
+    # Imported lazily: repro.obs pulls in the explain/engine surface,
+    # which transitively imports this module.
+    from repro.obs.metrics import get_registry
+
+    get_registry().counter(name).inc()
+
+
+def _bind_memoized(expression: "Expression", schema: Schema) -> Evaluator:
+    key = (id(expression), id(schema))
+    with _bind_lock:
+        entry = _bind_cache.get(key)
+        if entry is not None:
+            _bind_cache.move_to_end(key)
+    if entry is not None:
+        _bind_cache_count("expr_bind_cache_hits")
+        return entry[2]
+    _bind_cache_count("expr_bind_cache_misses")
+    evaluator = expression._bind(schema)
+    with _bind_lock:
+        _bind_cache[key] = (expression, schema, evaluator)
+        while len(_bind_cache) > _BIND_CACHE_LIMIT:
+            _bind_cache.popitem(last=False)
+    return evaluator
 
 #: Comparison operator names in the paper's φ set.
 COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
@@ -72,7 +118,15 @@ class Expression:
     is_predicate = False
 
     def bind(self, schema: Schema) -> Evaluator:
-        """Compile into a closure evaluating rows of ``schema``."""
+        """Compile into a closure evaluating rows of ``schema``.
+
+        Memoized per (expression, schema) object pair — see
+        :func:`_bind_memoized`; node classes implement :meth:`_bind`.
+        """
+        return _bind_memoized(self, schema)
+
+    def _bind(self, schema: Schema) -> Evaluator:
+        """Actually compile this node (implemented by subclasses)."""
         raise NotImplementedError
 
     def references(self) -> set[str]:
@@ -149,7 +203,7 @@ class Literal(Expression):
 
     value: Any
 
-    def bind(self, schema: Schema) -> Evaluator:
+    def _bind(self, schema: Schema) -> Evaluator:
         value = self.value
         return lambda row: value
 
@@ -166,7 +220,7 @@ class Column(Expression):
 
     reference: str
 
-    def bind(self, schema: Schema) -> Evaluator:
+    def _bind(self, schema: Schema) -> Evaluator:
         position = schema.index_of(self.reference)
         return lambda row: row[position]
 
@@ -205,7 +259,7 @@ class Arithmetic(Expression):
         "/": operator.truediv,
     }
 
-    def bind(self, schema: Schema) -> Evaluator:
+    def _bind(self, schema: Schema) -> Evaluator:
         func = self._FUNCS[self.op]
         left = self.left.bind(schema)
         right = self.right.bind(schema)
@@ -241,7 +295,7 @@ class Comparison(Expression):
         if self.op not in _PY_COMPARE:
             raise ExpressionError(f"unknown comparison operator {self.op!r}")
 
-    def bind(self, schema: Schema) -> Evaluator:
+    def _bind(self, schema: Schema) -> Evaluator:
         op_name = self.op
         left = self.left.bind(schema)
         right = self.right.bind(schema)
@@ -268,7 +322,7 @@ class And(Expression):
     right: Expression
     is_predicate = True
 
-    def bind(self, schema: Schema) -> Evaluator:
+    def _bind(self, schema: Schema) -> Evaluator:
         left = self.left.bind(schema)
         right = self.right.bind(schema)
 
@@ -293,7 +347,7 @@ class Or(Expression):
     right: Expression
     is_predicate = True
 
-    def bind(self, schema: Schema) -> Evaluator:
+    def _bind(self, schema: Schema) -> Evaluator:
         left = self.left.bind(schema)
         right = self.right.bind(schema)
 
@@ -317,7 +371,7 @@ class Not(Expression):
     operand: Expression
     is_predicate = True
 
-    def bind(self, schema: Schema) -> Evaluator:
+    def _bind(self, schema: Schema) -> Evaluator:
         operand = self.operand.bind(schema)
         return lambda row: operand(row).not_()
 
@@ -336,7 +390,7 @@ class IsNull(Expression):
     negated: bool = False
     is_predicate = True
 
-    def bind(self, schema: Schema) -> Evaluator:
+    def _bind(self, schema: Schema) -> Evaluator:
         operand = self.operand.bind(schema)
         if self.negated:
             return lambda row: Truth.of(operand(row) is not None)
@@ -361,7 +415,7 @@ class Coalesce(Expression):
     first: Expression
     second: Expression
 
-    def bind(self, schema: Schema) -> Evaluator:
+    def _bind(self, schema: Schema) -> Evaluator:
         first = self.first.bind(schema)
         second = self.second.bind(schema)
 
@@ -385,7 +439,7 @@ class TruthLiteral(Expression):
     value: Truth
     is_predicate = True
 
-    def bind(self, schema: Schema) -> Evaluator:
+    def _bind(self, schema: Schema) -> Evaluator:
         value = self.value
         return lambda row: value
 

@@ -10,8 +10,9 @@ Usage::
 Parallel and memory-bounded GMDJ execution hang off the same flags:
 ``--workers N`` evaluates detail partitions on a worker pool
 (``--partitions`` controls the fragment count), ``--chunk-budget``
-switches to memory-bounded chunked evaluation, and ``--no-cache``
-bypasses the database's plan/result cache.
+switches to memory-bounded chunked evaluation, ``--chunk-size`` (or
+``--mode gmdj_vectorized``) runs the columnar batch kernel, and
+``--no-cache`` bypasses the database's plan/result cache.
 
 Every ``*.csv`` file in ``--data`` (written by
 :func:`repro.storage.save_csv`, i.e. with a typed ``name:type`` header)
@@ -72,9 +73,13 @@ def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         help="evaluation strategy (default: auto)",
     )
     parser.add_argument(
-        "--mode", choices=["plain", "chunked", "partitioned"], default=None,
+        "--mode",
+        choices=["plain", "chunked", "partitioned", "gmdj_vectorized",
+                 "vectorized"],
+        default=None,
         help="GMDJ execution regime (default: inferred from the other "
-             "knobs; e.g. --workers implies partitioned)",
+             "knobs; e.g. --workers implies partitioned, --chunk-size "
+             "implies gmdj_vectorized; also via REPRO_MODE)",
     )
     parser.add_argument(
         "--partitions", type=int, default=None, metavar="N",
@@ -90,6 +95,11 @@ def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         help="in-memory tuple budget for chunked evaluation",
     )
     parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="ROWS",
+        help="detail rows per batch for vectorized evaluation "
+             "(implies --mode gmdj_vectorized)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the plan/result cache for this run",
     )
@@ -103,6 +113,7 @@ def query_options(args) -> QueryOptions:
         partitions=args.partitions,
         workers=args.workers,
         chunk_budget=args.chunk_budget,
+        chunk_size=args.chunk_size,
         use_cache=not args.no_cache,
     )
 

@@ -9,11 +9,15 @@ frozen dataclass, :class:`QueryOptions`:
 * ``mode``          — the GMDJ execution regime: ``None``/"plain" for
   single-scan evaluation, ``"chunked"`` for memory-bounded base
   chunking (§2.3), ``"partitioned"`` for detail-partitioned evaluation
-  with columnwise merge.
+  with columnwise merge, ``"gmdj_vectorized"`` (alias
+  ``"vectorized"``) for columnar batch execution
+  (:mod:`repro.gmdj.vectorized`).
 * ``partitions``    — fragment count for partitioned mode.
 * ``workers``       — worker-pool size for partitioned mode (1 =
   sequential fragments; defaults to ``REPRO_WORKERS``).
 * ``chunk_budget``  — base-tuple memory budget for chunked mode.
+* ``chunk_size``    — detail rows per batch for the vectorized mode
+  (setting it implies ``mode="gmdj_vectorized"``).
 * ``trace``         — record an operator span tree during profiling.
 * ``use_cache``     — consult the database's plan/result cache.
 * ``lint``          — run the static plan verifier (:mod:`repro.lint`)
@@ -57,7 +61,15 @@ GMDJ_STRATEGIES = frozenset({
     "gmdj_chunked", "gmdj_parallel", "auto", "cost_based",
 })
 
-MODES = (None, "plain", "chunked", "partitioned")
+MODES = (None, "plain", "chunked", "partitioned", "gmdj_vectorized")
+
+#: Accepted spellings that normalize onto a canonical mode name.
+_MODE_ALIASES = {"vectorized": "gmdj_vectorized"}
+
+#: Environment hook letting a harness (e.g. the CI matrix leg) override
+#: the *default* execution mode.  Only consulted when neither ``mode``
+#: nor any mode-implying knob was set explicitly.
+REPRO_MODE_ENV = "REPRO_MODE"
 
 #: Legacy strategy names that really name (strategy, mode) pairs.
 _LEGACY_MODES = {
@@ -77,6 +89,7 @@ class QueryOptions:
     partitions: int | None = None
     workers: int | None = None
     chunk_budget: int | None = None
+    chunk_size: int | None = None
     trace: bool = False
     use_cache: bool = True
     lint: str | None = None
@@ -87,6 +100,8 @@ class QueryOptions:
                 f"unknown strategy {self.strategy!r}; "
                 f"choose one of {STRATEGIES}"
             )
+        if self.mode in _MODE_ALIASES:
+            object.__setattr__(self, "mode", _MODE_ALIASES[self.mode])
         if self.mode not in MODES:
             raise ConfigurationError(
                 f"unknown mode {self.mode!r}; choose one of {MODES}"
@@ -96,7 +111,7 @@ class QueryOptions:
                 f"unknown lint level {self.lint!r}; "
                 f"choose one of {LINT_LEVELS}"
             )
-        for name in ("partitions", "workers", "chunk_budget"):
+        for name in ("partitions", "workers", "chunk_budget", "chunk_size"):
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ConfigurationError(
@@ -126,11 +141,20 @@ class QueryOptions:
 
         * ``gmdj_chunked`` / ``gmdj_parallel`` become ``gmdj`` plus the
           matching mode;
-        * requesting ``partitions``/``workers`` (or ``chunk_budget``)
-          without a mode implies ``partitioned`` (``chunked``) for
+        * requesting ``chunk_size`` without a mode implies
+          ``gmdj_vectorized``; ``partitions``/``workers``
+          (``chunk_budget``) imply ``partitioned`` (``chunked``) for
           GMDJ-producing strategies;
+        * with neither a mode nor any mode-implying knob, the
+          ``REPRO_MODE`` environment variable supplies the default mode
+          for GMDJ strategies (the CI matrix leg's override hook);
         * a mode on a non-GMDJ strategy is a configuration error — the
           baselines have no GMDJ nodes to fragment.
+
+        The vectorized mode composes with the fragmentation knobs:
+        ``chunk_budget`` selects base-chunked evaluation with batch
+        kernels, ``partitions``/``workers`` selects partitioned (possibly
+        pooled) evaluation with batch kernels — but not both at once.
         """
         strategy, mode = self.strategy, self.mode
         if strategy in _LEGACY_MODES:
@@ -142,7 +166,9 @@ class QueryOptions:
                 )
             strategy, mode = base, (implied if mode != "plain" else "plain")
         if mode is None:
-            if self.partitions is not None or self.workers is not None:
+            if self.chunk_size is not None:
+                mode = "gmdj_vectorized"
+            elif self.partitions is not None or self.workers is not None:
                 if self.chunk_budget is not None:
                     raise ConfigurationError(
                         "cannot infer a mode from both partitions/workers "
@@ -151,6 +177,8 @@ class QueryOptions:
                 mode = "partitioned"
             elif self.chunk_budget is not None:
                 mode = "chunked"
+            elif self.mode is None and strategy in GMDJ_STRATEGIES:
+                mode = self._environment_mode()
         if mode == "plain":
             mode = None
         if mode is not None and strategy not in GMDJ_STRATEGIES:
@@ -158,18 +186,47 @@ class QueryOptions:
                 f"mode {mode!r} applies only to GMDJ strategies, "
                 f"not {strategy!r}"
             )
-        if mode == "partitioned" and self.chunk_budget is not None:
+        if self.chunk_size is not None and mode != "gmdj_vectorized":
+            raise ConfigurationError(
+                f"chunk_size applies only to mode 'gmdj_vectorized', "
+                f"not {mode!r}"
+            )
+        if mode == "gmdj_vectorized":
+            if (self.chunk_budget is not None
+                    and (self.partitions is not None
+                         or self.workers is not None)):
+                raise ConfigurationError(
+                    "vectorized mode composes with either chunk_budget "
+                    "or partitions/workers, not both"
+                )
+        elif mode == "partitioned" and self.chunk_budget is not None:
             raise ConfigurationError(
                 "chunk_budget is meaningless in partitioned mode"
             )
-        if mode == "chunked" and (self.partitions is not None
-                                  or self.workers is not None):
+        elif mode == "chunked" and (self.partitions is not None
+                                    or self.workers is not None):
             raise ConfigurationError(
                 "partitions/workers are meaningless in chunked mode"
             )
         if strategy == self.strategy and mode == self.mode:
             return self
         return dataclasses.replace(self, strategy=strategy, mode=mode)
+
+    @staticmethod
+    def _environment_mode() -> str | None:
+        """The ``REPRO_MODE`` default-mode override, validated."""
+        import os
+
+        value = os.environ.get(REPRO_MODE_ENV)
+        if not value:
+            return None
+        value = _MODE_ALIASES.get(value, value)
+        if value not in MODES:
+            raise ConfigurationError(
+                f"{REPRO_MODE_ENV}={value!r} is not a mode; "
+                f"choose one of {MODES[1:]}"
+            )
+        return value
 
     def with_trace(self, trace: bool) -> "QueryOptions":
         if trace == self.trace:
@@ -186,4 +243,4 @@ class QueryOptions:
         canon = self.canonical()
         lint = None if canon.lint == "off" else canon.lint
         return (canon.strategy, canon.mode, canon.partitions,
-                canon.workers, canon.chunk_budget, lint)
+                canon.workers, canon.chunk_budget, canon.chunk_size, lint)

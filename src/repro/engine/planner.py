@@ -188,6 +188,33 @@ def _gmdj_runner(query, catalog, strategy, options, cache):
         return lambda: evaluate_plan_partitioned(
             translate(), catalog, partitions, workers=options.workers,
         )
+    if options.mode == "gmdj_vectorized":
+        # The vectorized kernel composes with the fragmentation regimes:
+        # a chunk_budget selects base-chunked scans on batch kernels,
+        # partitions/workers selects partitioned (possibly pooled) scans
+        # on batch kernels; with neither it is single-scan batch
+        # evaluation.
+        from repro.gmdj.modes import (
+            DEFAULT_PARTITIONS,
+            evaluate_plan_chunked,
+            evaluate_plan_partitioned,
+            evaluate_plan_vectorized,
+        )
+
+        if options.chunk_budget is not None:
+            return lambda: evaluate_plan_chunked(
+                translate(), catalog, options.chunk_budget,
+                vectorized=True, chunk_size=options.chunk_size,
+            )
+        if options.partitions is not None or options.workers is not None:
+            partitions = options.partitions or DEFAULT_PARTITIONS
+            return lambda: evaluate_plan_partitioned(
+                translate(), catalog, partitions, workers=options.workers,
+                vectorized=True, chunk_size=options.chunk_size,
+            )
+        return lambda: evaluate_plan_vectorized(
+            translate(), catalog, options.chunk_size,
+        )
     return lambda: translate().evaluate(catalog)
 
 

@@ -5,8 +5,9 @@ A *case* is a (database, query) pair.  The oracle runs the query through
 * every SQL-capable planner strategy (``naive``, ``native``,
   ``unnest_join``, ``gmdj``, ``gmdj_coalesce``, ``gmdj_completion``,
   ``gmdj_optimized``) and
-* the chunked and partitioned GMDJ evaluation modes (with deliberately
-  tiny budgets so fragmentation actually happens on fuzz-sized data),
+* the chunked, partitioned, and vectorized GMDJ evaluation modes (with
+  deliberately tiny budgets so fragmentation and multi-batch scans
+  actually happen on fuzz-sized data),
 
 and compares each result bag against stdlib ``sqlite3`` executing an
 independently rendered query.  Comparison is NULL-aware bag equality
@@ -30,7 +31,11 @@ from dataclasses import dataclass, field
 from repro.engine.database import Database
 from repro.errors import ReproError, TranslationError
 from repro.fuzz.datagen import DatabaseSpec
-from repro.gmdj.modes import evaluate_plan_chunked, evaluate_plan_partitioned
+from repro.gmdj.modes import (
+    evaluate_plan_chunked,
+    evaluate_plan_partitioned,
+    evaluate_plan_vectorized,
+)
 from repro.unnesting.translate import subquery_to_gmdj
 
 #: Planner strategies the oracle drives through the SQL frontend.
@@ -44,15 +49,18 @@ STRATEGY_ENGINES = (
     "gmdj_optimized",
 )
 
-#: Evaluation-mode engines (plain translation, fragmented evaluation).
-MODE_ENGINES = ("gmdj_chunked", "gmdj_parallel")
+#: Evaluation-mode engines (plain translation, fragmented or batched
+#: evaluation).
+MODE_ENGINES = ("gmdj_chunked", "gmdj_parallel", "gmdj_vectorized")
 
 ALL_ENGINES = STRATEGY_ENGINES + MODE_ENGINES
 
 #: Tiny fragmentation knobs: fuzz databases hold ~10 rows per table, so
-#: these force multiple chunks / partitions on nearly every case.
+#: these force multiple chunks / partitions / batches on nearly every
+#: case.
 FUZZ_MEMORY_TUPLES = 2
 FUZZ_PARTITIONS = 3
+FUZZ_CHUNK_SIZE = 3
 
 
 @dataclass
@@ -206,6 +214,9 @@ def run_differential(
                 if engine == "gmdj_chunked":
                     result = evaluate_plan_chunked(
                         plan, database.catalog, FUZZ_MEMORY_TUPLES)
+                elif engine == "gmdj_vectorized":
+                    result = evaluate_plan_vectorized(
+                        plan, database.catalog, FUZZ_CHUNK_SIZE)
                 else:
                     result = evaluate_plan_partitioned(
                         plan, database.catalog, FUZZ_PARTITIONS)

@@ -4,7 +4,11 @@ from repro.gmdj.chunked import detail_scans_required, evaluate_gmdj_chunked
 from repro.gmdj.coalesce import coalesce_plan, merge_stacked, pull_up_base_selection
 from repro.gmdj.completion import CompletionRule, derive_completion_rule
 from repro.gmdj.evaluate import SelectGMDJ, run_gmdj
-from repro.gmdj.modes import evaluate_plan_chunked, evaluate_plan_partitioned
+from repro.gmdj.modes import (
+    evaluate_plan_chunked,
+    evaluate_plan_partitioned,
+    evaluate_plan_vectorized,
+)
 from repro.gmdj.operator import GMDJ, ThetaBlock, md
 from repro.gmdj.optimize import fuse_completion, optimize_plan, push_base_selections
 from repro.gmdj.parallel import evaluate_gmdj_partitioned, partition_rows
@@ -20,9 +24,15 @@ from repro.gmdj.pushdown import (
     push_join_into_base,
 )
 from repro.gmdj.to_sql import expression_to_sql, gmdj_to_sql, plan_to_sql
+from repro.gmdj.vectorized import (
+    DEFAULT_CHUNK_SIZE,
+    evaluate_gmdj_vectorized,
+    run_gmdj_vectorized,
+)
 
 __all__ = [
     "CompletionRule",
+    "DEFAULT_CHUNK_SIZE",
     "GMDJ",
     "SelectGMDJ",
     "ThetaBlock",
@@ -34,8 +44,10 @@ __all__ = [
     "evaluate_gmdj_chunked",
     "embed_base_in_detail",
     "evaluate_gmdj_partitioned",
+    "evaluate_gmdj_vectorized",
     "evaluate_plan_chunked",
     "evaluate_plan_partitioned",
+    "evaluate_plan_vectorized",
     "expression_to_sql",
     "fuse_completion",
     "gmdj_to_sql",
@@ -51,4 +63,5 @@ __all__ = [
     "pull_up_base_selection",
     "push_join_into_base",
     "run_gmdj",
+    "run_gmdj_vectorized",
 ]

@@ -32,19 +32,31 @@ from repro.storage.relation import Relation
 
 
 def evaluate_gmdj_chunked(
-    gmdj: GMDJ, catalog: Catalog, memory_tuples: int
+    gmdj: GMDJ, catalog: Catalog, memory_tuples: int,
+    vectorized: bool = False, chunk_size: int | None = None,
 ) -> Relation:
     """Evaluate a GMDJ holding at most ``memory_tuples`` base tuples.
 
     Bag-equivalent to ``gmdj.evaluate(catalog)`` for any positive budget;
     the detail relation is scanned ``ceil(|B| / memory_tuples)`` times.
+    ``vectorized`` runs each fragment's scan on the columnar batch kernel
+    (:mod:`repro.gmdj.vectorized`) with ``chunk_size`` detail rows per
+    batch.
     """
     if memory_tuples < 1:
         raise ConfigurationError(
             f"memory budget must be >= 1, got {memory_tuples}"
         )
+    if vectorized:
+        from repro.gmdj.vectorized import run_gmdj_vectorized
+
+        def run(fragment, detail, plan, schema):
+            return run_gmdj_vectorized(fragment, detail, plan, schema,
+                                       chunk_size=chunk_size)
+    else:
+        run = run_gmdj
     with span("GMDJ(chunked)", kind="gmdj_chunked", budget=memory_tuples,
-              blocks=len(gmdj.blocks)) as sp:
+              blocks=len(gmdj.blocks), vectorized=vectorized) as sp:
         with span("base", kind="materialize"):
             base = gmdj.base.evaluate(catalog)
         with span("detail", kind="materialize"):
@@ -56,7 +68,7 @@ def evaluate_gmdj_chunked(
         IOStats.ambient().record_scan(len(base))
         output_schema = gmdj.schema(catalog)
         if len(base) <= memory_tuples:
-            result = run_gmdj(base, detail, gmdj, output_schema)
+            result = run(base, detail, gmdj, output_schema)
             sp.set(output_rows=len(result))
             return result
         out_rows: list = []
@@ -69,7 +81,7 @@ def evaluate_gmdj_chunked(
             )
             with span(f"chunk {number}", kind="chunk",
                       base_rows=len(fragment)):
-                partial = run_gmdj(fragment, detail, gmdj, output_schema)
+                partial = run(fragment, detail, gmdj, output_schema)
             out_rows.extend(partial.rows)
         sp.set(output_rows=len(out_rows))
         return Relation(output_schema, out_rows, validate=False)

@@ -116,7 +116,7 @@ class _BlockRuntime:
 
 
 def _scan_detail(
-    detail: Relation,
+    detail_rows,
     runtimes: list[_BlockRuntime],
     base_rows,
     state,
@@ -128,10 +128,15 @@ def _scan_detail(
     can_assure: bool,
     remaining_needs,
     active_list,
-) -> None:
-    """The single pass over the detail relation (the hot loop)."""
+):
+    """The single pass over the detail rows (the hot loop).
+
+    Returns the (possibly compacted) active list so a chunked caller —
+    the vectorized kernel's completion path scans chunk by chunk — can
+    carry the shrinking set across calls.
+    """
     stale = 0
-    for detail_row in detail.rows:
+    for detail_row in detail_rows:
         matched: dict[int, list[int]] = {}
         for runtime in runtimes:
             if runtime.invariant:
@@ -198,6 +203,44 @@ def _scan_detail(
         if active_list is not None and stale * 2 > len(active_list) and stale > 32:
             active_list = [i for i in active_list if status[i] == _ACTIVE]
             stale = 0
+    return active_list
+
+
+def _emit_rows(
+    base_rows,
+    status: bytearray,
+    state,
+    shared_values: dict,
+    selection_eval,
+    output_schema: Schema,
+    stats: IOStats,
+) -> Relation:
+    """The emit phase shared by the row and vectorized kernels.
+
+    Doomed rows are gone; assured rows bypass the final selection (their
+    counts are partial but projected away); active rows carry exact
+    aggregates and face the real selection.  Invariant blocks contribute
+    the same ``shared_values`` to every base row.
+    """
+    out_rows = []
+    for base_index, base_row in enumerate(base_rows):
+        verdict = status[base_index]
+        if verdict == _DOOMED:
+            continue
+        out_row = base_row + tuple(
+            value
+            for block_index, block_state in enumerate(state[base_index])
+            for value in shared_values.get(
+                block_index, AggregateBlock.finalize(block_state)
+            )
+        )
+        if verdict == _ACTIVE and selection_eval is not None:
+            stats.predicate_evals += 1
+            if not selection_eval(out_row).is_true:
+                continue
+        out_rows.append(out_row)
+    stats.tuples_output += len(out_rows)
+    return Relation(output_schema, out_rows, validate=False)
 
 
 def run_gmdj(
@@ -252,40 +295,19 @@ def run_gmdj(
               rows=len(detail)):
         stats.record_scan(len(detail))
         _scan_detail(
-            detail, runtimes, base_rows, state, status, stats,
+            detail.rows, runtimes, base_rows, state, status, stats,
             must_be_zero, pair_equal, can_doom, can_assure,
             remaining_needs, active_list,
         )
 
-    # Emit.  Doomed rows are gone; assured rows bypass the final selection
-    # (their counts are partial but projected away); active rows carry exact
-    # aggregates and face the real selection.  Invariant blocks contribute
-    # the same shared values to every base row.
     shared_values = {
         runtime.index: AggregateBlock.finalize(runtime.shared_state)
         for runtime in runtimes
         if runtime.invariant
     }
     selection_eval = selection.bind(output_schema) if selection is not None else None
-    out_rows = []
-    for base_index, base_row in enumerate(base_rows):
-        verdict = status[base_index]
-        if verdict == _DOOMED:
-            continue
-        out_row = base_row + tuple(
-            value
-            for block_index, block_state in enumerate(state[base_index])
-            for value in shared_values.get(
-                block_index, AggregateBlock.finalize(block_state)
-            )
-        )
-        if verdict == _ACTIVE and selection_eval is not None:
-            stats.predicate_evals += 1
-            if not selection_eval(out_row).is_true:
-                continue
-        out_rows.append(out_row)
-    stats.tuples_output += len(out_rows)
-    return Relation(output_schema, out_rows, validate=False)
+    return _emit_rows(base_rows, status, state, shared_values,
+                      selection_eval, output_schema, stats)
 
 
 def evaluate_gmdj(gmdj: GMDJ, catalog: Catalog) -> Relation:

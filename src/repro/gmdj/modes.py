@@ -39,17 +39,56 @@ DEFAULT_PARTITIONS = 4
 def evaluate_plan_chunked(
     plan: Operator, catalog: Catalog,
     memory_tuples: int = DEFAULT_MEMORY_TUPLES,
+    vectorized: bool = False,
+    chunk_size: int | None = None,
 ) -> Relation:
-    """Evaluate ``plan`` with every GMDJ base-chunked to ``memory_tuples``."""
+    """Evaluate ``plan`` with every GMDJ base-chunked to ``memory_tuples``.
+
+    ``vectorized`` runs each base chunk's scan through the columnar batch
+    kernel (``chunk_size`` detail rows per batch) instead of the row
+    interpreter.
+    """
     if memory_tuples < 1:
         raise ConfigurationError(
             f"memory budget must be >= 1, got {memory_tuples}"
         )
     with span("plan(chunked)", kind="mode", mode="chunked",
-              budget=memory_tuples):
+              budget=memory_tuples, vectorized=vectorized):
         return _evaluate(
             plan, catalog,
-            lambda gmdj: evaluate_gmdj_chunked(gmdj, catalog, memory_tuples),
+            lambda gmdj: evaluate_gmdj_chunked(
+                gmdj, catalog, memory_tuples,
+                vectorized=vectorized, chunk_size=chunk_size,
+            ),
+        )
+
+
+def evaluate_plan_vectorized(
+    plan: Operator, catalog: Catalog, chunk_size: int | None = None,
+) -> Relation:
+    """Evaluate ``plan`` with every GMDJ on the columnar batch kernel.
+
+    Single-scan evaluation exactly like plain mode — same IOStats
+    accounting, same trace invariants, bag-equal output — but the detail
+    scan runs in ``chunk_size``-row batches over columnar storage with
+    codegen'd expressions (:mod:`repro.gmdj.vectorized`).  Fused
+    ``SelectGMDJ`` nodes route through the kernel's completion path.
+    """
+    from repro.gmdj.vectorized import (
+        evaluate_gmdj_vectorized,
+        evaluate_select_gmdj_vectorized,
+        resolve_chunk_size,
+    )
+
+    resolved = resolve_chunk_size(chunk_size)
+    with span("plan(vectorized)", kind="mode", mode="gmdj_vectorized",
+              chunk_size=resolved):
+        return _evaluate(
+            plan, catalog,
+            lambda gmdj: evaluate_gmdj_vectorized(gmdj, catalog, resolved),
+            run_select_node=lambda node: evaluate_select_gmdj_vectorized(
+                node, catalog, resolved
+            ),
         )
 
 
@@ -59,12 +98,16 @@ def evaluate_plan_partitioned(
     partitions: int = DEFAULT_PARTITIONS,
     workers: int | None = None,
     executor: str | None = None,
+    vectorized: bool = False,
+    chunk_size: int | None = None,
 ) -> Relation:
     """Evaluate ``plan`` with every GMDJ's detail split into ``partitions``.
 
     ``workers`` > 1 evaluates the fragments of each GMDJ concurrently on
     a worker pool (see :mod:`repro.gmdj.pool`); the default follows the
     ``REPRO_WORKERS`` environment variable, else sequential fragments.
+    ``vectorized`` runs every fragment's scan on the columnar batch
+    kernel.
     """
     from repro.gmdj.pool import resolve_workers
 
@@ -72,27 +115,33 @@ def evaluate_plan_partitioned(
         raise ConfigurationError(f"partitions must be >= 1, got {partitions}")
     workers = resolve_workers(workers)
     with span("plan(partitioned)", kind="mode", mode="partitioned",
-              partitions=partitions, workers=workers):
+              partitions=partitions, workers=workers, vectorized=vectorized):
         return _evaluate(
             plan, catalog,
             lambda gmdj: evaluate_gmdj_partitioned(
                 gmdj, catalog, partitions, workers=workers, executor=executor,
+                vectorized=vectorized, chunk_size=chunk_size,
             ),
         )
 
 
-def _evaluate(node: Operator, catalog: Catalog, run_gmdj_node) -> Relation:
+def _evaluate(node: Operator, catalog: Catalog, run_gmdj_node,
+              run_select_node=None) -> Relation:
     """Bottom-up evaluation routing GMDJ nodes through ``run_gmdj_node``.
 
     Children are materialized first and re-wrapped as :class:`TableValue`
     (their evaluated schemas keep every qualifier, so conditions above
     them bind unchanged); the rebuilt single-level node then evaluates
-    normally.
+    normally.  ``run_select_node`` optionally routes the rebuilt fused
+    :class:`SelectGMDJ` as well (the vectorized mode's completion path);
+    by default the fused node evaluates on the row kernel.
     """
     if isinstance(node, GMDJ):
         rebuilt = GMDJ(
-            TableValue(_evaluate(node.base, catalog, run_gmdj_node)),
-            TableValue(_evaluate(node.detail, catalog, run_gmdj_node)),
+            TableValue(_evaluate(node.base, catalog, run_gmdj_node,
+                                 run_select_node)),
+            TableValue(_evaluate(node.detail, catalog, run_gmdj_node,
+                                 run_select_node)),
             node.blocks,
         )
         return run_gmdj_node(rebuilt)
@@ -102,12 +151,19 @@ def _evaluate(node: Operator, catalog: Catalog, run_gmdj_node) -> Relation:
         # materialized under the requested regime.
         inner = node.gmdj
         rebuilt_inner = GMDJ(
-            TableValue(_evaluate(inner.base, catalog, run_gmdj_node)),
-            TableValue(_evaluate(inner.detail, catalog, run_gmdj_node)),
+            TableValue(_evaluate(inner.base, catalog, run_gmdj_node,
+                                 run_select_node)),
+            TableValue(_evaluate(inner.detail, catalog, run_gmdj_node,
+                                 run_select_node)),
             inner.blocks,
         )
-        return dataclasses.replace(node, gmdj=rebuilt_inner).evaluate(catalog)
+        rebuilt_select = dataclasses.replace(node, gmdj=rebuilt_inner)
+        if run_select_node is not None:
+            return run_select_node(rebuilt_select)
+        return rebuilt_select.evaluate(catalog)
     rebuilt = map_children(
-        node, lambda child: TableValue(_evaluate(child, catalog, run_gmdj_node))
+        node, lambda child: TableValue(
+            _evaluate(child, catalog, run_gmdj_node, run_select_node)
+        )
     )
     return rebuilt.evaluate(catalog)

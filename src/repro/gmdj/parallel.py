@@ -129,22 +129,26 @@ def evaluate_gmdj_partitioned(
     partitions: int = 4,
     workers: int | None = None,
     executor: str | None = None,
+    vectorized: bool = False,
+    chunk_size: int | None = None,
 ) -> Relation:
     """Evaluate a GMDJ over a horizontally partitioned detail relation.
 
     Bag-equivalent to ``gmdj.evaluate(catalog)`` for any partition count
     and any worker count.  ``workers`` defaults to the ``REPRO_WORKERS``
     environment variable (else 1 = sequential fragments); ``executor``
-    picks the pool flavour (``"thread"``/``"process"``/``"auto"``).
+    picks the pool flavour (``"thread"``/``"process"``/``"auto"``);
+    ``vectorized`` scans every fragment on the columnar batch kernel.
     """
     from repro.gmdj.pool import resolve_workers
 
     if partitions < 1:
         raise ConfigurationError(f"partitions must be >= 1, got {partitions}")
     workers = resolve_workers(workers)
+    run = _fragment_runner(vectorized, chunk_size)
     with span("GMDJ(partitioned)", kind="gmdj_partitioned",
               partitions=partitions, workers=workers,
-              blocks=len(gmdj.blocks)) as sp:
+              blocks=len(gmdj.blocks), vectorized=vectorized) as sp:
         with span("base", kind="materialize"):
             base = gmdj.base.evaluate(catalog)
         with span("detail", kind="materialize"):
@@ -161,15 +165,27 @@ def evaluate_gmdj_partitioned(
             # DISTINCT aggregates finalize to unmergeable values; evaluate
             # them in one scan (a distributed engine would ship value sets).
             sp.set(partitions=1, workers=1)
-            result = run_gmdj(base, detail, gmdj, output_schema)
+            result = run(base, detail, gmdj, output_schema)
             sp.set(output_rows=len(result))
             return result
         result = _evaluate_partitions(
             gmdj, base, detail, partitions, output_schema, catalog,
-            workers, executor,
+            workers, executor, vectorized=vectorized, chunk_size=chunk_size,
         )
         sp.set(output_rows=len(result))
         return result
+
+
+def _fragment_runner(vectorized: bool, chunk_size: int | None):
+    """The per-fragment kernel: row interpreter or columnar batches."""
+    if not vectorized:
+        return run_gmdj
+    from repro.gmdj.vectorized import run_gmdj_vectorized
+
+    def run(base, fragment, plan, schema):
+        return run_gmdj_vectorized(base, fragment, plan, schema,
+                                   chunk_size=chunk_size)
+    return run
 
 
 def _evaluate_partitions(
@@ -181,24 +197,29 @@ def _evaluate_partitions(
     catalog: Catalog,
     workers: int = 1,
     executor: str | None = None,
+    vectorized: bool = False,
+    chunk_size: int | None = None,
 ) -> Relation:
     """Partitioned evaluation proper: fragment scans + columnwise merge."""
     shadow, merge_kinds, reconstruct = _shadow_plan(gmdj)
     shadow_schema = shadow.schema(catalog)
     fragments = partition_rows(detail, partitions)
+    run = _fragment_runner(vectorized, chunk_size)
 
     if workers > 1:
         from repro.gmdj.pool import map_partitions
 
         partials = map_partitions(base, fragments, shadow, shadow_schema,
-                                  workers, executor)
+                                  workers, executor,
+                                  vectorized=vectorized,
+                                  chunk_size=chunk_size)
     else:
         partials = []
         for number, fragment in enumerate(fragments, start=1):
             with span(f"partition {number}", kind="partition",
                       detail_rows=len(fragment)):
                 partials.append(
-                    run_gmdj(base, fragment, shadow, shadow_schema).rows
+                    run(base, fragment, shadow, shadow_schema).rows
                 )
 
     merged = _merge_partials(partials, merge_kinds, len(base.schema))

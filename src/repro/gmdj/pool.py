@@ -114,6 +114,8 @@ class PartitionTask:
     shadow: object  # the AVG-decomposed GMDJ (repro.gmdj.operator.GMDJ)
     shadow_schema: Schema
     trace: bool
+    vectorized: bool = False
+    chunk_size: int | None = None
 
 
 @dataclass
@@ -133,7 +135,14 @@ def run_partition(task: PartitionTask) -> PartitionResult:
     tracer — both are context-local, so thread workers never race the
     coordinator's accounting — and returns everything as plain data.
     """
-    from repro.gmdj.evaluate import run_gmdj
+    if task.vectorized:
+        from repro.gmdj.vectorized import run_gmdj_vectorized
+
+        def run(base, fragment, shadow, shadow_schema):
+            return run_gmdj_vectorized(base, fragment, shadow, shadow_schema,
+                                       chunk_size=task.chunk_size)
+    else:
+        from repro.gmdj.evaluate import run_gmdj as run
 
     tracer = Tracer() if task.trace else None
     with collect() as stats:
@@ -142,11 +151,11 @@ def run_partition(task: PartitionTask) -> PartitionResult:
                 with span(f"partition {task.number}", kind="partition",
                           detail_rows=len(task.fragment),
                           worker=os.getpid()):
-                    partial = run_gmdj(task.base, task.fragment, task.shadow,
-                                       task.shadow_schema)
+                    partial = run(task.base, task.fragment, task.shadow,
+                                  task.shadow_schema)
         else:
-            partial = run_gmdj(task.base, task.fragment, task.shadow,
-                               task.shadow_schema)
+            partial = run(task.base, task.fragment, task.shadow,
+                          task.shadow_schema)
     return PartitionResult(
         number=task.number,
         rows=partial.rows,
@@ -179,6 +188,8 @@ def map_partitions(
     shadow_schema: Schema,
     workers: int,
     executor: str | None = None,
+    vectorized: bool = False,
+    chunk_size: int | None = None,
 ) -> list[list]:
     """Evaluate every fragment on a worker pool; returns partial row lists.
 
@@ -193,7 +204,8 @@ def map_partitions(
     trace = tracing_enabled()
     kind = choose_executor(executor, sum(len(f) for f in fragments), shadow)
     tasks = [
-        PartitionTask(number, base, fragment, shadow, shadow_schema, trace)
+        PartitionTask(number, base, fragment, shadow, shadow_schema, trace,
+                      vectorized=vectorized, chunk_size=chunk_size)
         for number, fragment in enumerate(fragments, start=1)
     ]
     with span("pool", kind="pool", executor=kind, workers=workers,

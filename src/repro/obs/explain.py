@@ -63,6 +63,30 @@ def _label(options) -> str:
     return label
 
 
+def executed_summary(trace) -> dict:
+    """What actually ran, read off the finished trace.
+
+    Returns a dict with the executed ``strategy`` and ``mode`` (from the
+    planner's ``query`` span — this reflects ``auto``/``cost_based``
+    resolution and the ``REPRO_MODE`` environment hook, which the
+    requested options alone cannot show) plus, for vectorized scans, the
+    total batch ``chunks`` processed and the ``chunk_size`` in effect.
+    """
+    summary: dict = {}
+    for span_ in trace.walk():
+        if span_.kind == "query":
+            summary["strategy"] = span_.attrs.get("strategy")
+            if "mode" in span_.attrs:
+                summary["mode"] = span_.attrs["mode"]
+        elif span_.kind == "detail_scan" and span_.attrs.get("vectorized"):
+            summary["chunks"] = (
+                summary.get("chunks", 0) + span_.attrs.get("chunks", 0)
+            )
+            if "chunk_size" in span_.attrs:
+                summary["chunk_size"] = span_.attrs["chunk_size"]
+    return summary
+
+
 def static_report(db, query, options="auto"):
     """Lint + cost-certify the plan the given options would execute.
 
@@ -87,14 +111,33 @@ def static_report(db, query, options="auto"):
     return lint_plan(plan, db.catalog), certify_plan(plan)
 
 
+def _certifiable(canonical) -> bool:
+    """True when the run's span tree matches the static cost certificate.
+
+    Plain mode trivially does.  Vectorized mode does too *unless* it is
+    composed with base-chunking or partitioning, which multiply the
+    per-GMDJ detail scans / change the owning span kinds.
+    """
+    if canonical.mode is None:
+        return True
+    return (
+        canonical.mode == "gmdj_vectorized"
+        and canonical.chunk_budget is None
+        and canonical.partitions is None
+        and canonical.workers is None
+    )
+
+
 def analyze(db, query, options="auto", strict: bool = False):
     """Execute ``query`` under tracing and check invariants.
 
     Returns ``(report, invariants, single_scan_tables)`` where
     ``report`` is the traced
     :class:`~repro.engine.reports.ExecutionReport` and ``invariants``
-    the :class:`~repro.obs.invariants.InvariantReport`.  For plain-mode
-    coalescing strategies the statically derived
+    the :class:`~repro.obs.invariants.InvariantReport`.  For
+    coalescing strategies in plain mode — and in single-scan vectorized
+    mode, whose batch kernel emits the same gmdj/detail_scan span
+    structure and counts — the statically derived
     :class:`~repro.lint.cost.CostCertificate` is cross-checked against
     the trace (chunked/partitioned runs produce different span kinds,
     so their exact counts are not comparable).
@@ -109,7 +152,7 @@ def analyze(db, query, options="auto", strict: bool = False):
 
         plan = subquery_to_gmdj(query, db.catalog, optimize=True)
         expectations = derive_single_scan_tables(plan)
-        if canonical.mode is None:
+        if _certifiable(canonical):
             certificate = certify_plan(plan)
     report = db._run(query, options.with_trace(True), profiled=True)
     invariants = check_trace(
@@ -129,6 +172,7 @@ def explain_analyze(db, query, options="auto", strict: bool = False) -> str:
         for key, value in sorted(report.counters.items())
         if value
     )
+    executed = executed_summary(report.trace)
     lines = [
         plan_text,
         "",
@@ -138,6 +182,12 @@ def explain_analyze(db, query, options="auto", strict: bool = False) -> str:
         f"time: {report.elapsed_seconds * 1000:.2f} ms",
         f"-- {counters}",
     ]
+    if executed:
+        lines.append(
+            "-- executed: "
+            + " ".join(f"{key}={value}"
+                       for key, value in executed.items())
+        )
     if expectations:
         lines.append(
             "-- single-scan expectation: "
@@ -162,6 +212,7 @@ def explain_analyze_json(db, query, options="auto",
     return {
         "strategy": options.strategy,
         "mode": canonical.mode,
+        "executed": executed_summary(report.trace),
         "plan": plan_text,
         "rows": report.row_count,
         "elapsed_ms": round(report.elapsed_seconds * 1000, 3),
@@ -185,6 +236,7 @@ __all__ = [
     "InvariantReport",
     "analyze",
     "derive_single_scan_tables",
+    "executed_summary",
     "explain_analyze",
     "explain_analyze_json",
     "static_report",

@@ -1,6 +1,7 @@
 """Storage substrate: types, schemas, relations, indexes, catalog, I/O."""
 
 from repro.storage.catalog import Catalog
+from repro.storage.columnar import ColumnarRelation, ColumnData
 from repro.storage.csvio import load_catalog, load_csv, save_catalog, save_csv
 from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.iostats import IOStats, TUPLES_PER_PAGE, collect
@@ -10,6 +11,8 @@ from repro.storage.types import NULL, DataType, common_type, comparable
 
 __all__ = [
     "Catalog",
+    "ColumnData",
+    "ColumnarRelation",
     "DataType",
     "Field",
     "HashIndex",

@@ -1,0 +1,200 @@
+"""Column-major relation storage for batch execution.
+
+A :class:`ColumnarRelation` holds the same bag of tuples as a
+:class:`~repro.storage.relation.Relation`, transposed into per-attribute
+columns with compact typed storage:
+
+* ``INTEGER`` → ``array('q')`` (falls back to a plain object list when a
+  Python int overflows 64 bits — SQL semantics keep arbitrary precision);
+* ``FLOAT``   → ``array('d')``;
+* ``BOOLEAN`` → a ``bytearray`` of 0/1;
+* ``STRING``  → dictionary encoding: an ``array('i')`` of codes plus the
+  list of distinct values (OLAP detail tables repeat their dimension
+  strings heavily, so the dictionary is tiny relative to the column).
+
+NULLs are carried out-of-band in a per-column validity ``bytearray``
+(1 = present), so the typed arrays never need an in-band sentinel.  The
+conversion is lossless in both directions: ``to_relation`` reproduces the
+original rows exactly, duplicates and NULLs included, in the same order.
+
+The batch GMDJ kernels (:mod:`repro.gmdj.vectorized`) do not read the
+typed arrays element-wise in their hot loops — they ask for
+:meth:`ColumnarRelation.values`, a decoded plain list with ``None`` for
+NULL, computed once per column and cached.  That keeps the per-element
+access a single list index while the relation itself stays compact.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Sequence
+
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.storage.types import DataType
+
+_INT64_MIN = -(2 ** 63)
+_INT64_MAX = 2 ** 63 - 1
+
+#: bytearray booleans decode through this table so ``to_relation``
+#: restores real ``bool`` objects, not 0/1 ints.
+_BOOLS = (False, True)
+
+
+class ColumnData:
+    """One attribute's values: typed storage plus a validity mask."""
+
+    __slots__ = ("kind", "data", "valid", "dictionary")
+
+    def __init__(self, kind: str, data: Any, valid: bytearray,
+                 dictionary: list | None = None) -> None:
+        self.kind = kind  # "int" | "float" | "bool" | "dict" | "object"
+        self.data = data
+        self.valid = valid
+        self.dictionary = dictionary
+
+    def __len__(self) -> int:
+        return len(self.valid)
+
+    def null_count(self) -> int:
+        return len(self.valid) - sum(self.valid)
+
+    def decode(self) -> list:
+        """The column as a plain list with ``None`` for NULL."""
+        if self.kind == "dict":
+            dictionary = self.dictionary or []
+            return [dictionary[code] if ok else None
+                    for code, ok in zip(self.data, self.valid)]
+        if self.kind == "bool":
+            return [_BOOLS[value] if ok else None
+                    for value, ok in zip(self.data, self.valid)]
+        if self.kind == "object":
+            return list(self.data)
+        return [value if ok else None
+                for value, ok in zip(self.data, self.valid)]
+
+
+def _object_column(values: list) -> ColumnData:
+    return ColumnData("object", list(values), bytearray(
+        0 if v is None else 1 for v in values))
+
+
+def _encode_column(values: list, dtype: DataType) -> ColumnData:
+    """Build typed storage for one column.
+
+    Intermediate relations are constructed with ``validate=False``, so a
+    column's *declared* dtype is not a guarantee about the Python types
+    actually present (an INTEGER-typed intermediate may carry floats and
+    vice versa).  Every value is therefore type-checked during encoding;
+    any mismatch falls back to an object column — the round trip must be
+    lossless for whatever bag of values the relation really holds.
+    """
+    n = len(values)
+    valid = bytearray(n)
+    if dtype is DataType.INTEGER:
+        data = array("q", bytes(8 * n))
+        for position, value in enumerate(values):
+            if value is None:
+                continue
+            if (type(value) is not int
+                    or value < _INT64_MIN or value > _INT64_MAX):
+                return _object_column(values)
+            data[position] = value
+            valid[position] = 1
+        return ColumnData("int", data, valid)
+    if dtype is DataType.FLOAT:
+        data = array("d", bytes(8 * n))
+        for position, value in enumerate(values):
+            if value is None:
+                continue
+            if type(value) is not float:
+                return _object_column(values)
+            data[position] = value
+            valid[position] = 1
+        return ColumnData("float", data, valid)
+    if dtype is DataType.BOOLEAN:
+        flags = bytearray(n)
+        for position, value in enumerate(values):
+            if value is None:
+                continue
+            if type(value) is not bool:
+                return _object_column(values)
+            flags[position] = 1 if value else 0
+            valid[position] = 1
+        return ColumnData("bool", flags, valid)
+    if dtype is DataType.STRING:
+        codes = array("i", bytes(4 * n))
+        dictionary: list = []
+        seen: dict[str, int] = {}
+        for position, value in enumerate(values):
+            if value is None:
+                continue
+            if type(value) is not str:
+                return _object_column(values)
+            code = seen.get(value)
+            if code is None:
+                code = seen[value] = len(dictionary)
+                dictionary.append(value)
+            codes[position] = code
+            valid[position] = 1
+        return ColumnData("dict", codes, valid, dictionary)
+    return _object_column(values)
+
+
+class ColumnarRelation:
+    """A relation transposed into typed columns (see module docstring)."""
+
+    __slots__ = ("schema", "name", "length", "columns", "_decoded")
+
+    def __init__(self, schema: Schema, columns: list[ColumnData],
+                 length: int, name: str | None = None) -> None:
+        self.schema = schema
+        self.columns = columns
+        self.length = length
+        self.name = name
+        self._decoded: list[list | None] = [None] * len(columns)
+
+    def __len__(self) -> int:
+        return self.length
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "ColumnarRelation":
+        """Transpose a row-major relation into columnar form."""
+        schema = relation.schema
+        rows = relation.rows
+        n = len(rows)
+        if rows:
+            raw_columns: Sequence[Sequence[Any]] = list(zip(*rows))
+        else:
+            raw_columns = [[] for _ in schema.fields]
+        columns = [
+            _encode_column(list(raw), field.dtype)
+            for raw, field in zip(raw_columns, schema.fields)
+        ]
+        return cls(schema, columns, n,
+                   name=getattr(relation, "name", None))
+
+    def to_relation(self) -> Relation:
+        """Transpose back; reproduces the source rows exactly, in order."""
+        decoded = [self.values(i) for i in range(len(self.columns))]
+        if decoded:
+            rows = list(zip(*decoded)) if self.length else []
+        else:
+            rows = [() for _ in range(self.length)]
+        return Relation(self.schema, rows, name=self.name, validate=False)
+
+    def values(self, position: int) -> list:
+        """Decoded value list of column ``position`` (cached)."""
+        cached = self._decoded[position]
+        if cached is None:
+            cached = self._decoded[position] = self.columns[position].decode()
+        return cached
+
+    def value_columns(self) -> tuple[list, ...]:
+        """Every column decoded, in schema order (the kernels' input)."""
+        return tuple(self.values(i) for i in range(len(self.columns)))
+
+    def row(self, position: int) -> tuple:
+        """Materialize one row (mostly for tests and debugging)."""
+        return tuple(self.values(i)[position]
+                     for i in range(len(self.columns)))

@@ -1,0 +1,237 @@
+"""Unit tests for repro.algebra.compile (whole-expression codegen).
+
+Every compiled form must be indistinguishable from the interpreter:
+``compile_row`` from ``Expression.bind``, the batch forms from mapping
+the bound evaluator over the indices.  The tests therefore compare the
+two implementations on the same inputs, including the awkward corners —
+3VL with NULLs, ``/ 0``, mixed-type comparison errors, short-circuit
+evaluation order.
+"""
+
+import itertools
+
+import pytest
+
+from repro.algebra.compile import (
+    compile_batch_keys,
+    compile_batch_values,
+    compile_detail_filter,
+    compile_pair_filter,
+    compile_pair_row,
+    compile_row,
+)
+from repro.algebra.expressions import (
+    Arithmetic,
+    Coalesce,
+    Comparison,
+    Expression,
+    IsNull,
+    col,
+    lit,
+)
+from repro.algebra.truth import Truth
+from repro.errors import ExpressionError
+from repro.storage.columnar import ColumnarRelation
+from repro.storage.relation import Relation
+from repro.storage.schema import Field, Schema
+from repro.storage.types import DataType
+
+DETAIL = Schema([
+    Field("k", DataType.INTEGER, "r"),
+    Field("v", DataType.INTEGER, "r"),
+    Field("s", DataType.STRING, "r"),
+])
+
+BASE = Schema([
+    Field("k", DataType.INTEGER, "b"),
+    Field("x", DataType.INTEGER, "b"),
+])
+
+ROWS = [
+    (1, 10, "a"),
+    (2, None, "b"),
+    (None, 30, None),
+    (1, -5, "a"),
+    (3, 0, "c"),
+]
+
+
+def cmp(op, left, right):
+    return Comparison(op, left, right)
+
+
+def columns():
+    return ColumnarRelation.from_relation(
+        Relation(DETAIL, ROWS, validate=False)
+    ).value_columns()
+
+
+def agree(expr, rows=ROWS, schema=DETAIL):
+    """Assert compiled row form == bound form on every row."""
+    compiled = compile_row(expr, schema)
+    bound = expr.bind(schema)
+    for row in rows:
+        assert compiled(row) == bound(row), (expr, row)
+
+
+class TestRowForm:
+    @pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">="])
+    def test_comparisons_with_nulls(self, op):
+        agree(cmp(op, col("r.k"), lit(1)))
+        agree(cmp(op, col("r.k"), col("r.v")))
+        agree(cmp(op, col("r.k"), lit(None)))
+
+    def test_string_comparison(self):
+        agree(cmp("=", col("r.s"), lit("a")))
+
+    def test_and_or_not_3vl(self):
+        p = cmp(">", col("r.k"), lit(1))
+        q = cmp("<", col("r.v"), lit(20))
+        agree(p & q)
+        agree(p | q)
+        agree(~p)
+        agree(~(p & ~q) | (q & p))
+
+    def test_truth_table_exhaustive(self):
+        # All 9 AND/OR combinations over {TRUE, FALSE, UNKNOWN}.
+        schema = Schema([Field("a", DataType.INTEGER, "t"),
+                         Field("b", DataType.INTEGER, "t")])
+        p = cmp("=", col("t.a"), lit(1))
+        q = cmp("=", col("t.b"), lit(1))
+        rows = [(a, b) for a in (1, 0, None) for b in (1, 0, None)]
+        agree(p & q, rows, schema)
+        agree(p | q, rows, schema)
+
+    def test_arithmetic_null_propagation(self):
+        agree(Arithmetic("+", col("r.k"), col("r.v")))
+        agree(Arithmetic("*", col("r.v"), lit(3)))
+
+    def test_division_by_zero_is_null(self):
+        expr = Arithmetic("/", col("r.k"), col("r.v"))
+        compiled = compile_row(expr, DETAIL)
+        assert compiled((3, 0, "c")) is None
+        agree(expr)
+
+    def test_is_null_and_coalesce(self):
+        agree(IsNull(col("r.v")))
+        agree(IsNull(col("r.v"), negated=True))
+        agree(Coalesce(col("r.v"), lit(0)))
+        agree(cmp(">", Coalesce(col("r.v"), col("r.k")), lit(0)))
+
+    def test_predicate_returns_truth_objects(self):
+        compiled = compile_row(cmp("=", col("r.k"), lit(1)), DETAIL)
+        assert compiled(ROWS[0]) is Truth.TRUE
+        assert compiled(ROWS[2]) is Truth.UNKNOWN
+        assert compiled(ROWS[4]) is Truth.FALSE
+
+    def test_value_form_returns_scalars(self):
+        compiled = compile_row(Arithmetic("+", col("r.v"), lit(1)), DETAIL)
+        assert compiled(ROWS[0]) == 11
+        assert compiled(ROWS[1]) is None
+
+    def test_mixed_type_comparison_raises_like_interpreter(self):
+        expr = cmp("<", col("r.s"), col("r.k"))
+        compiled = compile_row(expr, DETAIL)
+        bound = expr.bind(DETAIL)
+        with pytest.raises(ExpressionError) as compiled_error:
+            compiled((1, 10, "a"))
+        with pytest.raises(ExpressionError) as bound_error:
+            bound((1, 10, "a"))
+        assert str(compiled_error.value) == str(bound_error.value)
+
+    def test_short_circuit_skips_right_operand(self):
+        # FALSE AND <error> must not raise — exactly like And.bind.
+        erroring = cmp("<", col("r.s"), col("r.k"))
+        guard = cmp(">", col("r.k"), lit(100))
+        compiled = compile_row(guard & erroring, DETAIL)
+        bound = (guard & erroring).bind(DETAIL)
+        assert compiled((1, 10, "a")) == bound((1, 10, "a")) == Truth.FALSE
+
+    def test_unknown_node_falls_back_to_bind(self):
+        class Opaque(Expression):
+            is_predicate = False
+
+            def _bind(self, schema):
+                return lambda row: 42
+
+            def references(self):
+                return set()
+
+        compiled = compile_row(Opaque(), DETAIL)
+        assert compiled(ROWS[0]) == 42
+
+    def test_pair_row_over_concatenated_schema(self):
+        expr = cmp("=", col("b.k"), col("r.k"))
+        compiled = compile_pair_row(expr, BASE, DETAIL)
+        bound = expr.bind(BASE.concat(DETAIL))
+        for base_row in [(1, 0), (None, 1)]:
+            for row in ROWS:
+                assert compiled(base_row + row) == bound(base_row + row)
+
+
+class TestBatchForms:
+    def test_detail_filter_matches_bound_truncation(self):
+        expr = (cmp("=", col("r.k"), lit(1))
+                & cmp(">", col("r.v"), lit(0)))
+        batch = compile_detail_filter(expr, DETAIL)
+        bound = expr.bind(DETAIL)
+        indices = list(range(len(ROWS)))
+        expected = [i for i in indices if bound(ROWS[i]).is_true]
+        assert batch(columns(), indices) == expected
+
+    def test_detail_filter_respects_candidate_subset(self):
+        expr = cmp(">=", col("r.v"), lit(0))
+        batch = compile_detail_filter(expr, DETAIL)
+        assert batch(columns(), [4, 0]) == [4, 0]
+
+    def test_pair_filter_matches_bound(self):
+        expr = (cmp("=", col("b.k"), col("r.k"))
+                & cmp(">", col("r.v"), col("b.x")))
+        batch = compile_pair_filter(expr, BASE, DETAIL)
+        bound = expr.bind(BASE.concat(DETAIL))
+        indices = list(range(len(ROWS)))
+        for base_row in [(1, 0), (2, -100), (None, 5)]:
+            expected = [i for i in indices
+                        if bound(base_row + ROWS[i]).is_true]
+            assert batch(base_row, columns(), indices) == expected
+
+    def test_batch_keys_one_tuple_per_index(self):
+        batch = compile_batch_keys([col("r.k"), col("r.s")], DETAIL)
+        assert batch(columns(), [0, 2, 3]) == [
+            (1, "a"), (None, None), (1, "a"),
+        ]
+
+    def test_batch_values_one_scalar_per_index(self):
+        batch = compile_batch_values(
+            Arithmetic("+", col("r.v"), lit(1)), DETAIL
+        )
+        assert batch(columns(), [0, 1, 4]) == [11, None, 1]
+
+    def test_batch_fallback_nodes_still_work(self):
+        class Opaque(Expression):
+            is_predicate = True
+
+            def _bind(self, schema):
+                key = schema.index_of("r.k")
+                return lambda row: (Truth.TRUE if row[key] == 1
+                                    else Truth.FALSE)
+
+            def references(self):
+                return set()
+
+        batch = compile_detail_filter(Opaque(), DETAIL)
+        assert batch(columns(), list(range(len(ROWS)))) == [0, 3]
+
+
+class TestExhaustiveAgainstInterpreter:
+    def test_predicate_grid(self):
+        comparisons = [
+            cmp("=", col("r.k"), lit(1)),
+            cmp(">", col("r.v"), lit(0)),
+            IsNull(col("r.s")),
+            cmp("=", col("r.s"), lit("a")),
+        ]
+        for p, q in itertools.product(comparisons, repeat=2):
+            agree(p & q)
+            agree(p | ~q)
+            agree(~(p | q))

@@ -209,3 +209,67 @@ class TestHelpers:
     def test_expressions_are_not_hashable(self):
         with pytest.raises(TypeError):
             hash(col("a"))
+
+
+class TestBindMemoization:
+    @pytest.fixture(autouse=True)
+    def clean_cache(self):
+        from repro.algebra.expressions import bind_cache_clear
+        from repro.obs.metrics import get_registry
+
+        bind_cache_clear()
+        get_registry().reset()
+        yield
+        bind_cache_clear()
+
+    def test_repeat_bind_returns_same_evaluator(self):
+        expr = (col("a") < col("b")) & IsNull(col("s"))
+        assert expr.bind(SCHEMA) is expr.bind(SCHEMA)
+
+    def test_distinct_schemas_get_distinct_evaluators(self):
+        other = Schema([
+            Field("a", DataType.INTEGER, "T"),
+            Field("b", DataType.INTEGER, "T"),
+            Field("s", DataType.STRING, "T"),
+        ])
+        expr = col("a") < col("b")
+        assert expr.bind(SCHEMA) is not expr.bind(other)
+
+    def test_hit_and_miss_counters(self):
+        from repro.obs.metrics import get_registry
+
+        expr = col("a") < col("b")
+        expr.bind(SCHEMA)
+        expr.bind(SCHEMA)
+        expr.bind(SCHEMA)
+        registry = get_registry()
+        # The first bind misses for the And node plus (recursively) its
+        # leaves; the repeats hit on the root alone.
+        assert registry.counter("expr_bind_cache_hits").value == 2
+        assert registry.counter("expr_bind_cache_misses").value >= 1
+
+    def test_cache_is_lru_capped(self):
+        from repro.algebra.expressions import (
+            _BIND_CACHE_LIMIT,
+            _bind_cache,
+        )
+
+        expressions = [col("a") < lit(n)
+                       for n in range(_BIND_CACHE_LIMIT + 50)]
+        for expr in expressions:
+            expr.bind(SCHEMA)
+        assert len(_bind_cache) <= _BIND_CACHE_LIMIT
+
+    def test_clear_forces_rebind(self):
+        from repro.algebra.expressions import bind_cache_clear
+
+        expr = col("a") < col("b")
+        first = expr.bind(SCHEMA)
+        bind_cache_clear()
+        assert expr.bind(SCHEMA) is not first
+
+    def test_bound_semantics_unchanged(self):
+        expr = (col("a") < col("b")) & ~IsNull(col("s"))
+        evaluator = expr.bind(SCHEMA)
+        assert evaluator(ROW) is Truth.TRUE
+        assert evaluator(NULL_ROW) is Truth.FALSE

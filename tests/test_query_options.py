@@ -122,6 +122,87 @@ class TestCanonical:
             QueryOptions(strategy=strategy)  # must not raise
 
 
+class TestVectorizedMode:
+    def test_alias_normalizes_on_construction(self):
+        assert QueryOptions(mode="vectorized").mode == "gmdj_vectorized"
+
+    def test_chunk_size_implies_vectorized(self):
+        canon = QueryOptions(chunk_size=16).canonical()
+        assert canon.mode == "gmdj_vectorized"
+        assert canon.chunk_size == 16
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            QueryOptions(chunk_size=0)
+
+    def test_chunk_size_needs_vectorized_mode(self):
+        with pytest.raises(ConfigurationError):
+            QueryOptions(mode="chunked", chunk_size=4,
+                         chunk_budget=8).canonical()
+
+    def test_composes_with_chunk_budget(self):
+        canon = QueryOptions(mode="vectorized", chunk_budget=8).canonical()
+        assert canon.mode == "gmdj_vectorized"
+        assert canon.chunk_budget == 8
+
+    def test_composes_with_partitions_and_workers(self):
+        canon = QueryOptions(mode="vectorized", partitions=3,
+                             workers=2).canonical()
+        assert canon.mode == "gmdj_vectorized"
+        assert (canon.partitions, canon.workers) == (3, 2)
+
+    def test_budget_and_partitions_together_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryOptions(mode="vectorized", chunk_budget=8,
+                         workers=2).canonical()
+
+    def test_cache_key_includes_chunk_size(self):
+        small = QueryOptions(mode="vectorized", chunk_size=4)
+        large = QueryOptions(mode="vectorized", chunk_size=64)
+        assert small.cache_key() != large.cache_key()
+
+    def test_vectorized_execution_matches_row_mode(self, db):
+        expected = db.execute_sql(SQL, QueryOptions(strategy="gmdj"))
+        result = db.execute_sql(
+            SQL, QueryOptions(strategy="gmdj", mode="vectorized",
+                              chunk_size=5)
+        )
+        assert expected.bag_equal(result)
+
+
+class TestEnvironmentMode:
+    def test_env_supplies_default_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODE", "gmdj_vectorized")
+        assert QueryOptions().canonical().mode == "gmdj_vectorized"
+
+    def test_env_accepts_alias(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODE", "vectorized")
+        assert QueryOptions().canonical().mode == "gmdj_vectorized"
+
+    def test_explicit_plain_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODE", "gmdj_vectorized")
+        assert QueryOptions(mode="plain").canonical().mode is None
+
+    def test_explicit_knobs_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODE", "gmdj_vectorized")
+        assert QueryOptions(chunk_budget=8).canonical().mode == "chunked"
+
+    def test_baseline_strategies_ignore_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODE", "gmdj_vectorized")
+        assert QueryOptions(strategy="naive").canonical().mode is None
+
+    def test_invalid_env_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODE", "warp")
+        with pytest.raises(ConfigurationError):
+            QueryOptions().canonical()
+
+    def test_env_mode_drives_execution(self, db, monkeypatch):
+        expected = db.execute_sql(SQL, QueryOptions(strategy="naive"))
+        monkeypatch.setenv("REPRO_MODE", "gmdj_vectorized")
+        result = db.execute_sql(SQL, QueryOptions(strategy="gmdj"))
+        assert expected.bag_equal(result)
+
+
 class TestDatabaseAcceptsOptions:
     def test_execute_sql_with_options(self, db):
         plain = db.execute_sql(SQL, QueryOptions(strategy="naive"))
