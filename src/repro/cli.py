@@ -103,6 +103,12 @@ def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="bypass the plan/result cache for this run",
     )
+    parser.add_argument(
+        "--rollup", choices=("off", "exact", "subsume"), default=None,
+        help="semantic rollup tier: answer GMDJ nodes from materialized "
+             "rollups (exact signature match, or subsumption from a "
+             "coarser stored rollup); also via REPRO_ROLLUP",
+    )
 
 
 def query_options(args) -> QueryOptions:
@@ -115,6 +121,7 @@ def query_options(args) -> QueryOptions:
         chunk_budget=args.chunk_budget,
         chunk_size=args.chunk_size,
         use_cache=not args.no_cache,
+        rollup=args.rollup,
     )
 
 

@@ -6,6 +6,7 @@ from repro.engine.executor import execute, profile, run
 from repro.engine.options import QueryOptions
 from repro.engine.planner import STRATEGIES, contains_nested_select, make_executor
 from repro.engine.reports import ExecutionReport
+from repro.engine.rollup import RollupStore
 from repro.engine.statistics import ColumnStatistics, TableStatistics, analyze_catalog, analyze_table
 
 __all__ = [
@@ -13,6 +14,7 @@ __all__ = [
     "Database",
     "PlanCache",
     "QueryOptions",
+    "RollupStore",
     "TableStatistics",
     "analyze_catalog",
     "analyze_table",

@@ -109,13 +109,11 @@ class PlanCache:
         self.result_hits += 1
         # Copy rows so a caller mutating the returned relation cannot
         # corrupt later hits.
-        return Relation(cached.schema, cached.rows, name=cached.name,
-                        validate=False)
+        return cached.copy()
 
     def store_result(self, key, relation: Relation) -> None:
         # Snapshot: the caller holds (and may mutate) the original.
-        self._results.put(key, Relation(relation.schema, relation.rows,
-                                        name=relation.name, validate=False))
+        self._results.put(key, relation.copy())
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -34,6 +34,7 @@ from repro.algebra.operators import Operator
 from repro.algebra.printer import explain as explain_plan
 from repro.engine.cache import PlanCache
 from repro.engine.executor import run
+from repro.engine.rollup import RollupStore
 from repro.engine.options import QueryOptions, STRATEGIES
 from repro.engine.reports import ExecutionReport
 from repro.errors import PlanError
@@ -50,6 +51,7 @@ class Database:
     def __init__(self, cache_size: int = 128) -> None:
         self.catalog = Catalog()
         self.cache = PlanCache(cache_size)
+        self.rollups = RollupStore(cache_size)
 
     # -- DDL -----------------------------------------------------------------
 
@@ -62,27 +64,32 @@ class Database:
         """Create a table from ``(name, dtype)`` pairs and initial rows."""
         relation = Relation.from_columns(columns, rows, name=name)
         self.cache.invalidate()
+        self.rollups.invalidate()
         return self.catalog.create_table(name, relation)
 
     def register(self, name: str, relation: Relation) -> Relation:
         """Install an existing relation as a table (replaces silently)."""
         self.cache.invalidate()
+        self.rollups.invalidate()
         return self.catalog.replace_table(name, relation)
 
     def load_csv(self, name: str, path) -> Relation:
         """Create a table from a CSV written by ``repro.storage.save_csv``."""
         self.cache.invalidate()
+        self.rollups.invalidate()
         return self.catalog.create_table(name, load_csv(path, name=name))
 
     def create_index(self, table: str, attribute: str) -> None:
         """Create a single-attribute hash index (conventional engines'
         correlation lookups and indexed joins use these)."""
         self.cache.invalidate()
+        self.rollups.invalidate()
         self.catalog.create_hash_index(table, [attribute])
 
     def drop_indexes(self, table: str | None = None) -> int:
         """Drop indexes to study strategy stability (Figure 5)."""
         self.cache.invalidate()
+        self.rollups.invalidate()
         return self.catalog.drop_all_indexes(table)
 
     def table(self, name: str) -> Relation:
@@ -136,7 +143,7 @@ class Database:
                     result=cached, options=options,
                 )
         report = run(query, self.catalog, options, cache=self.cache,
-                     profiled=profiled)
+                     profiled=profiled, rollups=self.rollups)
         if result_key is not None:
             self.cache.store_result(result_key, report.result)
         return report

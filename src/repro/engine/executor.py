@@ -28,6 +28,7 @@ def run(
     options: QueryOptions | str | None = None,
     cache: PlanCache | None = None,
     profiled: bool = True,
+    rollups=None,
 ) -> ExecutionReport:
     """Evaluate ``query`` under ``options``; the one execution path.
 
@@ -41,7 +42,18 @@ def run(
     installation, and the report carries only the result.
     """
     options = QueryOptions.of(options)
-    runner = make_executor(query, catalog, options, cache=cache)
+    if rollups is not None and options.rollup is None and not profiled:
+        # The REPRO_ROLLUP forced-on hook: unprofiled runs that left the
+        # knob unset pick up the environment default.  Profiled runs are
+        # exempt (they measure real work), and an explicit
+        # ``rollup="off"`` opts out.
+        environment = QueryOptions.environment_rollup()
+        if environment is not None:
+            import dataclasses
+
+            options = dataclasses.replace(options, rollup=environment)
+    runner = make_executor(query, catalog, options, cache=cache,
+                           rollups=rollups)
     if not profiled:
         return ExecutionReport(
             strategy=options.strategy, elapsed_seconds=0.0,

@@ -20,6 +20,12 @@ frozen dataclass, :class:`QueryOptions`:
   (setting it implies ``mode="gmdj_vectorized"``).
 * ``trace``         — record an operator span tree during profiling.
 * ``use_cache``     — consult the database's plan/result cache.
+* ``rollup``        — the semantic rollup tier
+  (:mod:`repro.engine.rollup`): ``None``/``"off"`` disables it,
+  ``"exact"`` answers GMDJ nodes whose signature was materialized
+  verbatim, ``"subsume"`` additionally answers finer queries from
+  coarser stored rollups via residual filtering.  Orthogonal to
+  ``use_cache`` (which caches whole query results by exact key).
 * ``lint``          — run the static plan verifier (:mod:`repro.lint`)
   over the translated plan before executing it: ``None``/``"off"``
   skips it, ``"warn"`` surfaces error diagnostics as Python warnings,
@@ -79,6 +85,16 @@ _LEGACY_MODES = {
 
 LINT_LEVELS = (None, "off", "warn", "strict")
 
+ROLLUP_LEVELS = (None, "off", "exact", "subsume")
+
+#: Environment hook letting a harness (e.g. the CI rollup leg) force the
+#: rollup tier on.  Only consulted for *unprofiled* runs that did not set
+#: ``rollup`` explicitly — profiled runs measure real work, and a
+#: harness-injected cache hit would measure nothing (mirroring how
+#: profiled runs never consult the result cache).  ``rollup="off"``
+#: explicitly opts a run out even under the environment override.
+REPRO_ROLLUP_ENV = "REPRO_ROLLUP"
+
 
 @dataclass(frozen=True)
 class QueryOptions:
@@ -93,6 +109,7 @@ class QueryOptions:
     trace: bool = False
     use_cache: bool = True
     lint: str | None = None
+    rollup: str | None = None
 
     def __post_init__(self):
         if self.strategy not in STRATEGIES:
@@ -110,6 +127,11 @@ class QueryOptions:
             raise ConfigurationError(
                 f"unknown lint level {self.lint!r}; "
                 f"choose one of {LINT_LEVELS}"
+            )
+        if self.rollup not in ROLLUP_LEVELS:
+            raise ConfigurationError(
+                f"unknown rollup level {self.rollup!r}; "
+                f"choose one of {ROLLUP_LEVELS}"
             )
         for name in ("partitions", "workers", "chunk_budget", "chunk_size"):
             value = getattr(self, name)
@@ -208,9 +230,33 @@ class QueryOptions:
             raise ConfigurationError(
                 "partitions/workers are meaningless in chunked mode"
             )
-        if strategy == self.strategy and mode == self.mode:
+        rollup = None if self.rollup == "off" else self.rollup
+        if (strategy == self.strategy and mode == self.mode
+                and rollup == self.rollup):
             return self
-        return dataclasses.replace(self, strategy=strategy, mode=mode)
+        return dataclasses.replace(
+            self, strategy=strategy, mode=mode, rollup=rollup
+        )
+
+    @staticmethod
+    def environment_rollup() -> str | None:
+        """The ``REPRO_ROLLUP`` forced-rollup override, validated.
+
+        Returns a canonical level (``"off"`` maps to ``None``); the
+        executor applies it only to unprofiled runs whose options left
+        ``rollup`` unset.
+        """
+        import os
+
+        value = os.environ.get(REPRO_ROLLUP_ENV)
+        if not value:
+            return None
+        if value not in ROLLUP_LEVELS:
+            raise ConfigurationError(
+                f"{REPRO_ROLLUP_ENV}={value!r} is not a rollup level; "
+                f"choose one of {ROLLUP_LEVELS[1:]}"
+            )
+        return None if value == "off" else value
 
     @staticmethod
     def _environment_mode() -> str | None:
@@ -243,4 +289,5 @@ class QueryOptions:
         canon = self.canonical()
         lint = None if canon.lint == "off" else canon.lint
         return (canon.strategy, canon.mode, canon.partitions,
-                canon.workers, canon.chunk_budget, canon.chunk_size, lint)
+                canon.workers, canon.chunk_budget, canon.chunk_size, lint,
+                canon.rollup)

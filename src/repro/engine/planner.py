@@ -109,6 +109,7 @@ def make_executor(
     catalog: Catalog,
     options: QueryOptions | str = "auto",
     cache: PlanCache | None = None,
+    rollups=None,
 ) -> Callable[[], Relation]:
     """Return a zero-argument callable that evaluates ``query``.
 
@@ -128,7 +129,9 @@ def make_executor(
         # strategies additionally verify their translated plan inside
         # the runner (see _translator).
         _lint_gate(query, catalog, options.lint)
-    resolved, mode, runner = _resolve_executor(query, catalog, options, cache)
+    resolved, mode, runner = _resolve_executor(
+        query, catalog, options, cache, rollups
+    )
 
     def traced() -> Relation:
         from repro.obs.tracer import span
@@ -173,9 +176,88 @@ def _translator(query, catalog, strategy, options, cache):
     return translate
 
 
-def _gmdj_runner(query, catalog, strategy, options, cache):
+def _rollup_node_runners(catalog, options):
+    """Per-GMDJ-node kernel runners for the rollup walker's miss path.
+
+    Replicates the four-way mode dispatch of :func:`_gmdj_runner` at node
+    granularity: on a rollup miss the walker evaluates exactly as the
+    requested mode would have, so warm and cold runs stay row-identical.
+    """
+    if options.mode == "chunked":
+        from repro.gmdj.chunked import evaluate_gmdj_chunked
+        from repro.gmdj.modes import DEFAULT_MEMORY_TUPLES
+
+        budget = options.chunk_budget or DEFAULT_MEMORY_TUPLES
+        return (
+            lambda gmdj: evaluate_gmdj_chunked(gmdj, catalog, budget),
+            None,
+        )
+    if options.mode == "partitioned":
+        from repro.gmdj.modes import DEFAULT_PARTITIONS
+        from repro.gmdj.parallel import evaluate_gmdj_partitioned
+        from repro.gmdj.pool import resolve_workers
+
+        partitions = options.partitions or DEFAULT_PARTITIONS
+        workers = resolve_workers(options.workers)
+        return (
+            lambda gmdj: evaluate_gmdj_partitioned(
+                gmdj, catalog, partitions, workers=workers,
+            ),
+            None,
+        )
+    if options.mode == "gmdj_vectorized":
+        from repro.gmdj.vectorized import (
+            evaluate_gmdj_vectorized,
+            evaluate_select_gmdj_vectorized,
+            resolve_chunk_size,
+        )
+
+        if options.chunk_budget is not None:
+            from repro.gmdj.chunked import evaluate_gmdj_chunked
+
+            return (
+                lambda gmdj: evaluate_gmdj_chunked(
+                    gmdj, catalog, options.chunk_budget,
+                    vectorized=True, chunk_size=options.chunk_size,
+                ),
+                None,
+            )
+        if options.partitions is not None or options.workers is not None:
+            from repro.gmdj.modes import DEFAULT_PARTITIONS
+            from repro.gmdj.parallel import evaluate_gmdj_partitioned
+            from repro.gmdj.pool import resolve_workers
+
+            partitions = options.partitions or DEFAULT_PARTITIONS
+            workers = resolve_workers(options.workers)
+            return (
+                lambda gmdj: evaluate_gmdj_partitioned(
+                    gmdj, catalog, partitions, workers=workers,
+                    vectorized=True, chunk_size=options.chunk_size,
+                ),
+                None,
+            )
+        resolved = resolve_chunk_size(options.chunk_size)
+        return (
+            lambda gmdj: evaluate_gmdj_vectorized(gmdj, catalog, resolved),
+            lambda node: evaluate_select_gmdj_vectorized(
+                node, catalog, resolved
+            ),
+        )
+    return (lambda gmdj: gmdj.evaluate(catalog), None)
+
+
+def _gmdj_runner(query, catalog, strategy, options, cache, rollups=None):
     """Build the runner for a GMDJ strategy under the requested mode."""
     translate = _translator(query, catalog, strategy, options, cache)
+    if rollups is not None and options.rollup in ("exact", "subsume"):
+        from repro.engine.rollup import evaluate_plan_rollup
+
+        node_runner, select_runner = _rollup_node_runners(catalog, options)
+        subsume = options.rollup == "subsume"
+        return lambda: evaluate_plan_rollup(
+            translate(), catalog, rollups, subsume,
+            node_runner, select_runner,
+        )
     if options.mode == "chunked":
         from repro.gmdj.modes import DEFAULT_MEMORY_TUPLES, evaluate_plan_chunked
 
@@ -220,7 +302,7 @@ def _gmdj_runner(query, catalog, strategy, options, cache):
 
 def _resolve_executor(
     query: Operator, catalog: Catalog, options: QueryOptions,
-    cache: PlanCache | None,
+    cache: PlanCache | None, rollups=None,
 ) -> tuple[str, str | None, Callable[[], Relation]]:
     """Resolve ``auto``/``cost_based`` and build the raw runner."""
     strategy = options.strategy
@@ -258,7 +340,7 @@ def _resolve_executor(
         )
     if strategy in _TRANSLATION_FLAGS:
         return strategy, options.mode, _gmdj_runner(
-            query, catalog, strategy, options, cache
+            query, catalog, strategy, options, cache, rollups
         )
     raise PlanError(
         f"unknown strategy {strategy!r}; choose one of {STRATEGIES}"

@@ -1,0 +1,400 @@
+"""Semantic rollup store: materialized GMDJ outputs with subsumption.
+
+A GMDJ's output *is* a rollup: one tuple per base value, carrying the
+aggregates of every ``(l_i, θ_i)`` block computed over a single detail
+scan.  Under Gray et al.'s Data Cube lattice view, a stored GMDJ sits at
+a point of the lattice and can answer any query *below* it — a finer
+selection over the same base values, or a stricter θ whose extra
+conjuncts only constrain the base side — without touching the detail
+relation again.  :class:`RollupStore` implements exactly that reuse:
+
+* **exact tier** — the probe's normalized (base, detail, blocks)
+  signature matches a stored entry verbatim; serve a copy of the stored
+  relation.
+* **subsume tier** — the probe differs from a stored entry only by
+
+  1. a selection wrapped around the same base
+     (``MD(σ[p](B), R, l, θ)`` vs stored ``MD(B, R, l, θ)``) whose
+     predicate ``p`` references only base attributes, and/or
+  2. extra θ-conjuncts that reference only base attributes
+     (``θ'_i = θ_i ∧ ρ_i`` with ``ρ_i`` over B).
+
+  Case 1 is answered by filtering the cached rows on ``p`` (the GMDJ
+  emits one output row per base row, *in base order*, so filtering the
+  prefix columns reproduces the finer GMDJ's output exactly — order,
+  duplicates and all).  Case 2 is sound in 3VL because
+  ``θ_i ∧ ρ_i`` can only be TRUE for detail tuples where ``ρ_i(b)`` is
+  TRUE; for base rows where ``ρ_i(b)`` is FALSE or UNKNOWN the range
+  ``RNG(b, R, θ_i ∧ ρ_i)`` is empty, so the block's aggregates take
+  their empty-input values (``count`` family → 0, the rest → NULL); for
+  base rows where ``ρ_i(b)`` is TRUE the range is unchanged, so the
+  cached aggregates are already correct.
+
+Anything that cannot be proven servable falls through to a **miss** and
+normal single-scan evaluation (whose result is then stored).  Fused
+:class:`~repro.gmdj.evaluate.SelectGMDJ` nodes are never stored or
+served: their completion output carries partial aggregates on assured
+rows, so it is not a reusable rollup.
+
+Staleness is handled the same way as :class:`~repro.engine.cache.PlanCache`:
+every :class:`~repro.engine.database.Database` DDL entry point calls
+:meth:`RollupStore.invalidate`.  Signatures are computed on the
+*original* translated subtrees (before the mode walkers rebuild children
+as anonymous materialized tables), so they are stable across runs of the
+same logical plan.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.algebra.analysis import refers_only_to
+from repro.algebra.expressions import Expression, conjuncts_of
+from repro.algebra.operators import Operator, Select, TableValue
+from repro.algebra.rewrite import map_children
+from repro.errors import ReproError
+from repro.gmdj.evaluate import SelectGMDJ
+from repro.gmdj.operator import GMDJ
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import span
+from repro.storage.catalog import Catalog
+from repro.storage.iostats import IOStats
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+def _plan_text(node: Operator) -> str:
+    """The deterministic rendering that identifies a subtree."""
+    from repro.algebra.printer import explain
+
+    return explain(node)
+
+
+def _block_aggs(block) -> tuple[str, ...]:
+    """The aggregate list of one θ-block, as comparable reprs."""
+    return tuple(repr(spec) for spec in block.aggregates)
+
+
+def _signature(base_text: str, detail_text: str, blocks) -> tuple:
+    """The exact-match key of a GMDJ node."""
+    return (
+        base_text,
+        detail_text,
+        tuple((repr(block.condition), _block_aggs(block)) for block in blocks),
+    )
+
+
+def _empty_values(block) -> tuple:
+    """Per-aggregate empty-input results (count family 0, rest NULL)."""
+    return tuple(
+        0 if spec.function == "count" else None for spec in block.aggregates
+    )
+
+
+@dataclass
+class RollupEntry:
+    """One materialized GMDJ output plus what is needed to reuse it."""
+
+    gmdj: GMDJ
+    relation: Relation
+    base_text: str
+    detail_text: str
+    base_schema: Schema
+
+    @property
+    def base_arity(self) -> int:
+        return len(self.base_schema)
+
+
+class RollupStore:
+    """Bounded LRU store of GMDJ rollups with subsumption matching."""
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, RollupEntry] = OrderedDict()
+        #: (base_text, detail_text) -> signatures sharing that shape;
+        #: the subsume tier scans only same-shape candidates.
+        self._shapes: dict[tuple[str, str], list[tuple]] = {}
+        self.exact_hits = 0
+        self.subsume_hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidations = 0
+
+    # -- store -----------------------------------------------------------------
+
+    def store(self, node: GMDJ, relation: Relation, catalog: Catalog) -> None:
+        """Snapshot ``relation`` as the rollup for ``node``."""
+        try:
+            base_schema = node.base.schema(catalog)
+        except ReproError:
+            return
+        base_text = _plan_text(node.base)
+        detail_text = _plan_text(node.detail)
+        signature = _signature(base_text, detail_text, node.blocks)
+        entry = RollupEntry(
+            gmdj=node, relation=relation.copy(), base_text=base_text,
+            detail_text=detail_text, base_schema=base_schema,
+        )
+        if signature not in self._entries:
+            self._shapes.setdefault((base_text, detail_text), []).append(signature)
+        self._entries[signature] = entry
+        self._entries.move_to_end(signature)
+        while len(self._entries) > self.capacity:
+            evicted, old = self._entries.popitem(last=False)
+            self._unindex(evicted, old)
+        self.stores += 1
+        get_registry().counter("rollup.stores").inc()
+
+    def _unindex(self, signature: tuple, entry: RollupEntry) -> None:
+        shape = (entry.base_text, entry.detail_text)
+        signatures = self._shapes.get(shape)
+        if signatures is None:
+            return
+        try:
+            signatures.remove(signature)
+        except ValueError:
+            pass
+        if not signatures:
+            del self._shapes[shape]
+
+    # -- probe -----------------------------------------------------------------
+
+    def probe(
+        self, node: GMDJ, catalog: Catalog, subsume: bool,
+    ) -> tuple[Relation, str] | None:
+        """Try to answer ``node`` from stored rollups.
+
+        Returns ``(relation, tier)`` — tier ``"exact"`` or ``"subsume"``
+        — or ``None`` on a miss.  The returned relation is always an
+        independent copy.
+        """
+        base_text = _plan_text(node.base)
+        detail_text = _plan_text(node.detail)
+        signature = _signature(base_text, detail_text, node.blocks)
+        entry = self._entries.get(signature)
+        if entry is not None:
+            self._entries.move_to_end(signature)
+            self.exact_hits += 1
+            get_registry().counter("rollup.exact_hits").inc()
+            return entry.relation.copy(), "exact"
+        if subsume:
+            served = self._probe_subsume(node, detail_text, base_text)
+            if served is not None:
+                return served, "subsume"
+        self.misses += 1
+        get_registry().counter("rollup.misses").inc()
+        return None
+
+    def _probe_subsume(
+        self, node: GMDJ, detail_text: str, base_text: str,
+    ) -> Relation | None:
+        base_filter: Expression | None = None
+        inner_text = base_text
+        if isinstance(node.base, Select):
+            base_filter = node.base.predicate
+            inner_text = _plan_text(node.base.child)
+        for signature in self._shapes.get((inner_text, detail_text), ()):
+            entry = self._entries.get(signature)
+            if entry is None:
+                continue
+            try:
+                served = self._try_serve(entry, node, base_filter)
+            except ReproError:
+                served = None
+            if served is not None:
+                self._entries.move_to_end(signature)
+                self.subsume_hits += 1
+                get_registry().counter("rollup.subsume_hits").inc()
+                return served
+        return None
+
+    def _try_serve(
+        self, entry: RollupEntry, node: GMDJ, base_filter: Expression | None,
+    ) -> Relation | None:
+        """Serve ``node`` from ``entry`` if subsumption holds, else None."""
+        stored = entry.gmdj
+        if len(stored.blocks) != len(node.blocks):
+            return None
+        schema = entry.base_schema
+        if base_filter is not None and not refers_only_to(base_filter, schema):
+            return None
+        residuals: list[list[Expression]] = []
+        for query_block, stored_block in zip(node.blocks, stored.blocks):
+            if _block_aggs(query_block) != _block_aggs(stored_block):
+                return None
+            extras = _theta_residual(
+                query_block.condition, stored_block.condition, schema
+            )
+            if extras is None:
+                return None
+            residuals.append(extras)
+        # Empty residuals and no base filter can still land here when the
+        # query θ is a conjunct *reordering* of the stored θ (And is
+        # commutative in 3VL); _serve then degenerates to a plain copy.
+        return _serve(entry, base_filter, residuals)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every rollup (called on any DDL change)."""
+        self._entries.clear()
+        self._shapes.clear()
+        self.invalidations += 1
+        get_registry().counter("rollup.invalidations").inc()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "exact_hits": self.exact_hits,
+            "subsume_hits": self.subsume_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+        }
+
+
+def _theta_residual(
+    query_condition: Expression,
+    stored_condition: Expression,
+    base_schema: Schema,
+) -> list[Expression] | None:
+    """Extra base-only conjuncts of the query θ over the stored θ.
+
+    Returns the residual conjuncts ``ρ`` such that
+    ``query θ = stored θ ∧ ρ`` (as a conjunct multiset) with every ρ
+    referencing only base attributes — or ``None`` when the stored θ is
+    not a conjunct-subset of the query θ, or a residual touches the
+    detail side (re-aggregation would need a detail scan).
+    """
+    remaining = list(conjuncts_of(stored_condition))
+    extras: list[Expression] = []
+    for conjunct in conjuncts_of(query_condition):
+        for index, candidate in enumerate(remaining):
+            if conjunct.same_as(candidate):
+                del remaining[index]
+                break
+        else:
+            extras.append(conjunct)
+    if remaining:
+        return None
+    for extra in extras:
+        if not refers_only_to(extra, base_schema):
+            return None
+    return extras
+
+
+def _serve(
+    entry: RollupEntry,
+    base_filter: Expression | None,
+    residuals: list[list[Expression]],
+) -> Relation:
+    """Build the finer result from the cached rollup.
+
+    Walks the cached rows once (|B| rows, no detail scan): drops rows
+    whose base prefix fails ``base_filter``, and for each block whose
+    residual is not TRUE on a row's base prefix replaces that block's
+    aggregate slots with empty-input values.
+    """
+    schema = entry.base_schema
+    arity = entry.base_arity
+    stats = IOStats.ambient()
+    filter_eval = base_filter.bind(schema) if base_filter is not None else None
+    residual_evals = [
+        [extra.bind(schema) for extra in extras] for extras in residuals
+    ]
+    slots = []
+    offset = arity
+    for block in entry.gmdj.blocks:
+        width = len(block.aggregates)
+        slots.append((offset, width, _empty_values(block)))
+        offset += width
+    any_residual = any(residuals)
+    rows = []
+    for row in entry.relation.rows:
+        prefix = row[:arity]
+        if filter_eval is not None:
+            stats.predicate_evals += 1
+            if not filter_eval(prefix).is_true:
+                continue
+        if any_residual:
+            patched: list | None = None
+            for (start, width, empty), evals in zip(slots, residual_evals):
+                alive = True
+                for evaluator in evals:
+                    stats.predicate_evals += 1
+                    if not evaluator(prefix).is_true:
+                        alive = False
+                        break
+                if not alive:
+                    if patched is None:
+                        patched = list(row)
+                    patched[start:start + width] = empty
+            rows.append(tuple(patched) if patched is not None else row)
+        else:
+            rows.append(row)
+    stats.tuples_output += len(rows)
+    cached = entry.relation
+    return Relation(cached.schema, rows, name=cached.name, validate=False)
+
+
+def evaluate_plan_rollup(
+    plan: Operator,
+    catalog: Catalog,
+    store: RollupStore,
+    subsume: bool,
+    run_gmdj_node,
+    run_select_node=None,
+) -> Relation:
+    """Evaluate ``plan``, answering GMDJ nodes from ``store`` when possible.
+
+    Mirrors the mode walkers in :mod:`repro.gmdj.modes`, with one twist:
+    the store is probed (and fed) with the *original* node, whose
+    base/detail subtrees still render deterministically — the rebuilt
+    node's children are anonymous materialized tables and would not make
+    stable signatures.  Hits emit a ``rollup_hit`` span (with the tier
+    that answered); misses wrap the kernel evaluation in a
+    ``rollup_miss`` span and store the fresh result.  ``SelectGMDJ``
+    nodes bypass the store entirely (their completion output is not a
+    rollup), though GMDJs nested in their inputs still participate.
+    """
+
+    def walk(node: Operator) -> Relation:
+        if isinstance(node, GMDJ):
+            served = store.probe(node, catalog, subsume=subsume)
+            if served is not None:
+                relation, tier = served
+                with span("rollup", kind="rollup_hit", tier=tier,
+                          rows=len(relation)):
+                    return relation
+            with span("rollup", kind="rollup_miss"):
+                rebuilt = GMDJ(
+                    TableValue(walk(node.base)),
+                    TableValue(walk(node.detail)),
+                    node.blocks,
+                )
+                result = run_gmdj_node(rebuilt)
+            store.store(node, result, catalog)
+            return result
+        if isinstance(node, SelectGMDJ):
+            import dataclasses
+
+            inner = node.gmdj
+            rebuilt_inner = GMDJ(
+                TableValue(walk(inner.base)),
+                TableValue(walk(inner.detail)),
+                inner.blocks,
+            )
+            rebuilt_select = dataclasses.replace(node, gmdj=rebuilt_inner)
+            if run_select_node is not None:
+                return run_select_node(rebuilt_select)
+            return rebuilt_select.evaluate(catalog)
+        rebuilt = map_children(node, lambda child: TableValue(walk(child)))
+        return rebuilt.evaluate(catalog)
+
+    with span("plan(rollup)", kind="mode", mode="rollup", subsume=subsume):
+        return walk(plan)

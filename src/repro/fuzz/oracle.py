@@ -7,7 +7,14 @@ A *case* is a (database, query) pair.  The oracle runs the query through
   ``gmdj_optimized``) and
 * the chunked, partitioned, and vectorized GMDJ evaluation modes (with
   deliberately tiny budgets so fragmentation and multi-batch scans
-  actually happen on fuzz-sized data),
+  actually happen on fuzz-sized data), and
+* the rollup-warm replay engine (``gmdj_rollup_warm``): the query runs
+  cold with the semantic rollup tier on, then warm against the now-
+  populated store, then once more under ``gmdj_optimized`` whose
+  base-selection pushdown gives the subsumption matcher real work — a
+  warm result differing from its cold twin is the classic semantic-
+  cache failure mode and is reported with the dedicated divergence
+  kind ``"rollup-divergence"``,
 
 and compares each result bag against stdlib ``sqlite3`` executing an
 independently rendered query.  Comparison is NULL-aware bag equality
@@ -53,7 +60,11 @@ STRATEGY_ENGINES = (
 #: evaluation).
 MODE_ENGINES = ("gmdj_chunked", "gmdj_parallel", "gmdj_vectorized")
 
-ALL_ENGINES = STRATEGY_ENGINES + MODE_ENGINES
+#: Cold-then-warm replay through the semantic rollup store
+#: (:mod:`repro.engine.rollup`); divergence kind "rollup-divergence".
+ROLLUP_ENGINES = ("gmdj_rollup_warm",)
+
+ALL_ENGINES = STRATEGY_ENGINES + MODE_ENGINES + ROLLUP_ENGINES
 
 #: Tiny fragmentation knobs: fuzz databases hold ~10 rows per table, so
 #: these force multiple chunks / partitions / batches on nearly every
@@ -176,6 +187,56 @@ def lint_findings(database: Database, repro_sql: str) -> list[tuple[str, object]
     return findings
 
 
+def _rollup_warm_divergence(
+    database: Database, repro_sql: str, expected: Counter,
+) -> Divergence | None:
+    """Cold/warm/optimized-warm replay through the rollup store.
+
+    Three runs against the case database: cold under ``gmdj`` with the
+    rollup tier on (this populates the store), warm with the same
+    options (exact-tier serving), and once under ``gmdj_optimized``
+    whose pushed-down base selections exercise subsumption matching.
+    A warm result differing from its cold twin — or from the SQLite
+    oracle — is a stale/unsound cache hit, the failure class this
+    engine exists to catch.
+    """
+    cold_options = QueryOptions(
+        strategy="gmdj", rollup="subsume", use_cache=False,
+    )
+    optimized_options = QueryOptions(
+        strategy="gmdj_optimized", rollup="subsume", use_cache=False,
+    )
+    cold = normalize_rows(
+        database.execute_sql(repro_sql, cold_options).rows)
+    warm = normalize_rows(
+        database.execute_sql(repro_sql, cold_options).rows)
+    optimized = normalize_rows(
+        database.execute_sql(repro_sql, optimized_options).rows)
+    if cold != expected:
+        missing = expected - cold
+        extra = cold - expected
+        return Divergence(
+            engine="gmdj_rollup_warm", kind="mismatch",
+            detail=(f"cold run: {sum(missing.values())} row(s) missing, "
+                    f"{sum(extra.values())} unexpected"),
+            expected=_bag_repr(expected), actual=_bag_repr(cold),
+        )
+    if warm != cold:
+        return Divergence(
+            engine="gmdj_rollup_warm", kind="rollup-divergence",
+            detail="warm replay diverged from its own cold evaluation",
+            expected=_bag_repr(cold), actual=_bag_repr(warm),
+        )
+    if optimized != expected:
+        return Divergence(
+            engine="gmdj_rollup_warm", kind="rollup-divergence",
+            detail=("rollup-warm gmdj_optimized run diverged from the "
+                    "oracle"),
+            expected=_bag_repr(expected), actual=_bag_repr(optimized),
+        )
+    return None
+
+
 def run_differential(
     dbspec: DatabaseSpec,
     repro_sql: str,
@@ -208,6 +269,13 @@ def run_differential(
         ))
     for engine in engines:
         try:
+            if engine in ROLLUP_ENGINES:
+                divergence = _rollup_warm_divergence(
+                    database, repro_sql, expected)
+                outcome.engines_run += 1
+                if divergence is not None:
+                    outcome.divergences.append(divergence)
+                continue
             if engine in MODE_ENGINES:
                 plan = subquery_to_gmdj(database.sql(repro_sql),
                                         database.catalog)

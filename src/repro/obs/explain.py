@@ -57,9 +57,11 @@ def _coerce(options):
 def _label(options) -> str:
     """The human-facing ``strategy=... [mode=...]`` header fragment."""
     label = f"strategy={options.strategy}"
-    mode = options.canonical().mode
-    if mode is not None:
-        label += f" mode={mode}"
+    canonical = options.canonical()
+    if canonical.mode is not None:
+        label += f" mode={canonical.mode}"
+    if canonical.rollup is not None:
+        label += f" rollup={canonical.rollup}"
     return label
 
 
@@ -84,7 +86,42 @@ def executed_summary(trace) -> dict:
             )
             if "chunk_size" in span_.attrs:
                 summary["chunk_size"] = span_.attrs["chunk_size"]
+        elif span_.kind == "rollup_hit":
+            tier = span_.attrs.get("tier")
+            key = ("rollup_exact_hits" if tier == "exact"
+                   else "rollup_subsume_hits")
+            summary[key] = summary.get(key, 0) + 1
+        elif span_.kind == "rollup_miss":
+            summary["rollup_misses"] = summary.get("rollup_misses", 0) + 1
     return summary
+
+
+def rollup_summary(trace) -> str | None:
+    """A one-line account of which serving tier answered, or None.
+
+    ``None`` when the rollup tier was not active (no rollup spans in the
+    trace); otherwise hit/miss counts plus a verdict: fully served from
+    the store, partially served, or computed by detail scan.
+    """
+    executed = executed_summary(trace)
+    exact = executed.get("rollup_exact_hits", 0)
+    subsume = executed.get("rollup_subsume_hits", 0)
+    misses = executed.get("rollup_misses", 0)
+    if not (exact or subsume or misses):
+        return None
+    if misses == 0:
+        if subsume and exact:
+            tier = "served from rollup store (exact + subsumption)"
+        elif subsume:
+            tier = "served from rollup store (subsumption)"
+        else:
+            tier = "served from rollup store (exact)"
+    elif exact or subsume:
+        tier = "partially served from rollup store"
+    else:
+        tier = "computed by detail scan (rollups stored)"
+    return (f"rollup: exact={exact} subsume={subsume} miss={misses}"
+            f" — {tier}")
 
 
 def static_report(db, query, options="auto"):
@@ -116,8 +153,14 @@ def _certifiable(canonical) -> bool:
 
     Plain mode trivially does.  Vectorized mode does too *unless* it is
     composed with base-chunking or partitioning, which multiply the
-    per-GMDJ detail scans / change the owning span kinds.
+    per-GMDJ detail scans / change the owning span kinds.  A run with
+    the rollup tier active is never certifiable: a rollup hit answers a
+    GMDJ with *zero* gmdj/detail_scan spans, so the static certificate's
+    counts cannot match (the dedicated rollup invariant — zero detail
+    scans under every hit — covers that case instead).
     """
+    if canonical.rollup is not None:
+        return False
     if canonical.mode is None:
         return True
     return (
@@ -188,6 +231,9 @@ def explain_analyze(db, query, options="auto", strict: bool = False) -> str:
             + " ".join(f"{key}={value}"
                        for key, value in executed.items())
         )
+    rollup = rollup_summary(report.trace)
+    if rollup is not None:
+        lines.append(f"-- {rollup}")
     if expectations:
         lines.append(
             "-- single-scan expectation: "
@@ -212,6 +258,7 @@ def explain_analyze_json(db, query, options="auto",
     return {
         "strategy": options.strategy,
         "mode": canonical.mode,
+        "rollup": canonical.rollup,
         "executed": executed_summary(report.trace),
         "plan": plan_text,
         "rows": report.row_count,
@@ -239,5 +286,6 @@ __all__ = [
     "executed_summary",
     "explain_analyze",
     "explain_analyze_json",
+    "rollup_summary",
     "static_report",
 ]

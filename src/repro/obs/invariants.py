@@ -160,6 +160,33 @@ def check_trace(
                     f"{output_rows} rows from a {base_rows}-row base"
                 )
 
+    # Rollup-tier invariants: a hit answers its GMDJ from the stored
+    # rollup, so no detail scan may occur beneath it — and a query served
+    # entirely from the store (hits, no misses, no live GMDJ evaluation)
+    # must perform zero detail scans anywhere.  This is the runtime
+    # counterpart of the static cost certificate for rollup-served plans.
+    rollup_hits = [s for s in trace.walk() if s.kind == "rollup_hit"]
+    for hit in rollup_hits:
+        report.checked += 1
+        nested = [s for s in hit.walk() if s.kind == "detail_scan"]
+        if nested:
+            report.violations.append(
+                f"rollup-zero-scan: a {hit.attrs.get('tier')}-tier rollup "
+                f"hit performed {len(nested)} detail scan(s) "
+                f"(a served rollup must not touch the detail relation)"
+            )
+    if rollup_hits and not any(
+        s.kind == "rollup_miss" or s.kind in _OWNER_KINDS
+        for s in trace.walk()
+    ):
+        report.checked += 1
+        scans = [s for s in trace.walk() if s.kind == "detail_scan"]
+        if scans:
+            report.violations.append(
+                f"rollup-served: the plan was answered entirely from the "
+                f"rollup store yet performed {len(scans)} detail scan(s)"
+            )
+
     for table in sorted(single_scan_tables):
         report.checked += 1
         scans = [

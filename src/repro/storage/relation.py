@@ -67,6 +67,16 @@ class Relation:
         schema = Schema(Field(n, t, qualifier) for n, t in pairs)
         return Relation(schema, rows, name=name)
 
+    def copy(self) -> "Relation":
+        """An independent snapshot: same schema/name, fresh row list.
+
+        Rows are immutable tuples, so a shallow list copy is a full
+        defensive copy — mutating the copy's ``rows`` cannot affect the
+        original (the cache layers rely on this both when storing and
+        when serving).
+        """
+        return Relation(self.schema, self.rows, name=self.name, validate=False)
+
     def insert(self, row: Sequence[Any]) -> None:
         self.rows.append(self._check_row(row))
 

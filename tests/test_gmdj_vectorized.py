@@ -248,15 +248,19 @@ class TestEndToEnd:
         assert expected.bag_equal(actual)
 
     def test_identical_io_accounting_end_to_end(self):
+        # rollup="off": this test compares the raw work both kernels
+        # perform, so neither run may be served from the rollup store
+        # (the REPRO_ROLLUP CI leg would otherwise serve the second).
         db = fuzzy_database()
         with collect() as row_stats:
             db.execute_sql(SQL_EXISTS,
-                           QueryOptions(strategy="gmdj", use_cache=False))
+                           QueryOptions(strategy="gmdj", use_cache=False,
+                                        rollup="off"))
         with collect() as batch_stats:
             db.execute_sql(
                 SQL_EXISTS,
                 QueryOptions(strategy="gmdj", mode="gmdj_vectorized",
-                             chunk_size=11, use_cache=False),
+                             chunk_size=11, use_cache=False, rollup="off"),
             )
         assert batch_stats.snapshot() == row_stats.snapshot()
 

@@ -136,3 +136,95 @@ class TestTranslationCache:
         db.execute_sql(SQL, QueryOptions(strategy="gmdj_optimized"))
         # Distinct flag sets must not alias each other's plans.
         assert db.cache.stats()["translations"] == 2
+
+
+ROLLUP = QueryOptions(strategy="gmdj", rollup="subsume", use_cache=False)
+ROLLUP_OFF = QueryOptions(strategy="gmdj", rollup="off", use_cache=False)
+
+
+class TestRollupStaleness:
+    """Every DDL path must invalidate the semantic rollup store too.
+
+    Unlike the exact-key result cache, a stale rollup can poison *other*
+    queries through subsumption matching, so these tests assert both the
+    store bookkeeping and the actually-served rows after each mutation
+    entry point.
+    """
+
+    def test_register_invalidates_rollups(self):
+        db = make_db([(1,)])
+        assert db.execute_sql(SQL, ROLLUP).rows == [(1,)]
+        db.register("R", Relation.from_columns(
+            [("K", DataType.INTEGER)], [(2,), (3,)], name="R",
+        ))
+        assert len(db.rollups) == 0
+        assert sorted(db.execute_sql(SQL, ROLLUP).rows) == [(2,), (3,)]
+
+    def test_create_table_invalidates_rollups(self):
+        db = make_db([(0,), (1,)])
+        assert sorted(db.execute_sql(SQL, ROLLUP).rows) == [(0,), (1,)]
+        db.catalog.drop_table("R")
+        db.create_table("R", [("K", DataType.INTEGER)], [(3,)])
+        assert db.execute_sql(SQL, ROLLUP).rows == [(3,)]
+
+    def test_load_csv_invalidates_rollups(self, tmp_path):
+        db = make_db([(1,)])
+        db.execute_sql(SQL, ROLLUP)
+        replacement = Relation.from_columns(
+            [("K", DataType.INTEGER)], [(2,)], name="R",
+        )
+        path = tmp_path / "R.csv"
+        save_csv(replacement, path)
+        db.catalog.drop_table("R")
+        db.load_csv("R", path)
+        assert db.execute_sql(SQL, ROLLUP).rows == [(2,)]
+
+    def test_index_ddl_invalidates_rollups(self):
+        db = make_db([(1,)])
+        db.execute_sql(SQL, ROLLUP)
+        assert len(db.rollups) == 1
+        db.create_index("R", "K")
+        assert len(db.rollups) == 0
+        db.execute_sql(SQL, ROLLUP)
+        db.drop_indexes("R")
+        assert len(db.rollups) == 0
+
+    def test_invalidation_counter_increments(self):
+        db = make_db([(1,)])
+        before = db.rollups.stats()["invalidations"]
+        db.drop_indexes()
+        assert db.rollups.stats()["invalidations"] == before + 1
+
+    def test_seeded_invalidation_bug_is_caught_differentially(
+            self, monkeypatch):
+        # Seeded bug: DDL no longer clears the rollup store.  The
+        # differential discipline (warm serve vs. rollup-off direct
+        # evaluation) must expose the stale read — this is exactly the
+        # check the fuzzer's gmdj_rollup_warm engine automates.
+        db = make_db([(1,)])
+        monkeypatch.setattr(db.rollups, "invalidate", lambda: None)
+        assert db.execute_sql(SQL, ROLLUP).rows == [(1,)]
+        db.register("R", Relation.from_columns(
+            [("K", DataType.INTEGER)], [(2,), (3,)], name="R",
+        ))
+        served = db.execute_sql(SQL, ROLLUP)
+        direct = db.execute_sql(SQL, ROLLUP_OFF)
+        assert served.rows == [(1,)]          # the stale rollup answered
+        assert not served.bag_equal(direct)   # ... and the diff catches it
+        assert sorted(direct.rows) == [(2,), (3,)]
+
+
+class TestRollupDefensiveCopies:
+    def test_rollup_hit_returns_independent_relation(self):
+        db = make_db([(1,)])
+        db.execute_sql(SQL, ROLLUP)
+        served = db.execute_sql(SQL, ROLLUP)
+        served.rows.append((99,))  # a caller scribbling on its result
+        again = db.execute_sql(SQL, ROLLUP)
+        assert again.rows == [(1,)]
+
+    def test_store_snapshots_the_result(self):
+        db = make_db([(1,)])
+        first = db.execute_sql(SQL, ROLLUP)
+        first.rows.append((99,))  # mutating the relation that was stored
+        assert db.execute_sql(SQL, ROLLUP).rows == [(1,)]

@@ -113,3 +113,19 @@ class TestPretty:
 
     def test_repr(self, numbers):
         assert "4 rows" in repr(numbers)
+
+
+class TestCopy:
+    def test_copy_is_row_independent(self, numbers):
+        snapshot = numbers.copy()
+        assert snapshot.rows == numbers.rows
+        assert snapshot.schema is numbers.schema
+        assert snapshot.name == numbers.name
+        snapshot.rows.append((99, "z"))
+        assert len(numbers.rows) == 4
+
+    def test_copy_of_copy_is_independent(self, numbers):
+        first = numbers.copy()
+        second = first.copy()
+        first.rows.clear()
+        assert second.rows == numbers.rows
