@@ -44,6 +44,19 @@ cost certificate.  Exit status is 0 when no error-severity diagnostic
 fired, 1 otherwise.  With ``--corpus DIR`` it verifies every fuzz
 corpus case in DIR instead of a single statement.
 
+The ``serve`` subcommand boots the async multi-tenant query service
+(:mod:`repro.serve`)::
+
+    python -m repro serve --port 8125 --workers 4 --queue-depth 64 \\
+        --data warehouse_dir/ --rollup subsume
+
+It exposes ``/query``, ``/ddl``, ``/explain``, ``/metrics`` and
+``/healthz`` as JSON-over-HTTP endpoints with bounded-queue admission
+control (429 on overload), per-request deadlines (408), and graceful
+drain on SIGINT/SIGTERM (503 while draining).  ``--data`` pre-loads a
+CSV directory into the ``default`` tenant; other tenants are created on
+first reference.
+
 The ``fuzz`` subcommand runs the differential fuzzer instead::
 
     python -m repro fuzz --seed 42 --iterations 500
@@ -413,6 +426,84 @@ def lint_main(argv: list[str], out) -> int:
         return 1
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Async multi-tenant query service: /query, /ddl, "
+                    "/explain, /metrics, /healthz as JSON over HTTP with "
+                    "bounded-queue admission control and per-request "
+                    "deadlines.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="TCP port (default 8125; 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="concurrent request executions (default 4)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="admitted requests allowed to wait beyond the executing "
+             "ones; excess is shed with 429 (default 64)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=30_000.0, metavar="MS",
+        help="default per-request deadline; requests may set their own "
+             "via body deadline_ms (default 30000)",
+    )
+    parser.add_argument(
+        "--max-tenants", type=int, default=16, metavar="N",
+        help="cap on distinct tenants (default 16)",
+    )
+    parser.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="how long graceful shutdown waits for in-flight requests "
+             "(default 10)",
+    )
+    parser.add_argument(
+        "--data", type=Path, default=None,
+        help="directory of *.csv files pre-loaded into tenant 'default'",
+    )
+    parser.add_argument(
+        "--strategy", choices=STRATEGIES, default="auto",
+        help="default evaluation strategy for served queries",
+    )
+    parser.add_argument(
+        "--rollup", choices=("off", "exact", "subsume"), default=None,
+        help="default rollup serving tier for served queries",
+    )
+    return parser
+
+
+def serve_main(argv: list[str], out) -> int:
+    from repro.serve import DEFAULT_PORT, ServeConfig, run_server
+
+    args = build_serve_parser().parse_args(argv)
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=DEFAULT_PORT if args.port is None else args.port,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            deadline_ms=args.deadline_ms,
+            max_tenants=args.max_tenants,
+            drain_grace_s=args.drain_grace,
+            options=QueryOptions(strategy=args.strategy, rollup=args.rollup),
+        )
+        if args.data is not None and not args.data.is_dir():
+            print(f"error: {args.data} is not a directory", file=sys.stderr)
+            return 2
+        return run_server(config, data_dir=args.data)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
 def build_explain_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro explain",
@@ -516,6 +607,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return explain_main(argv[1:], out)
     if argv and argv[0] == "lint":
         return lint_main(argv[1:], out)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:], out)
     args = build_parser().parse_args(argv)
     db = Database()
     try:

@@ -1,7 +1,7 @@
 """Query engine: database façade, strategy planner, executor, reports."""
 
 from repro.engine.cache import PlanCache
-from repro.engine.database import Database
+from repro.engine.database import Database, DatabaseClosedError
 from repro.engine.executor import execute, profile, run
 from repro.engine.options import QueryOptions
 from repro.engine.planner import STRATEGIES, contains_nested_select, make_executor
@@ -12,6 +12,7 @@ from repro.engine.statistics import ColumnStatistics, TableStatistics, analyze_c
 __all__ = [
     "ColumnStatistics",
     "Database",
+    "DatabaseClosedError",
     "PlanCache",
     "QueryOptions",
     "RollupStore",

@@ -24,42 +24,55 @@ catalog's back bypasses this — go through ``register`` to swap data.
 Profiled runs (``Database.profile``, EXPLAIN ANALYZE) never consult the
 result cache: their purpose is to measure the work, and a cache hit
 would measure nothing.
+
+The maps are thread-safe: the serve tier admits concurrent readers
+against one database (DDL is exclusive under the tenant's
+reader-writer lock, but two reads may store results at once), so every
+LRU operation — including the multi-step put/evict sequence — runs
+under a per-cache lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.storage.relation import Relation
 
 
 class _LRU:
-    """A small insertion-bounded LRU map."""
+    """A small insertion-bounded LRU map (thread-safe)."""
 
     def __init__(self, capacity: int):
         self.capacity = capacity
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key):
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
 
     def put(self, key, value) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
 
 class PlanCache:
@@ -102,11 +115,15 @@ class PlanCache:
 
     def result(self, key) -> Relation | None:
         """A cached result relation (defensively copied), or None."""
+        from repro.obs.metrics import get_registry
+
         cached = self._results.get(key)
         if cached is None:
             self.result_misses += 1
+            get_registry().counter("cache.result_misses").inc()
             return None
         self.result_hits += 1
+        get_registry().counter("cache.result_hits").inc()
         # Copy rows so a caller mutating the returned relation cannot
         # corrupt later hits.
         return cached.copy()

@@ -37,7 +37,8 @@ from repro.engine.executor import run
 from repro.engine.rollup import RollupStore
 from repro.engine.options import QueryOptions, STRATEGIES
 from repro.engine.reports import ExecutionReport
-from repro.errors import PlanError
+from repro.errors import PlanError, ReproError
+from repro.gmdj.pool import PoolRegistry, pooling
 from repro.storage.catalog import Catalog
 from repro.storage.csvio import load_csv
 from repro.storage.relation import Relation
@@ -45,13 +46,62 @@ from repro.storage.types import DataType
 from repro.unnesting.translate import subquery_to_gmdj
 
 
+class DatabaseClosedError(ReproError):
+    """An operation was attempted on a database after ``close()``."""
+
+
 class Database:
-    """An in-process OLAP database with GMDJ-based subquery processing."""
+    """An in-process OLAP database with GMDJ-based subquery processing.
+
+    Databases are context managers: long-lived owners (the serve tier's
+    per-tenant instances above all) should ``close()`` them — or use
+    ``with Database() as db`` — to deterministically release the pooled
+    GMDJ worker executors the database accumulated.  Short-lived script
+    use needs no close; executors created outside a registry are torn
+    down per query.
+    """
 
     def __init__(self, cache_size: int = 128) -> None:
         self.catalog = Catalog()
         self.cache = PlanCache(cache_size)
         self.rollups = RollupStore(cache_size)
+        #: Reusable worker executors for pooled (partitioned) GMDJ
+        #: evaluation; queries executed through this database share
+        #: them instead of paying pool start-up per query.
+        self.pools = PoolRegistry()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release every resource this database owns (idempotent).
+
+        Shuts down the pooled GMDJ worker executors (waiting for
+        in-flight partition work, so nothing is abandoned mid-merge) and
+        drops the plan/result cache and rollup store.  After close every
+        query or DDL entry point raises :class:`DatabaseClosedError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.pools.shutdown(wait=True)
+        self.cache.invalidate()
+        self.rollups.invalidate()
+
+    def __enter__(self) -> "Database":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DatabaseClosedError("database is closed")
 
     # -- DDL -----------------------------------------------------------------
 
@@ -62,6 +112,7 @@ class Database:
         rows: Iterable[Sequence[Any]] = (),
     ) -> Relation:
         """Create a table from ``(name, dtype)`` pairs and initial rows."""
+        self._check_open()
         relation = Relation.from_columns(columns, rows, name=name)
         self.cache.invalidate()
         self.rollups.invalidate()
@@ -69,12 +120,30 @@ class Database:
 
     def register(self, name: str, relation: Relation) -> Relation:
         """Install an existing relation as a table (replaces silently)."""
+        self._check_open()
+        self.cache.invalidate()
+        self.rollups.invalidate()
+        return self.catalog.replace_table(name, relation)
+
+    def insert(self, name: str, rows: Iterable[Sequence[Any]]) -> Relation:
+        """Append rows to an existing table.
+
+        Copy-on-write: the catalog entry is *replaced* by an extended
+        copy rather than mutated in place, so an in-flight reader that
+        already resolved the old relation keeps scanning a consistent
+        snapshot.  Like every mutation entry point this invalidates the
+        plan/result cache and the rollup store.
+        """
+        self._check_open()
+        relation = self.catalog.table(name).copy()
+        relation.extend(rows)
         self.cache.invalidate()
         self.rollups.invalidate()
         return self.catalog.replace_table(name, relation)
 
     def load_csv(self, name: str, path) -> Relation:
         """Create a table from a CSV written by ``repro.storage.save_csv``."""
+        self._check_open()
         self.cache.invalidate()
         self.rollups.invalidate()
         return self.catalog.create_table(name, load_csv(path, name=name))
@@ -82,12 +151,14 @@ class Database:
     def create_index(self, table: str, attribute: str) -> None:
         """Create a single-attribute hash index (conventional engines'
         correlation lookups and indexed joins use these)."""
+        self._check_open()
         self.cache.invalidate()
         self.rollups.invalidate()
         self.catalog.create_hash_index(table, [attribute])
 
     def drop_indexes(self, table: str | None = None) -> int:
         """Drop indexes to study strategy stability (Figure 5)."""
+        self._check_open()
         self.cache.invalidate()
         self.rollups.invalidate()
         return self.catalog.drop_all_indexes(table)
@@ -131,8 +202,12 @@ class Database:
 
         Plain (unprofiled) cached runs are served straight from the
         result cache; profiled runs always execute (their purpose is
-        measurement) but still share the translation cache.
+        measurement) but still share the translation cache.  Execution
+        runs with this database's :class:`~repro.gmdj.pool.PoolRegistry`
+        installed, so pooled partitioned evaluation reuses executors
+        across queries (``close()`` is their deterministic teardown).
         """
+        self._check_open()
         result_key = None
         if not profiled and options.use_cache:
             result_key = (options.cache_key(), PlanCache.plan_key(query))
@@ -142,8 +217,9 @@ class Database:
                     strategy=options.strategy, elapsed_seconds=0.0,
                     result=cached, options=options,
                 )
-        report = run(query, self.catalog, options, cache=self.cache,
-                     profiled=profiled, rollups=self.rollups)
+        with pooling(self.pools):
+            report = run(query, self.catalog, options, cache=self.cache,
+                         profiled=profiled, rollups=self.rollups)
         if result_key is not None:
             self.cache.store_result(result_key, report.result)
         return report
@@ -218,6 +294,7 @@ class Database:
 
     def sql(self, text: str) -> Operator:
         """Parse and bind a SQL query into a (possibly nested) algebra tree."""
+        self._check_open()
         from repro.sql import compile_sql
 
         return compile_sql(text, self.catalog)

@@ -46,6 +46,7 @@ same logical plan.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -116,6 +117,11 @@ class RollupStore:
         #: (base_text, detail_text) -> signatures sharing that shape;
         #: the subsume tier scans only same-shape candidates.
         self._shapes: dict[tuple[str, str], list[tuple]] = {}
+        #: Serializes the multi-step store/probe/evict/invalidate
+        #: bookkeeping: the serve tier probes and stores from concurrent
+        #: reader threads (DDL invalidation is already exclusive under
+        #: the tenant's reader-writer lock, but readers race each other).
+        self._lock = threading.RLock()
         self.exact_hits = 0
         self.subsume_hits = 0
         self.misses = 0
@@ -137,14 +143,17 @@ class RollupStore:
             gmdj=node, relation=relation.copy(), base_text=base_text,
             detail_text=detail_text, base_schema=base_schema,
         )
-        if signature not in self._entries:
-            self._shapes.setdefault((base_text, detail_text), []).append(signature)
-        self._entries[signature] = entry
-        self._entries.move_to_end(signature)
-        while len(self._entries) > self.capacity:
-            evicted, old = self._entries.popitem(last=False)
-            self._unindex(evicted, old)
-        self.stores += 1
+        with self._lock:
+            if signature not in self._entries:
+                self._shapes.setdefault(
+                    (base_text, detail_text), []
+                ).append(signature)
+            self._entries[signature] = entry
+            self._entries.move_to_end(signature)
+            while len(self._entries) > self.capacity:
+                evicted, old = self._entries.popitem(last=False)
+                self._unindex(evicted, old)
+            self.stores += 1
         get_registry().counter("rollup.stores").inc()
 
     def _unindex(self, signature: tuple, entry: RollupEntry) -> None:
@@ -173,17 +182,18 @@ class RollupStore:
         base_text = _plan_text(node.base)
         detail_text = _plan_text(node.detail)
         signature = _signature(base_text, detail_text, node.blocks)
-        entry = self._entries.get(signature)
-        if entry is not None:
-            self._entries.move_to_end(signature)
-            self.exact_hits += 1
-            get_registry().counter("rollup.exact_hits").inc()
-            return entry.relation.copy(), "exact"
-        if subsume:
-            served = self._probe_subsume(node, detail_text, base_text)
-            if served is not None:
-                return served, "subsume"
-        self.misses += 1
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is not None:
+                self._entries.move_to_end(signature)
+                self.exact_hits += 1
+                get_registry().counter("rollup.exact_hits").inc()
+                return entry.relation.copy(), "exact"
+            if subsume:
+                served = self._probe_subsume(node, detail_text, base_text)
+                if served is not None:
+                    return served, "subsume"
+            self.misses += 1
         get_registry().counter("rollup.misses").inc()
         return None
 
@@ -239,13 +249,15 @@ class RollupStore:
 
     def invalidate(self) -> None:
         """Drop every rollup (called on any DDL change)."""
-        self._entries.clear()
-        self._shapes.clear()
-        self.invalidations += 1
+        with self._lock:
+            self._entries.clear()
+            self._shapes.clear()
+            self.invalidations += 1
         get_registry().counter("rollup.invalidations").inc()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> dict:
         return {

@@ -13,9 +13,11 @@ from repro.gmdj.operator import GMDJ, ThetaBlock, md
 from repro.gmdj.optimize import fuse_completion, optimize_plan, push_base_selections
 from repro.gmdj.parallel import evaluate_gmdj_partitioned, partition_rows
 from repro.gmdj.pool import (
+    PoolRegistry,
     choose_executor,
     default_workers,
     map_partitions,
+    pooling,
     resolve_workers,
 )
 from repro.gmdj.pushdown import (
@@ -36,6 +38,7 @@ __all__ = [
     "GMDJ",
     "SelectGMDJ",
     "ThetaBlock",
+    "PoolRegistry",
     "choose_executor",
     "coalesce_plan",
     "default_workers",
@@ -56,6 +59,7 @@ __all__ = [
     "merge_stacked",
     "resolve_workers",
     "optimize_plan",
+    "pooling",
     "push_base_selections",
     "partition_rows",
     "plan_to_sql",

@@ -30,6 +30,16 @@ Executor selection (``choose_executor``):
              (``PROCESS_MIN_DETAIL_ROWS``) and the task pickles, threads
              otherwise.
 
+Executor lifetime: by default :func:`map_partitions` creates a pool for
+one call and tears it down on exit (batch/CLI behaviour: nothing ever
+leaks because nothing outlives the call).  Long-lived processes — the
+``repro.serve`` query service above all — instead install a
+:class:`PoolRegistry` with :class:`pooling`, and every pooled evaluation
+in that context reuses the registry's executors instead of paying pool
+start-up per query.  The registry owns those executors and
+:meth:`PoolRegistry.shutdown` (reached via ``Database.close()`` and the
+server's graceful drain) is the deterministic teardown path.
+
 Environment knobs (read at call time, so CI can force them suite-wide):
 
 * ``REPRO_WORKERS``   — default worker count when none is requested.
@@ -40,7 +50,9 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from contextvars import ContextVar
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -165,6 +177,97 @@ def run_partition(task: PartitionTask) -> PartitionResult:
     )
 
 
+class PoolRegistry:
+    """Reusable executors keyed by ``(kind, workers)``.
+
+    One registry belongs to one owner (a :class:`~repro.engine.database.
+    Database`, or the serve tier's dispatcher); executors are created on
+    first use and reused until :meth:`shutdown`, which waits for
+    in-flight work and then releases every worker.  All methods are
+    thread-safe — the serve tier calls :meth:`get` from concurrent
+    request threads.
+    """
+
+    def __init__(self) -> None:
+        self._pools: dict[tuple[str, int], Executor] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def get(self, kind: str, workers: int) -> Executor:
+        """The shared executor for this shape, created on first use."""
+        if kind not in ("thread", "process"):
+            raise ConfigurationError(
+                f"executor must be 'thread' or 'process', got {kind!r}"
+            )
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        key = (kind, workers)
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError(
+                    "pool registry is shut down; no new executors"
+                )
+            pool = self._pools.get(key)
+            if pool is None:
+                pool = self._pools[key] = _make_pool(kind, workers)
+            return pool
+
+    def shutdown(self, wait: bool = True) -> int:
+        """Shut down every executor; returns how many were released.
+
+        Idempotent.  With ``wait`` (the default) the call blocks until
+        in-flight tasks finish, so a drain that follows the admission
+        barrier is deterministic: nothing is executing when it returns.
+        """
+        with self._lock:
+            self._closed = True
+            pools, self._pools = list(self._pools.values()), {}
+        for pool in pools:
+            pool.shutdown(wait=wait)
+        return len(pools)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pools)
+
+
+#: The installed registry, or None for per-call executor lifetimes.
+#: A ``ContextVar`` so concurrent serve requests (each running a tenant
+#: database in its own context) resolve their own tenant's registry.
+_registry_var: ContextVar["PoolRegistry | None"] = ContextVar(
+    "repro_pool_registry", default=None
+)
+
+
+def active_registry() -> "PoolRegistry | None":
+    return _registry_var.get()
+
+
+class pooling:
+    """Context manager installing a :class:`PoolRegistry` for reuse.
+
+    Every :func:`map_partitions` call inside the context draws its
+    executor from the registry instead of creating (and destroying) a
+    private pool.  ``Database._run`` wraps execution in this, so each
+    database's pooled queries share that database's executors.
+    """
+
+    def __init__(self, registry: PoolRegistry):
+        self.registry = registry
+        self._token = None
+
+    def __enter__(self) -> PoolRegistry:
+        self._token = _registry_var.set(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc_info) -> None:
+        _registry_var.reset(self._token)
+
+
 def _make_pool(kind: str, workers: int):
     if kind == "process":
         import multiprocessing
@@ -208,10 +311,16 @@ def map_partitions(
                       vectorized=vectorized, chunk_size=chunk_size)
         for number, fragment in enumerate(fragments, start=1)
     ]
+    registry = _registry_var.get()
     with span("pool", kind="pool", executor=kind, workers=workers,
-              partitions=len(fragments)):
-        with _make_pool(kind, workers) as pool:
+              partitions=len(fragments),
+              reused=registry is not None):
+        if registry is not None:
+            pool = registry.get(kind, workers)
             results = list(pool.map(run_partition, tasks))
+        else:
+            with _make_pool(kind, workers) as pool:
+                results = list(pool.map(run_partition, tasks))
         ambient = IOStats.ambient()
         for result in results:
             ambient.merge(result.counters)

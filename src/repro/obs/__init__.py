@@ -29,6 +29,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    metrics_scope,
 )
 from repro.obs.tracer import (
     Span,
@@ -51,6 +52,7 @@ __all__ = [
     "explain_analyze",
     "explain_analyze_json",
     "get_registry",
+    "metrics_scope",
     "span",
     "tracing",
     "tracing_enabled",

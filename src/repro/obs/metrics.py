@@ -10,11 +10,22 @@ external metrics library.  Everything is plain dicts and lists;
 Histograms use *fixed* bucket bounds chosen at creation: observation is
 a linear scan over ~a dozen bounds (cheap, allocation-free) and two
 histograms with the same bounds are directly comparable across runs.
+
+Concurrency: :func:`get_registry` resolves through a ``ContextVar`` —
+the same isolation the tracer and IOStats already use — so a request
+handler that installs a :class:`metrics_scope` gets a private registry
+for everything recorded inside it (including code it calls that fetches
+the "global" registry, e.g. the rollup store's hit/miss counters).
+Interleaved requests therefore never interleave increments on one
+registry; on scope exit the private registry is merged into the
+enclosing one under a lock, so process-wide totals still accumulate.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+from contextvars import ContextVar
 from pathlib import Path
 
 #: Default latency bounds, in milliseconds (upper-inclusive edges); the
@@ -136,10 +147,72 @@ class MetricsRegistry:
         self.counters.clear()
         self.histograms.clear()
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's observations into this one.
+
+        Counters add.  Histograms with identical bounds add bucketwise;
+        a bounds mismatch (two call sites naming one histogram with
+        different buckets) still folds count and sum so totals survive,
+        but the incomparable buckets are left alone.  Guarded by a
+        process-wide lock because scope exits may merge from concurrent
+        request threads.
+        """
+        with _merge_lock:
+            for name, counter in other.counters.items():
+                self.counter(name).inc(counter.value)
+            for name, histogram in other.histograms.items():
+                mine = self.histogram(name, histogram.bounds)
+                mine.count += histogram.count
+                mine.total += histogram.total
+                if mine.bounds == histogram.bounds:
+                    for index, bucket in enumerate(histogram.bucket_counts):
+                        mine.bucket_counts[index] += bucket
+
 
 #: The process-wide registry the bench and fuzz runners feed.
 _default = MetricsRegistry()
 
+_merge_lock = threading.Lock()
+
+#: A per-context override of the process registry (see
+#: :class:`metrics_scope`); ``None`` means "use the process default".
+_scope_var: ContextVar[MetricsRegistry | None] = ContextVar(
+    "repro_metrics_scope", default=None
+)
+
 
 def get_registry() -> MetricsRegistry:
-    return _default
+    """The active registry: the innermost scope's, else the process one."""
+    scoped = _scope_var.get()
+    return scoped if scoped is not None else _default
+
+
+class metrics_scope:
+    """Context manager isolating metrics to one request/region.
+
+    Installs a fresh registry as the context's active one; every
+    ``get_registry()`` call inside the scope (same thread *or* a thread
+    the context was copied into) records there.  On exit the private
+    registry is merged into whatever registry was active before, so
+    process-wide aggregates keep accumulating — the scope only removes
+    the *interleaving*, not the data.
+
+    >>> with metrics_scope() as scoped:
+    ...     get_registry().counter("demo").inc()
+    ...     scoped.counters["demo"].value
+    1
+    """
+
+    def __init__(self, merge: bool = True):
+        self.registry = MetricsRegistry()
+        self._merge = merge
+        self._token = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._token = _scope_var.set(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc_info) -> None:
+        _scope_var.reset(self._token)
+        if self._merge:
+            get_registry().merge(self.registry)

@@ -1,0 +1,68 @@
+"""repro.serve — the async multi-tenant query service.
+
+The serving tier that turns the in-process engine into a network
+service: a stdlib-only asyncio HTTP/1.1 server exposing ``/query``,
+``/ddl``, ``/explain``, ``/metrics`` and ``/healthz`` as JSON endpoints
+over per-tenant :class:`~repro.engine.database.Database` instances,
+with bounded-queue admission control, per-request deadlines, graceful
+drain, and reader-writer request ordering per tenant.
+
+Start it from the CLI::
+
+    python -m repro serve --port 8125 --workers 4 --queue-depth 64
+
+or embed it::
+
+    from repro.serve import QueryService, ServeConfig
+
+    service = QueryService(ServeConfig(port=0))   # ephemeral port
+    await service.start()
+    ...
+    await service.shutdown()
+
+The module layout mirrors the request path: :mod:`~repro.serve.http`
+(transport) → :mod:`~repro.serve.admission` (queueing and shedding) →
+:mod:`~repro.serve.service` (routing, deadlines, drain) →
+:mod:`~repro.serve.state` (per-tenant engines and the tiered
+cache/rollup/execute serving path) over :mod:`~repro.serve.locks`
+(concurrent-read / exclusive-DDL ordering).
+"""
+
+from repro.serve.admission import AdmissionController, QueueFull
+from repro.serve.http import HttpError, HttpRequest, json_response, read_request
+from repro.serve.locks import LockTimeout, ReadWriteLock
+from repro.serve.service import (
+    DEFAULT_PORT,
+    QueryService,
+    ServeConfig,
+    run_server,
+)
+from repro.serve.state import (
+    DeadlineExceeded,
+    Tenant,
+    TenantLimitError,
+    TenantRegistry,
+    apply_ddl,
+    parse_options,
+)
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_PORT",
+    "DeadlineExceeded",
+    "HttpError",
+    "HttpRequest",
+    "LockTimeout",
+    "QueryService",
+    "QueueFull",
+    "ReadWriteLock",
+    "ServeConfig",
+    "Tenant",
+    "TenantLimitError",
+    "TenantRegistry",
+    "apply_ddl",
+    "json_response",
+    "parse_options",
+    "read_request",
+    "run_server",
+]

@@ -1,0 +1,354 @@
+"""Per-tenant serving state and the tiered request execution path.
+
+Each tenant is one :class:`~repro.engine.database.Database` plus the
+:class:`~repro.serve.locks.ReadWriteLock` that orders its requests:
+queries and explains run under the shared read lock, DDL under the
+exclusive write lock.  The functions here are the bodies the service
+dispatches to worker threads — everything inside them is synchronous
+and thread-safe; the asyncio layer above never touches tenant state
+directly.
+
+A query request flows through the serving tiers in order, all inside
+one read-lock hold:
+
+1. **result cache** — exact (plan text, options) key, served in
+   microseconds;
+2. **rollup store** — semantic reuse of materialized GMDJ outputs
+   (exact signature or subsumption), zero detail scans on a hit;
+3. **execution** — the normal planner/kernel path, whose pooled
+   partitioned evaluation reuses the tenant database's persistent
+   executors (:class:`~repro.gmdj.pool.PoolRegistry`).
+
+Which tier answered is read off the request's private metrics registry
+(:class:`~repro.obs.metrics.metrics_scope` isolates it from interleaved
+requests).  Every query also runs under its own tracer, and the count
+of ``detail_scan`` spans plus the request's IOStats delta ride along in
+the response — so a client, or the CI smoke leg, can verify the
+zero-detail-scan invariant for rollup-served requests over plain HTTP.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.database import Database
+from repro.engine.options import QueryOptions
+from repro.errors import ConfigurationError, ReproError
+from repro.obs.metrics import metrics_scope
+from repro.obs.tracer import tracing
+from repro.serve.locks import LockTimeout, ReadWriteLock
+from repro.storage.iostats import collect
+from repro.storage.types import DataType
+
+
+class DeadlineExceeded(Exception):
+    """The request's deadline passed before its work completed."""
+
+
+class TenantLimitError(Exception):
+    """Creating one more tenant would exceed the configured cap."""
+
+
+_TENANT_NAME = re.compile(r"^[A-Za-z0-9_.\-]{1,64}$")
+
+#: QueryOptions fields a request body may set; everything else
+#: (``trace`` above all — tracing is the server's decision) is rejected.
+OPTION_FIELDS = frozenset({
+    "strategy", "mode", "partitions", "workers", "chunk_budget",
+    "chunk_size", "use_cache", "lint", "rollup",
+})
+
+
+def parse_options(payload, defaults: QueryOptions) -> QueryOptions:
+    """Build the request's QueryOptions over the server defaults.
+
+    ``payload`` is the request body's ``options`` object (or None).
+    Unknown keys raise — a typo silently falling back to defaults would
+    make a load test measure the wrong engine.
+    """
+    if payload is None:
+        return defaults
+    if not isinstance(payload, dict):
+        raise ConfigurationError("options must be a JSON object")
+    unknown = set(payload) - OPTION_FIELDS
+    if unknown:
+        raise ConfigurationError(
+            f"unknown option field(s) {sorted(unknown)}; "
+            f"allowed: {sorted(OPTION_FIELDS)}"
+        )
+    import dataclasses
+
+    return dataclasses.replace(defaults, **payload)
+
+
+def remaining(deadline: float | None) -> float | None:
+    """Seconds left until ``deadline`` (monotonic); raises when spent."""
+    if deadline is None:
+        return None
+    left = deadline - time.monotonic()
+    if left <= 0:
+        raise DeadlineExceeded("deadline exceeded before execution")
+    return left
+
+
+def _served_by(registry) -> str:
+    """Classify which serving tier answered, from the request metrics."""
+    counters = registry.counters
+    if "cache.result_hits" in counters and counters["cache.result_hits"].value:
+        return "cache"
+    hits = sum(
+        counters[name].value
+        for name in ("rollup.exact_hits", "rollup.subsume_hits")
+        if name in counters
+    )
+    if hits:
+        misses = counters.get("rollup.misses")
+        return "rollup" if misses is None or not misses.value else "mixed"
+    return "execute"
+
+
+@dataclass
+class Tenant:
+    """One tenant's database plus its request-ordering lock."""
+
+    name: str
+    db: Database
+    lock: ReadWriteLock = field(default_factory=ReadWriteLock)
+    created_at: float = field(default_factory=time.time)
+    queries: int = 0
+    ddl: int = 0
+
+    # -- request bodies (run inside worker threads) --------------------------
+
+    def run_query(self, sql: str, options: QueryOptions,
+                  deadline: float | None = None) -> dict:
+        """Tiered query execution under the shared read lock."""
+        try:
+            self.lock.acquire_read(timeout=remaining(deadline))
+        except LockTimeout as error:
+            raise DeadlineExceeded(str(error)) from None
+        try:
+            remaining(deadline)  # a read that queued past its budget
+            with metrics_scope() as metrics:
+                with collect() as stats, tracing() as tracer:
+                    started = time.perf_counter()
+                    result = self.db.execute_sql(sql, options)
+                    elapsed = time.perf_counter() - started
+            detail_scans = sum(
+                1 for span_ in tracer.trace().walk()
+                if span_.kind == "detail_scan"
+            )
+            self.queries += 1
+            return {
+                "tenant": self.name,
+                "columns": list(result.schema.names),
+                "rows": [list(row) for row in result.rows],
+                "row_count": len(result),
+                "elapsed_ms": round(elapsed * 1000, 3),
+                "served_by": _served_by(metrics),
+                "detail_scans": detail_scans,
+                "io": {
+                    key: value
+                    for key, value in stats.snapshot().items() if value
+                },
+                "metrics": {
+                    "counters": {
+                        name: counter.value
+                        for name, counter in sorted(metrics.counters.items())
+                    },
+                },
+            }
+        finally:
+            self.lock.release_read()
+
+    def run_explain(self, sql: str, options: QueryOptions,
+                    analyze: bool = False,
+                    deadline: float | None = None) -> dict:
+        """EXPLAIN (plan only) or EXPLAIN ANALYZE as JSON, read-locked."""
+        try:
+            self.lock.acquire_read(timeout=remaining(deadline))
+        except LockTimeout as error:
+            raise DeadlineExceeded(str(error)) from None
+        try:
+            remaining(deadline)
+            query = self.db.sql(sql)
+            if not analyze:
+                return {
+                    "tenant": self.name,
+                    "plan": self.db.explain(query, options),
+                }
+            from repro.obs.explain import explain_analyze_json
+
+            with metrics_scope():
+                payload = explain_analyze_json(self.db, query, options)
+            payload["tenant"] = self.name
+            return payload
+        finally:
+            self.lock.release_read()
+
+    def run_ddl(self, statement: dict,
+                deadline: float | None = None) -> dict:
+        """Apply one mutation under the exclusive write lock."""
+        try:
+            self.lock.acquire_write(timeout=remaining(deadline))
+        except LockTimeout as error:
+            raise DeadlineExceeded(str(error)) from None
+        try:
+            remaining(deadline)
+            payload = apply_ddl(self.db, statement)
+            self.ddl += 1
+            payload["tenant"] = self.name
+            return payload
+        finally:
+            self.lock.release_write()
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "tables": sorted(self.db.catalog.table_names()),
+            "queries": self.queries,
+            "ddl": self.ddl,
+            "cache": self.db.cache.stats(),
+            "rollups": self.db.rollups.stats(),
+            "lock": self.lock.snapshot(),
+        }
+
+
+def _columns(spec) -> list[tuple[str, DataType]]:
+    """Parse ``[["K", "integer"], ...]`` column declarations."""
+    if not isinstance(spec, list) or not spec:
+        raise ConfigurationError("columns must be a non-empty list")
+    columns = []
+    for item in spec:
+        if (not isinstance(item, (list, tuple)) or len(item) != 2
+                or not isinstance(item[0], str)):
+            raise ConfigurationError(
+                "each column must be a [name, type] pair"
+            )
+        name, dtype = item
+        try:
+            columns.append((name, DataType(str(dtype).lower())))
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown column type {dtype!r}; choose one of "
+                f"{[d.value for d in DataType]}"
+            ) from None
+    return columns
+
+
+def _rows(spec) -> list[tuple]:
+    if spec is None:
+        return []
+    if not isinstance(spec, list):
+        raise ConfigurationError("rows must be a list of row arrays")
+    return [tuple(row) for row in spec]
+
+
+def apply_ddl(db: Database, statement) -> dict:
+    """Execute one ``/ddl`` statement; returns its result payload.
+
+    Supported ops: ``create_table`` (name, columns, rows?), ``insert``
+    (name, rows), ``create_index`` (table, attribute), ``drop_indexes``
+    (table?), ``drop_table`` (name).
+    """
+    if not isinstance(statement, dict):
+        raise ConfigurationError("ddl statement must be a JSON object")
+    op = statement.get("op")
+    if op == "create_table":
+        name = _required(statement, "name")
+        relation = db.create_table(
+            name, _columns(statement.get("columns")),
+            _rows(statement.get("rows")),
+        )
+        return {"op": op, "table": name, "row_count": len(relation)}
+    if op == "insert":
+        name = _required(statement, "name")
+        rows = _rows(statement.get("rows"))
+        if not rows:
+            raise ConfigurationError("insert needs a non-empty rows list")
+        relation = db.insert(name, rows)
+        return {"op": op, "table": name, "inserted": len(rows),
+                "row_count": len(relation)}
+    if op == "create_index":
+        table = _required(statement, "table")
+        attribute = _required(statement, "attribute")
+        db.create_index(table, attribute)
+        return {"op": op, "table": table, "attribute": attribute}
+    if op == "drop_indexes":
+        dropped = db.drop_indexes(statement.get("table"))
+        return {"op": op, "dropped": dropped}
+    if op == "drop_table":
+        name = _required(statement, "name")
+        db.cache.invalidate()
+        db.rollups.invalidate()
+        db.catalog.drop_table(name)
+        return {"op": op, "table": name}
+    raise ConfigurationError(
+        f"unknown ddl op {op!r}; choose one of create_table, insert, "
+        f"create_index, drop_indexes, drop_table"
+    )
+
+
+def _required(statement: dict, key: str) -> str:
+    value = statement.get(key)
+    if not isinstance(value, str) or not value:
+        raise ConfigurationError(f"ddl statement needs a string {key!r}")
+    return value
+
+
+class TenantRegistry:
+    """Get-or-create tenants by name, bounded by ``max_tenants``."""
+
+    def __init__(self, max_tenants: int = 16, cache_size: int = 128):
+        if max_tenants < 1:
+            raise ConfigurationError(
+                f"max_tenants must be >= 1, got {max_tenants}"
+            )
+        self.max_tenants = max_tenants
+        self.cache_size = cache_size
+        self._tenants: dict[str, Tenant] = {}
+        self._lock = threading.Lock()
+
+    def get(self, name: str) -> Tenant:
+        """The tenant, created on first reference."""
+        if not _TENANT_NAME.match(name or ""):
+            raise ReproError(
+                f"invalid tenant name {name!r} (1-64 chars of "
+                f"[A-Za-z0-9_.-])"
+            )
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is None:
+                if len(self._tenants) >= self.max_tenants:
+                    raise TenantLimitError(
+                        f"tenant limit reached ({self.max_tenants}); "
+                        f"not creating {name!r}"
+                    )
+                tenant = self._tenants[name] = Tenant(
+                    name=name, db=Database(cache_size=self.cache_size)
+                )
+            return tenant
+
+    def adopt(self, name: str, db: Database) -> Tenant:
+        """Install a pre-built database (the CLI's ``--data`` tenant)."""
+        with self._lock:
+            tenant = self._tenants[name] = Tenant(name=name, db=db)
+            return tenant
+
+    def items(self) -> list[tuple[str, Tenant]]:
+        with self._lock:
+            return sorted(self._tenants.items())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    def close_all(self) -> None:
+        """Quiesce and close every tenant database (drain's last step)."""
+        for _, tenant in self.items():
+            with tenant.lock.write():
+                tenant.db.close()

@@ -193,3 +193,64 @@ class TestEmitSql:
         assert code == 0
         assert "COUNT(CASE WHEN" in out
         assert "LEFT OUTER JOIN" in out
+
+
+class TestServeSubcommand:
+    def test_parser_defaults(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port is None
+        assert args.workers == 4
+        assert args.queue_depth == 64
+        assert args.deadline_ms == 30_000.0
+        assert args.strategy == "auto"
+        assert args.rollup is None
+
+    def test_data_must_be_directory(self, tmp_path):
+        code, _ = run_cli(["serve", "--data", str(tmp_path / "missing")])
+        assert code == 2
+
+    def test_serve_boots_answers_and_drains(self, data_dir):
+        import json
+        import re
+        import signal
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "2", "--data", str(data_dir)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            # The banner carries the ephemeral port.
+            pattern = re.compile(r"listening on http://127\.0\.0\.1:(\d+)")
+            port = None
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                match = pattern.search(line or "")
+                if match:
+                    port = int(match.group(1))
+                    break
+            assert port, "serve banner with port never appeared"
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/query",
+                data=json.dumps({
+                    "sql": "SELECT SourceIP FROM flow WHERE NumBytes > 60",
+                }).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                payload = json.loads(response.read())
+            assert payload["rows"] == [["10.0.0.1"]]
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)

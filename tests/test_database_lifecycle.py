@@ -1,0 +1,131 @@
+"""Database lifecycle: deterministic teardown and copy-on-write inserts.
+
+The serving tier keeps Databases alive across many requests, which is
+what turns executor cleanup from a non-issue (per-call pools) into a
+real leak class.  ``Database.close()`` / the context-manager protocol
+are the deterministic teardown path: they shut down the database's
+pooled GMDJ executors, empty its caches, and fail every later call
+loudly with :class:`DatabaseClosedError` instead of half-working over
+released workers.
+
+``insert`` is the serving tier's only row-level mutation, so its
+copy-on-write contract is pinned here too: in-flight readers holding
+the old relation keep a consistent snapshot while the catalog moves on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, DataType, QueryOptions
+from repro.engine.database import DatabaseClosedError
+from repro.errors import ConfigurationError
+
+SQL = ("SELECT K FROM B b WHERE EXISTS "
+       "(SELECT * FROM R r WHERE r.K = b.K)")
+
+
+def make_db(r_rows=((1,),)) -> Database:
+    db = Database()
+    db.create_table("B", [("K", DataType.INTEGER)],
+                    [(i,) for i in range(4)])
+    db.create_table("R", [("K", DataType.INTEGER)], list(r_rows))
+    return db
+
+
+class TestClose:
+    def test_close_is_idempotent(self):
+        db = make_db()
+        assert not db.closed
+        db.close()
+        db.close()
+        assert db.closed
+
+    def test_close_shuts_down_pools(self):
+        db = make_db()
+        db.execute_sql(SQL, QueryOptions(
+            strategy="gmdj", partitions=2, workers=2))
+        db.close()
+        assert db.pools.closed
+        with pytest.raises(ConfigurationError):
+            db.pools.get("thread", 2)
+
+    def test_close_empties_caches(self):
+        db = make_db()
+        db.execute_sql(SQL)
+        db.execute_sql(SQL, QueryOptions(
+            strategy="gmdj", rollup="subsume", use_cache=False))
+        assert db.cache.stats()["results"] >= 1
+        assert len(db.rollups) >= 1
+        db.close()
+        assert db.cache.stats()["results"] == 0
+        assert len(db.rollups) == 0
+
+    @pytest.mark.parametrize("call", [
+        lambda db: db.execute_sql(SQL),
+        lambda db: db.create_table("T", [("K", DataType.INTEGER)], []),
+        lambda db: db.insert("R", [(9,)]),
+        lambda db: db.create_index("R", "K"),
+        lambda db: db.sql(SQL),
+    ])
+    def test_use_after_close_raises(self, call):
+        db = make_db()
+        db.close()
+        with pytest.raises(DatabaseClosedError):
+            call(db)
+
+    def test_context_manager_closes(self):
+        with make_db() as db:
+            assert db.execute_sql(SQL).rows == [(1,)]
+        assert db.closed
+        with pytest.raises(DatabaseClosedError):
+            db.execute_sql(SQL)
+
+    def test_context_manager_closes_on_error(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            with db:
+                raise ValueError("boom")
+        assert db.closed
+
+    def test_reentering_closed_database_raises(self):
+        db = make_db()
+        db.close()
+        with pytest.raises(DatabaseClosedError):
+            with db:
+                pass  # pragma: no cover
+
+
+class TestInsert:
+    def test_insert_appends_and_queries_see_it(self):
+        db = make_db([(1,)])
+        assert db.execute_sql(SQL).rows == [(1,)]
+        relation = db.insert("R", [(2,), (3,)])
+        assert len(relation) == 3
+        assert sorted(db.execute_sql(SQL).rows) == [(1,), (2,), (3,)]
+
+    def test_insert_invalidates_cache_and_rollups(self):
+        db = make_db([(1,)])
+        db.execute_sql(SQL)
+        db.execute_sql(SQL, QueryOptions(
+            strategy="gmdj", rollup="subsume", use_cache=False))
+        assert len(db.rollups) == 1
+        db.insert("R", [(2,)])
+        assert db.cache.stats()["results"] == 0
+        assert len(db.rollups) == 0
+
+    def test_insert_is_copy_on_write(self):
+        db = make_db([(1,)])
+        snapshot = db.catalog.table("R")
+        rows_before = list(snapshot.rows)
+        db.insert("R", [(2,)])
+        # A reader holding the pre-insert relation still sees exactly
+        # the rows it started with; the catalog serves the new version.
+        assert snapshot.rows == rows_before
+        assert db.catalog.table("R") is not snapshot
+        assert len(db.catalog.table("R")) == 2
+
+    def test_insert_unknown_table_raises(self):
+        db = make_db()
+        with pytest.raises(Exception):
+            db.insert("missing", [(1,)])

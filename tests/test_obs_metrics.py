@@ -110,3 +110,109 @@ class TestRunnerFeeds:
         assert report.iterations_run == 2
         assert registry.counter("fuzz.iterations").value == before + 2
         assert registry.histogram("fuzz.case_ms").count >= 2
+
+
+class TestMetricsScope:
+    """Per-request isolation: scopes never interleave, merges aggregate."""
+
+    def test_scope_isolates_from_default(self):
+        from repro.obs.metrics import metrics_scope
+
+        outer = get_registry()
+        before = outer.counter("scope.demo").value
+        with metrics_scope(merge=False) as scoped:
+            get_registry().counter("scope.demo").inc(3)
+            assert get_registry() is scoped
+            assert scoped.counters["scope.demo"].value == 3
+        assert outer.counter("scope.demo").value == before
+
+    def test_scope_merges_on_exit(self):
+        from repro.obs.metrics import metrics_scope
+
+        outer = get_registry()
+        before = outer.counter("scope.merged").value
+        with metrics_scope() as scoped:
+            get_registry().counter("scope.merged").inc(2)
+            assert outer.counter("scope.merged").value == before
+        assert scoped.counters["scope.merged"].value == 2
+        assert outer.counter("scope.merged").value == before + 2
+
+    def test_nested_scopes_merge_inward_first(self):
+        from repro.obs.metrics import metrics_scope
+
+        default_before = get_registry().counter("scope.nested").value
+        with metrics_scope(merge=False) as outer_scope:
+            with metrics_scope() as inner_scope:
+                get_registry().counter("scope.nested").inc()
+            assert inner_scope.counters["scope.nested"].value == 1
+            # The inner scope merged into the *enclosing scope*, not the
+            # process default.
+            assert outer_scope.counters["scope.nested"].value == 1
+        assert get_registry().counter("scope.nested").value == default_before
+
+    def test_histograms_merge_bucketwise(self):
+        from repro.obs.metrics import metrics_scope
+
+        with metrics_scope(merge=False) as outer_scope:
+            with metrics_scope() as inner_scope:
+                get_registry().histogram(
+                    "scope.ms", bounds=(10.0, 100.0)).observe(5.0)
+                get_registry().histogram(
+                    "scope.ms", bounds=(10.0, 100.0)).observe(50.0)
+            assert inner_scope.histograms["scope.ms"].count == 2
+            merged = outer_scope.histograms["scope.ms"]
+            assert merged.count == 2
+            assert merged.bucket_counts == [1, 1, 0]
+            assert merged.total == 55.0
+
+    def test_threads_with_copied_context_stay_isolated(self):
+        import threading
+        from contextvars import copy_context
+
+        from repro.obs.metrics import metrics_scope
+
+        observed = {}
+
+        def request(name, amount):
+            with metrics_scope(merge=False) as scoped:
+                for _ in range(amount):
+                    get_registry().counter("scope.threaded").inc()
+                observed[name] = scoped.counters["scope.threaded"].value
+
+        threads = [
+            threading.Thread(
+                target=copy_context().run, args=(request, f"r{i}", i + 1))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        # Each simulated request saw exactly its own increments even
+        # though all four ran concurrently.
+        assert observed == {"r0": 1, "r1": 2, "r2": 3, "r3": 4}
+
+    def test_merge_is_additive_across_scopes(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        target = MetricsRegistry()
+        source_a, source_b = MetricsRegistry(), MetricsRegistry()
+        source_a.counter("hits").inc(2)
+        source_b.counter("hits").inc(5)
+        target.merge(source_a)
+        target.merge(source_b)
+        assert target.counters["hits"].value == 7
+
+    def test_merge_with_mismatched_bounds_keeps_totals(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        target = MetricsRegistry()
+        target.histogram("ms", bounds=(10.0,)).observe(1.0)
+        source = MetricsRegistry()
+        source.histogram("ms", bounds=(99.0,)).observe(2.0)
+        target.merge(source)
+        merged = target.histograms["ms"]
+        # Count and sum always fold; incomparable buckets are left alone.
+        assert merged.count == 2
+        assert merged.total == 3.0
+        assert merged.bucket_counts == [1, 0]

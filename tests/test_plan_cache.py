@@ -228,3 +228,75 @@ class TestRollupDefensiveCopies:
         first = db.execute_sql(SQL, ROLLUP)
         first.rows.append((99,))  # mutating the relation that was stored
         assert db.execute_sql(SQL, ROLLUP).rows == [(1,)]
+
+
+class TestConcurrentDDLStaleness:
+    """Concurrent reads racing DDL must never observe a stale or torn
+    result through the result cache.
+
+    The race the serve tier's reader-writer lock exists to exclude: a
+    reader computes a result from the pre-DDL data, the writer lands and
+    invalidates, and the reader then *stores* its stale result — so the
+    next reader is served rows that no state of the database ever
+    contained together with the DDL.  Running readers and the writer
+    through :class:`repro.serve.state.Tenant` (read lock around
+    lookup + execute + store, write lock around mutate + invalidate)
+    makes every observed result one of the database's committed
+    snapshots, in commit order.
+    """
+
+    def _race(self, options):
+        import threading
+
+        from repro.serve.state import Tenant
+
+        db = make_db([(0,)])
+        tenant = Tenant(name="t", db=db)
+        # Snapshot i = {0..i}: R starts as [(0,)] and the writer appends
+        # (1,), (2,), (3,) one committed insert at a time.
+        snapshots = [frozenset({(0,)})]
+        stop = threading.Event()
+        failures = []
+        per_thread = []
+
+        def reader():
+            seen = []
+            try:
+                while not stop.is_set():
+                    payload = tenant.run_query(SQL, options)
+                    seen.append(frozenset(
+                        tuple(row) for row in payload["rows"]))
+            except Exception as error:  # pragma: no cover - diagnostics
+                failures.append(error)
+            per_thread.append(seen)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for key in (1, 2, 3):
+            tenant.run_ddl(
+                {"op": "insert", "name": "R", "rows": [[key]]})
+            snapshots.append(snapshots[-1] | {(key,)})
+        stop.set()
+        for thread in threads:
+            thread.join(60)
+        assert not failures, failures
+
+        for seen in per_thread:
+            for result in seen:
+                # Every served result is a committed snapshot — never a
+                # mix of two states, never rows that were rolled past.
+                assert result in snapshots, f"torn/stale result {result}"
+            # And per reader they appear in commit order: once an insert
+            # is visible it can never un-happen.
+            indices = [snapshots.index(result) for result in seen]
+            assert indices == sorted(indices)
+
+        final = tenant.run_query(SQL, options)
+        assert frozenset(tuple(row) for row in final["rows"]) == snapshots[-1]
+
+    def test_cached_reads_racing_inserts(self):
+        self._race(QueryOptions(strategy="gmdj", use_cache=True))
+
+    def test_uncached_reads_racing_inserts(self):
+        self._race(QueryOptions(strategy="gmdj", use_cache=False))

@@ -165,3 +165,103 @@ class TestTraceGrafting:
             executor="thread",
         )
         assert len(result) == 10
+
+
+class TestPoolRegistry:
+    """Persistent executors for long-lived owners (serve tier, Database)."""
+
+    def test_get_reuses_by_shape(self):
+        from repro.gmdj.pool import PoolRegistry
+
+        registry = PoolRegistry()
+        try:
+            first = registry.get("thread", 2)
+            assert registry.get("thread", 2) is first
+            assert registry.get("thread", 3) is not first
+            assert len(registry) == 2
+        finally:
+            registry.shutdown()
+
+    def test_shutdown_is_idempotent_and_counts(self):
+        from repro.gmdj.pool import PoolRegistry
+
+        registry = PoolRegistry()
+        registry.get("thread", 1)
+        assert registry.shutdown() == 1
+        assert registry.shutdown() == 0
+        assert registry.closed
+
+    def test_get_after_shutdown_raises(self):
+        from repro.gmdj.pool import PoolRegistry
+
+        registry = PoolRegistry()
+        registry.shutdown()
+        with pytest.raises(ConfigurationError):
+            registry.get("thread", 1)
+
+    def test_rejects_bad_shapes(self):
+        from repro.gmdj.pool import PoolRegistry
+
+        registry = PoolRegistry()
+        try:
+            with pytest.raises(ConfigurationError):
+                registry.get("auto", 2)  # must be resolved before get()
+            with pytest.raises(ConfigurationError):
+                registry.get("thread", 0)
+        finally:
+            registry.shutdown()
+
+    def test_pooling_context_reuses_executor(self, catalog):
+        from repro.gmdj.pool import PoolRegistry, active_registry, pooling
+
+        registry = PoolRegistry()
+        try:
+            assert active_registry() is None
+            with pooling(registry):
+                assert active_registry() is registry
+                for _ in range(3):
+                    result = evaluate_gmdj_partitioned(
+                        full_gmdj(), catalog, partitions=2, workers=2,
+                        executor="thread",
+                    )
+                    assert len(result) == 10
+                # Three pooled evaluations, one executor: the registry
+                # absorbed the per-call pool start-up.
+                assert len(registry) == 1
+            assert active_registry() is None
+        finally:
+            registry.shutdown()
+
+    def test_pooled_span_marks_reuse(self, catalog):
+        from repro.gmdj.pool import PoolRegistry, pooling
+
+        registry = PoolRegistry()
+        try:
+            tracer = Tracer()
+            with pooling(registry), tracing(tracer):
+                evaluate_gmdj_partitioned(
+                    full_gmdj(), catalog, partitions=2, workers=2,
+                    executor="thread",
+                )
+            pool_span = next(
+                s for s in tracer.trace().walk() if s.kind == "pool")
+            assert pool_span.attrs["reused"] is True
+        finally:
+            registry.shutdown()
+
+    def test_pooled_equals_per_call_results(self, catalog):
+        from repro.gmdj.pool import PoolRegistry, pooling
+
+        baseline = evaluate_gmdj_partitioned(
+            full_gmdj(), catalog, partitions=3, workers=2, executor="thread",
+        )
+        registry = PoolRegistry()
+        try:
+            with pooling(registry):
+                pooled = evaluate_gmdj_partitioned(
+                    full_gmdj(), catalog, partitions=3, workers=2,
+                    executor="thread",
+                )
+        finally:
+            registry.shutdown()
+        assert pooled.rows == baseline.rows

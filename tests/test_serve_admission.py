@@ -1,0 +1,225 @@
+"""Admission control and request-ordering locks for the query service.
+
+Two invariants carry the serving tier's overload story, and both are
+pinned here without any sockets:
+
+* the admission queue is *bounded* — at most ``workers`` requests
+  execute, at most ``queue_depth`` wait, and the next one is shed
+  synchronously (the 429 path never awaits); a queued request that
+  times out withdraws its claim so abandoned waits can never leak a
+  worker slot;
+* the per-tenant reader-writer lock admits concurrent readers, gives a
+  waiting writer preference over new readers (no writer starvation),
+  and turns lock-wait timeouts into clean failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.admission import AdmissionController, QueueFull
+from repro.serve.locks import LockTimeout, ReadWriteLock
+
+
+class TestAdmissionController:
+    def test_validates_shape(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(workers=0, queue_depth=4)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(workers=1, queue_depth=-1)
+
+    def test_admit_and_release(self):
+        async def go():
+            admission = AdmissionController(workers=2, queue_depth=2)
+            slot = admission.slot()
+            await slot.__aenter__()
+            assert admission.executing == 1
+            slot.release()
+            slot.release()  # idempotent
+            assert admission.executing == 0
+            assert admission.completed == 1
+
+        asyncio.run(go())
+
+    def test_sheds_when_waiting_room_full(self):
+        async def go():
+            admission = AdmissionController(workers=1, queue_depth=1)
+            holder = admission.slot()
+            await holder.__aenter__()
+
+            waiter = admission.slot()
+            waiting_task = asyncio.ensure_future(waiter.__aenter__())
+            await asyncio.sleep(0)  # let the waiter enqueue
+            assert admission.waiting == 1
+
+            with pytest.raises(QueueFull):
+                await admission.slot().__aenter__()
+            assert admission.shed == 1
+
+            holder.release()  # hands the slot to the waiter
+            await waiting_task
+            assert admission.waiting == 0
+            assert admission.executing == 1
+            waiter.release()
+
+        asyncio.run(go())
+
+    def test_queue_timeout_withdraws_claim(self):
+        async def go():
+            admission = AdmissionController(workers=1, queue_depth=4)
+            holder = admission.slot()
+            await holder.__aenter__()
+
+            waiter = admission.slot()
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(waiter.__aenter__(), timeout=0.05)
+            assert admission.waiting == 0
+            assert admission.timeouts == 1
+
+            # The abandoned wait must not have consumed the permit.
+            holder.release()
+            follow_up = admission.slot()
+            await asyncio.wait_for(follow_up.__aenter__(), timeout=1.0)
+            follow_up.release()
+
+        asyncio.run(go())
+
+    def test_zero_queue_depth_sheds_immediately(self):
+        async def go():
+            admission = AdmissionController(workers=1, queue_depth=0)
+            holder = admission.slot()
+            await holder.__aenter__()
+            with pytest.raises(QueueFull):
+                await admission.slot().__aenter__()
+            holder.release()
+
+        asyncio.run(go())
+
+    def test_context_manager_releases(self):
+        async def go():
+            admission = AdmissionController(workers=1, queue_depth=0)
+            async with admission.slot():
+                assert admission.executing == 1
+            assert admission.executing == 0
+
+        asyncio.run(go())
+
+    def test_quiesce_waits_for_drain(self):
+        async def go():
+            admission = AdmissionController(workers=1, queue_depth=0)
+            slot = admission.slot()
+            await slot.__aenter__()
+            assert not await admission.quiesce(timeout=0.05)
+            slot.release()
+            assert await admission.quiesce(timeout=1.0)
+
+        asyncio.run(go())
+
+    def test_snapshot_keys(self):
+        admission = AdmissionController(workers=3, queue_depth=5)
+        snapshot = admission.snapshot()
+        assert snapshot["workers"] == 3
+        assert snapshot["queue_depth"] == 5
+        for key in ("waiting", "executing", "admitted", "shed",
+                    "timeouts", "completed"):
+            assert snapshot[key] == 0
+
+
+class TestReadWriteLock:
+    def test_concurrent_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        lock.acquire_read()  # a second reader must not block
+        lock.release_read()
+        lock.release_read()
+
+    def test_writer_excluded_by_reader(self):
+        lock = ReadWriteLock()
+        with lock.read():
+            with pytest.raises(LockTimeout):
+                lock.acquire_write(timeout=0.05)
+        with lock.write():
+            pass  # the withdrawn claim must not wedge the lock
+
+    def test_reader_excluded_by_writer(self):
+        lock = ReadWriteLock()
+        with lock.write():
+            with pytest.raises(LockTimeout):
+                lock.acquire_read(timeout=0.05)
+        with lock.read():
+            pass
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer_has_lock = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            writer_has_lock.set()
+            lock.release_write()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            # Writer preference: while the writer queues, a *new* reader
+            # must wait even though a reader currently holds the lock —
+            # otherwise a read-heavy tenant starves its DDL forever.
+            deadline_hit = False
+            try:
+                lock.acquire_read(timeout=0.1)
+            except LockTimeout:
+                deadline_hit = True
+            assert deadline_hit
+            lock.release_read()
+            assert writer_has_lock.wait(5)
+        finally:
+            thread.join(5)
+        with lock.read():
+            pass
+
+    def test_unmatched_release_raises(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_snapshot_reports_holders(self):
+        lock = ReadWriteLock()
+        with lock.read():
+            snapshot = lock.snapshot()
+            assert snapshot["readers"] == 1
+        assert lock.snapshot()["readers"] == 0
+
+    def test_threaded_counter_consistency(self):
+        # Readers observe; writers mutate a two-field invariant
+        # (a == b).  Torn reads would show a != b.
+        lock = ReadWriteLock()
+        state = {"a": 0, "b": 0}
+        torn = []
+
+        def reader():
+            for _ in range(200):
+                with lock.read():
+                    if state["a"] != state["b"]:
+                        torn.append((state["a"], state["b"]))
+
+        def writer():
+            for _ in range(100):
+                with lock.write():
+                    state["a"] += 1
+                    state["b"] += 1
+
+        threads = ([threading.Thread(target=reader) for _ in range(4)]
+                   + [threading.Thread(target=writer) for _ in range(2)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert torn == []
+        assert state["a"] == state["b"] == 200
