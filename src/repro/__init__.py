@@ -38,6 +38,8 @@ from repro.algebra import (
     select,
 )
 from repro.engine import (
+    BatchReport,
+    BatchResult,
     Database,
     ExecutionReport,
     QueryOptions,
@@ -48,7 +50,7 @@ from repro.engine import (
 from repro.errors import InvariantViolation, LintError, ReproError
 from repro.gmdj import GMDJ, md, optimize_plan
 from repro.lint import CostCertificate, LintReport, certify_plan, lint_plan
-from repro.obs import Tracer, check_trace, explain_analyze, tracing
+from repro.obs import Explain, Tracer, check_trace, explain_analyze, tracing
 from repro.storage import Catalog, DataType, Relation, Schema, collect
 from repro.unnesting import subquery_to_gmdj
 
@@ -56,12 +58,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AggregateSpec",
+    "BatchReport",
+    "BatchResult",
     "Catalog",
     "CostCertificate",
     "Database",
     "DataType",
     "ExecutionReport",
     "Exists",
+    "Explain",
     "GMDJ",
     "InvariantViolation",
     "LintError",

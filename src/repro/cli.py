@@ -122,6 +122,12 @@ def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
              "rollups (exact signature match, or subsumption from a "
              "coarser stored rollup); also via REPRO_ROLLUP",
     )
+    parser.add_argument(
+        "--mqo", choices=("off", "fingerprint", "coalesce"), default=None,
+        help="batch multi-query optimization level: share detail scans "
+             "across compatible queries in a batch (default coalesce "
+             "for batches; also via REPRO_MQO)",
+    )
 
 
 def query_options(args) -> QueryOptions:
@@ -135,6 +141,7 @@ def query_options(args) -> QueryOptions:
         chunk_size=args.chunk_size,
         use_cache=not args.no_cache,
         rollup=args.rollup,
+        mqo=args.mqo,
     )
 
 
@@ -477,6 +484,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--rollup", choices=("off", "exact", "subsume"), default=None,
         help="default rollup serving tier for served queries",
     )
+    parser.add_argument(
+        "--batch-window-ms", type=float, default=0.0, metavar="MS",
+        help="when > 0, hold /query requests up to this long and flush "
+             "same-tenant same-options arrivals together through the "
+             "MQO batch path (default 0: disabled)",
+    )
     return parser
 
 
@@ -493,6 +506,7 @@ def serve_main(argv: list[str], out) -> int:
             deadline_ms=args.deadline_ms,
             max_tenants=args.max_tenants,
             drain_grace_s=args.drain_grace,
+            batch_window_ms=args.batch_window_ms,
             options=QueryOptions(strategy=args.strategy, rollup=args.rollup),
         )
         if args.data is not None and not args.data.is_dir():
@@ -527,7 +541,8 @@ def build_explain_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--json", action="store_true",
-        help="with --analyze: emit the trace as JSON instead of text",
+        help="emit the report's JSON payload instead of text (static "
+             "plan/lint/certificate; with --analyze also the trace)",
     )
     parser.add_argument(
         "--strict-invariants", action="store_true",
@@ -539,9 +554,6 @@ def build_explain_parser() -> argparse.ArgumentParser:
 
 def explain_main(argv: list[str], out) -> int:
     args = build_explain_parser().parse_args(argv)
-    if args.json and not args.analyze:
-        print("error: --json requires --analyze", file=sys.stderr)
-        return 2
     db = Database()
     try:
         status = _load_and_index(db, args)
@@ -549,26 +561,22 @@ def explain_main(argv: list[str], out) -> int:
             return status
         options = query_options(args)
         query = db.sql(args.sql)
-        if not args.analyze:
-            print(db.explain(query, options), file=out)
-            return 0
         from repro.errors import InvariantViolation
-        from repro.obs.explain import explain_analyze, explain_analyze_json
+        from repro.obs.explain import explain_report
 
-        strict = args.strict_invariants
         try:
+            # One Explain report serves both renderings; with --analyze
+            # the query executes exactly once either way.
+            report = explain_report(
+                db, query, options, analyze=args.analyze,
+                strict=args.strict_invariants,
+            )
             if args.json:
                 import json
 
-                payload = explain_analyze_json(
-                    db, query, options, strict=strict
-                )
-                print(json.dumps(payload, indent=2), file=out)
+                print(json.dumps(report.json(), indent=2), file=out)
             else:
-                print(
-                    explain_analyze(db, query, options, strict=strict),
-                    file=out,
-                )
+                print(report.text(), file=out)
         except InvariantViolation as violation:
             print(f"invariant violation: {violation}", file=sys.stderr)
             return 1

@@ -3,6 +3,14 @@
 from repro.engine.cache import PlanCache
 from repro.engine.database import Database, DatabaseClosedError
 from repro.engine.executor import execute, profile, run
+from repro.engine.mqo import (
+    BatchItem,
+    BatchPlan,
+    BatchReport,
+    BatchResult,
+    execute_batch,
+    plan_batch,
+)
 from repro.engine.options import QueryOptions
 from repro.engine.planner import STRATEGIES, contains_nested_select, make_executor
 from repro.engine.reports import ExecutionReport
@@ -10,6 +18,10 @@ from repro.engine.rollup import RollupStore
 from repro.engine.statistics import ColumnStatistics, TableStatistics, analyze_catalog, analyze_table
 
 __all__ = [
+    "BatchItem",
+    "BatchPlan",
+    "BatchReport",
+    "BatchResult",
     "ColumnStatistics",
     "Database",
     "DatabaseClosedError",
@@ -23,7 +35,9 @@ __all__ = [
     "STRATEGIES",
     "contains_nested_select",
     "execute",
+    "execute_batch",
     "make_executor",
+    "plan_batch",
     "profile",
     "run",
 ]

@@ -5,13 +5,17 @@ under any strategy, EXPLAIN output, and (once the SQL frontend is bound)
 textual SQL.  This is the object the examples and benchmarks construct.
 
 Execution knobs are carried by one frozen
-:class:`~repro.engine.options.QueryOptions` object::
+:class:`~repro.engine.options.QueryOptions` object — the *only* options
+surface (the PR-3 string-strategy shims are gone)::
 
     db.execute(query, QueryOptions(strategy="gmdj_optimized",
                                    mode="partitioned", workers=4))
 
-Passing a bare strategy string (``db.execute(query, "gmdj")``) still
-works but is deprecated and emits :class:`DeprecationWarning`.
+The canonical execution entry point is the **batch API**:
+``execute_batch(queries, options)`` evaluates a list of queries with
+cross-query scan sharing (:mod:`repro.engine.mqo`) and returns per-query
+results plus a :class:`~repro.engine.mqo.BatchReport`; ``execute(q)`` is
+the thin single-query wrapper ``execute_batch([q])[0]``.
 
 Every query runs through one internal path (:meth:`Database._run`),
 which also fronts the database's :class:`~repro.engine.cache.PlanCache`:
@@ -27,23 +31,20 @@ re-scanning).  All DDL entry points invalidate the cache.
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Iterable, Sequence
 
 from repro.algebra.operators import Operator
-from repro.algebra.printer import explain as explain_plan
 from repro.engine.cache import PlanCache
 from repro.engine.executor import run
 from repro.engine.rollup import RollupStore
-from repro.engine.options import QueryOptions, STRATEGIES
+from repro.engine.options import QueryOptions
 from repro.engine.reports import ExecutionReport
-from repro.errors import PlanError, ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.gmdj.pool import PoolRegistry, pooling
 from repro.storage.catalog import Catalog
 from repro.storage.csvio import load_csv
 from repro.storage.relation import Relation
 from repro.storage.types import DataType
-from repro.unnesting.translate import subquery_to_gmdj
 
 
 class DatabaseClosedError(ReproError):
@@ -168,32 +169,27 @@ class Database:
 
     # -- queries ----------------------------------------------------------------
 
-    def _options(
-        self,
-        options: QueryOptions | str | None,
-        strategy: str | None,
-        caller: str,
+    @staticmethod
+    def _require_options(
+        options: QueryOptions | None, caller: str
     ) -> QueryOptions:
-        """Coerce the options argument, shimming the deprecated forms."""
-        if isinstance(options, str):
-            warnings.warn(
-                f"passing a strategy string to Database.{caller} is "
-                f"deprecated; pass QueryOptions(strategy={options!r})",
-                DeprecationWarning, stacklevel=3,
-            )
-            options = QueryOptions(strategy=options)
-        else:
-            options = QueryOptions.of(options)
-        if strategy is not None:
-            warnings.warn(
-                f"the strategy= keyword of Database.{caller} is "
-                f"deprecated; pass QueryOptions(strategy={strategy!r})",
-                DeprecationWarning, stacklevel=3,
-            )
-            import dataclasses
+        """The strict options surface: QueryOptions or None, nothing else.
 
-            options = dataclasses.replace(options, strategy=strategy)
-        return options
+        The PR-3 string-strategy shims (``db.execute(query, "gmdj")``,
+        ``strategy=`` keywords) were removed after their deprecation
+        cycle; passing anything but a :class:`QueryOptions` now raises
+        :class:`~repro.errors.ConfigurationError` with the migration
+        spelled out.
+        """
+        if options is None:
+            return QueryOptions()
+        if isinstance(options, QueryOptions):
+            return options
+        raise ConfigurationError(
+            f"Database.{caller} takes QueryOptions or None; the "
+            f"deprecated string-strategy shim was removed — pass "
+            f"QueryOptions(strategy=...) instead of {options!r}"
+        )
 
     def _run(
         self, query: Operator, options: QueryOptions, profiled: bool
@@ -227,20 +223,43 @@ class Database:
     def execute(
         self,
         query: Operator,
-        options: QueryOptions | str | None = None,
-        *,
-        strategy: str | None = None,
+        options: QueryOptions | None = None,
     ) -> Relation:
-        """Evaluate an algebra query (flat or nested) under the options."""
-        options = self._options(options, strategy, "execute")
-        return self._run(query, options, profiled=False).result
+        """Evaluate an algebra query (flat or nested) under the options.
+
+        Thin wrapper over the canonical batch path:
+        ``execute(q, opts)`` is ``execute_batch([q], opts)[0]``.
+        """
+        return self.execute_batch(
+            [query], self._require_options(options, "execute")
+        )[0]
+
+    def execute_batch(
+        self,
+        queries: Sequence[Operator],
+        options: QueryOptions | None = None,
+    ):
+        """Evaluate a batch of queries with cross-query scan sharing.
+
+        Share-compatible members (same detail table, same base values —
+        see :mod:`repro.engine.mqo`) are coalesced into one
+        multi-consumer GMDJ over a single detail scan, per the
+        ``options.mqo`` level (default ``"coalesce"``, overridable via
+        ``REPRO_MQO``).  Returns a :class:`~repro.engine.mqo.BatchResult`
+        — index it for per-query relations, read ``.report`` for share
+        groups, scans saved, and cost certificates.
+        """
+        from repro.engine.mqo import execute_batch
+
+        options = self._require_options(options, "execute_batch")
+        self._check_open()
+        return execute_batch(self, list(queries), options)
 
     def profile(
         self,
         query: Operator,
-        options: QueryOptions | str | None = None,
+        options: QueryOptions | None = None,
         *,
-        strategy: str | None = None,
         trace: bool | None = None,
     ) -> ExecutionReport:
         """Evaluate and return timing plus work counters.
@@ -249,7 +268,7 @@ class Database:
         records an operator span tree (attached as ``report.trace``) for
         EXPLAIN ANALYZE and the invariant checker.
         """
-        options = self._options(options, strategy, "profile")
+        options = self._require_options(options, "profile")
         if trace is not None:
             options = options.with_trace(trace)
         return self._run(query, options, profiled=True)
@@ -257,38 +276,47 @@ class Database:
     def explain(
         self,
         query: Operator,
-        options: QueryOptions | str | None = None,
-        *,
-        strategy: str | None = None,
-    ) -> str:
-        """Render the plan that the given options would execute."""
-        options = self._options(options, strategy, "explain")
-        resolved = options.canonical().strategy
-        if resolved in ("auto", "gmdj_optimized"):
-            return explain_plan(
-                subquery_to_gmdj(query, self.catalog, optimize=True)
-            )
-        if resolved in ("gmdj", "gmdj_coalesce", "gmdj_completion"):
-            return explain_plan(subquery_to_gmdj(query, self.catalog))
-        if resolved in STRATEGIES:
-            return explain_plan(query)
-        raise PlanError(f"unknown strategy {resolved!r}")
+        options: QueryOptions | None = None,
+    ):
+        """The plan the given options would execute, as an
+        :class:`~repro.obs.explain.Explain` report (a ``str`` subclass
+        with ``.text()`` / ``.json()`` renderers)."""
+        from repro.obs.explain import explain_report
+
+        options = self._require_options(options, "explain")
+        self._check_open()
+        return explain_report(self, query, options)
 
     def explain_analyze(
         self,
         query: Operator,
-        options: QueryOptions | str | None = None,
+        options: QueryOptions | None = None,
         *,
-        strategy: str | None = None,
         strict: bool = False,
-    ) -> str:
+    ):
         """EXPLAIN plus actual execution: plan text, the measured span
         tree with per-operator counter deltas, and the invariant
-        checker's verdict (see :mod:`repro.obs`)."""
-        from repro.obs.explain import explain_analyze
+        checker's verdict — one :class:`~repro.obs.explain.Explain`
+        report whose ``.json()`` is the machine-readable trace export."""
+        from repro.obs.explain import explain_report
 
-        options = self._options(options, strategy, "explain_analyze")
-        return explain_analyze(self, query, options, strict=strict)
+        options = self._require_options(options, "explain_analyze")
+        return explain_report(self, query, options, analyze=True,
+                              strict=strict)
+
+    def explain_batch(
+        self,
+        queries: Sequence[Operator],
+        options: QueryOptions | None = None,
+    ):
+        """EXPLAIN for a batch: the share groups the MQO planner would
+        form, each group's coalesced plan and certificate, and the
+        singleton plans — without executing anything."""
+        from repro.obs.explain import explain_batch
+
+        options = self._require_options(options, "explain_batch")
+        self._check_open()
+        return explain_batch(self, list(queries), options)
 
     # -- SQL ------------------------------------------------------------------------
 
@@ -302,20 +330,28 @@ class Database:
     def execute_sql(
         self,
         text: str,
-        options: QueryOptions | str | None = None,
-        *,
-        strategy: str | None = None,
+        options: QueryOptions | None = None,
     ) -> Relation:
         """Parse, bind, and evaluate a SQL query."""
-        options = self._options(options, strategy, "execute_sql")
-        return self._run(self.sql(text), options, profiled=False).result
+        options = self._require_options(options, "execute_sql")
+        return self.execute_batch([self.sql(text)], options)[0]
+
+    def execute_sql_batch(
+        self,
+        texts: Sequence[str],
+        options: QueryOptions | None = None,
+    ):
+        """Parse, bind, and evaluate a batch of SQL queries with
+        cross-query scan sharing; see :meth:`execute_batch`."""
+        options = self._require_options(options, "execute_sql_batch")
+        return self.execute_batch(
+            [self.sql(text) for text in texts], options
+        )
 
     def profile_sql(
         self,
         text: str,
-        options: QueryOptions | str | None = None,
-        *,
-        strategy: str | None = None,
+        options: QueryOptions | None = None,
     ) -> ExecutionReport:
-        options = self._options(options, strategy, "profile_sql")
+        options = self._require_options(options, "profile_sql")
         return self._run(self.sql(text), options, profiled=True)

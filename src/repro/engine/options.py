@@ -30,6 +30,14 @@ frozen dataclass, :class:`QueryOptions`:
   over the translated plan before executing it: ``None``/``"off"``
   skips it, ``"warn"`` surfaces error diagnostics as Python warnings,
   ``"strict"`` raises :class:`~repro.errors.LintError` fail-fast.
+* ``mqo``           — multi-query optimization for batch execution
+  (:mod:`repro.engine.mqo`): ``"off"`` runs every batch member
+  independently, ``"fingerprint"`` forms share groups and reports them
+  but still executes per query, ``"coalesce"`` merges each group into
+  one multi-consumer GMDJ over a single detail scan.  ``None`` defers
+  to the ``REPRO_MQO`` environment hook and then to the batch default
+  (``"coalesce"``).  Only ``Database.execute_batch`` /
+  ``execute_sql_batch`` consult it; single-query entry points ignore it.
 
 The legacy strategy names ``gmdj_chunked`` / ``gmdj_parallel`` conflated
 strategy with execution mode; :meth:`QueryOptions.canonical` maps them
@@ -87,6 +95,13 @@ LINT_LEVELS = (None, "off", "warn", "strict")
 
 ROLLUP_LEVELS = (None, "off", "exact", "subsume")
 
+MQO_LEVELS = (None, "off", "fingerprint", "coalesce")
+
+#: Environment hook forcing a batch-MQO level (``off`` / ``fingerprint``
+#: / ``coalesce``) for batches whose options left ``mqo`` unset — the CI
+#: matrix leg's override.  An explicit ``mqo=...`` always wins.
+REPRO_MQO_ENV = "REPRO_MQO"
+
 #: Environment hook letting a harness (e.g. the CI rollup leg) force the
 #: rollup tier on.  Only consulted for *unprofiled* runs that did not set
 #: ``rollup`` explicitly — profiled runs measure real work, and a
@@ -110,6 +125,7 @@ class QueryOptions:
     use_cache: bool = True
     lint: str | None = None
     rollup: str | None = None
+    mqo: str | None = None
 
     def __post_init__(self):
         if self.strategy not in STRATEGIES:
@@ -132,6 +148,11 @@ class QueryOptions:
             raise ConfigurationError(
                 f"unknown rollup level {self.rollup!r}; "
                 f"choose one of {ROLLUP_LEVELS}"
+            )
+        if self.mqo not in MQO_LEVELS:
+            raise ConfigurationError(
+                f"unknown mqo level {self.mqo!r}; "
+                f"choose one of {MQO_LEVELS}"
             )
         for name in ("partitions", "workers", "chunk_budget", "chunk_size"):
             value = getattr(self, name)
@@ -259,6 +280,26 @@ class QueryOptions:
         return None if value == "off" else value
 
     @staticmethod
+    def environment_mqo() -> str | None:
+        """The ``REPRO_MQO`` batch-MQO override, validated.
+
+        Returns the raw level (``"off"`` stays ``"off"`` — it must
+        suppress the batch default, unlike an unset variable), or None
+        when the environment leaves the batch default in force.
+        """
+        import os
+
+        value = os.environ.get(REPRO_MQO_ENV)
+        if not value:
+            return None
+        if value not in MQO_LEVELS:
+            raise ConfigurationError(
+                f"{REPRO_MQO_ENV}={value!r} is not an mqo level; "
+                f"choose one of {MQO_LEVELS[1:]}"
+            )
+        return value
+
+    @staticmethod
     def _environment_mode() -> str | None:
         """The ``REPRO_MODE`` default-mode override, validated."""
         import os
@@ -288,6 +329,7 @@ class QueryOptions:
         """
         canon = self.canonical()
         lint = None if canon.lint == "off" else canon.lint
+        mqo = None if canon.mqo == "off" else canon.mqo
         return (canon.strategy, canon.mode, canon.partitions,
                 canon.workers, canon.chunk_budget, canon.chunk_size, lint,
-                canon.rollup)
+                canon.rollup, mqo)

@@ -21,7 +21,7 @@ True
 from __future__ import annotations
 
 from repro.algebra.operators import Operator
-from repro.lint.cost import CostCertificate, GMDJCostEntry, certify_plan
+from repro.lint.cost import CostCertificate, GMDJCostEntry, certify_batch, certify_plan
 from repro.lint.diagnostics import (
     DIAGNOSTIC_CODES,
     LintReport,
@@ -57,6 +57,7 @@ __all__ = [
     "PlanDiagnostic",
     "PlanTyper",
     "Severity",
+    "certify_batch",
     "certify_plan",
     "lint_plan",
     "severity_of",

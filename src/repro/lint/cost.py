@@ -148,3 +148,37 @@ def certify_plan(plan: Operator) -> CostCertificate:
         single_scan_tables=single,
         complete=not residue,
     )
+
+
+def certify_batch(certificates) -> CostCertificate:
+    """Merge per-share-group certificates into one batch-level claim.
+
+    Used by :mod:`repro.engine.mqo`: each coalesced share group carries
+    its own single-scan certificate; the batch certificate sums their
+    detail-scan counts, so ``single_scan_tables`` names the tables the
+    whole batch promises to scan exactly once (Prop. 4.1 at workload
+    scale — one detail scan per detail table per batch when every
+    group over that table coalesced).
+    """
+    entries: list[GMDJCostEntry] = []
+    counts: dict[str, int] = {}
+    complete = True
+    for position, certificate in enumerate(certificates):
+        for entry in certificate.entries:
+            entries.append(GMDJCostEntry(
+                path=f"group[{position}]/{entry.path}",
+                relation=entry.relation,
+                blocks=entry.blocks,
+                completion=entry.completion,
+            ))
+        for table, count in certificate.detail_scan_counts:
+            counts[table] = counts.get(table, 0) + count
+        complete = complete and certificate.complete
+    return CostCertificate(
+        entries=tuple(entries),
+        detail_scan_counts=tuple(sorted(counts.items())),
+        single_scan_tables=frozenset(
+            table for table, count in counts.items() if count == 1
+        ),
+        complete=complete,
+    )

@@ -22,7 +22,13 @@ guarantees at runtime:
   fixed-bucket histograms fed by the bench and fuzz runners.
 """
 
-from repro.obs.explain import explain_analyze, explain_analyze_json
+from repro.obs.explain import (
+    Explain,
+    explain_analyze,
+    explain_analyze_json,
+    explain_batch,
+    explain_report,
+)
 from repro.obs.invariants import InvariantReport, check_trace
 from repro.obs.metrics import (
     Counter,
@@ -42,6 +48,7 @@ from repro.obs.tracer import (
 
 __all__ = [
     "Counter",
+    "Explain",
     "Histogram",
     "InvariantReport",
     "MetricsRegistry",
@@ -51,6 +58,8 @@ __all__ = [
     "check_trace",
     "explain_analyze",
     "explain_analyze_json",
+    "explain_batch",
+    "explain_report",
     "get_registry",
     "metrics_scope",
     "span",

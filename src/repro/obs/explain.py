@@ -1,17 +1,25 @@
-"""EXPLAIN ANALYZE: plan text plus a measured, attributed span tree.
+"""EXPLAIN, unified: one report object behind every explain entry point.
 
-``EXPLAIN`` (the existing :func:`repro.algebra.printer.explain`) shows
-what the planner *intends*; ``EXPLAIN ANALYZE`` executes the query
-under tracing and shows what actually happened — per-span wall-clock
+:class:`Explain` is what ``Database.explain`` / ``explain_analyze`` /
+the CLI's ``repro explain`` all return now — a ``str`` subclass (so
+every caller that printed or compared the old plan text keeps working)
+carrying a machine-readable payload behind ``.json()``:
+
+* :func:`explain_report` — the plan the options would execute; with
+  ``analyze=True`` it executes **once** under tracing and derives both
+  the rendered text and the JSON trace export from that single run
+  (the old ``explain_analyze`` / ``explain_analyze_json`` pair executed
+  separately; they are thin wrappers now);
+* :func:`explain_batch` — the batch variant: the share groups the MQO
+  planner (:mod:`repro.engine.mqo`) would form, each group's coalesced
+  plan and single-scan certificate, and the singleton plans — without
+  executing anything.
+
+``EXPLAIN ANALYZE`` shows what actually happened — per-span wall-clock
 and IOStats counter deltas — then runs the invariant checker over the
 trace so the paper's cost claims are verified on every analyzed query.
-
-All entry points accept a :class:`~repro.engine.options.QueryOptions`
-(or a plain strategy string), so analyzed runs cover the chunked and
-partitioned GMDJ modes — including multi-worker runs, whose worker span
-subtrees are grafted back into the coordinator trace.
-
-For the coalescing strategies (``auto``, ``gmdj_optimized``,
+Multi-worker runs' span subtrees are grafted back into the coordinator
+trace.  For the coalescing strategies (``auto``, ``gmdj_optimized``,
 ``gmdj_coalesce``) the renderer derives the Prop. 4.1 expectation
 automatically: any stored table that is the detail of exactly one GMDJ
 in the optimized plan must be detail-scanned exactly once at runtime.
@@ -20,6 +28,32 @@ in the optimized plan must be detail-scanned exactly once at runtime.
 from __future__ import annotations
 
 from repro.obs.invariants import InvariantReport, check_trace
+
+
+class Explain(str):
+    """An EXPLAIN report: plan text that also carries structured data.
+
+    Being a ``str`` subclass, an ``Explain`` prints, compares, and
+    JSON-serializes exactly like the plain plan text the old entry
+    points returned; ``.json()`` exposes the structured payload
+    (strategy, lint, certificate, and — for analyzed runs — the full
+    trace export) without a second execution.
+    """
+
+    payload: dict
+
+    def __new__(cls, text: str, payload: dict) -> "Explain":
+        self = super().__new__(cls, text)
+        self.payload = payload
+        return self
+
+    def text(self) -> str:
+        """The rendered report (identical to ``str(self)``)."""
+        return str(self)
+
+    def json(self) -> dict:
+        """The machine-readable payload behind the text rendering."""
+        return self.payload
 
 #: Strategies whose plans claim coalesced (single-scan) evaluation.
 COALESCING_STRATEGIES = frozenset({"auto", "gmdj_optimized", "gmdj_coalesce"})
@@ -205,11 +239,60 @@ def analyze(db, query, options="auto", strict: bool = False):
     return report, invariants, expectations
 
 
-def explain_analyze(db, query, options="auto", strict: bool = False) -> str:
-    """The full EXPLAIN ANALYZE text: plan, trace, counters, invariants."""
+#: Inside :func:`explain_report` the ``analyze`` keyword shadows the
+#: function, so the call goes through this alias.
+analyze_query = analyze
+
+
+def _plan_text(db, query, options) -> str:
+    """Render the plan the given options would execute (EXPLAIN proper)."""
+    from repro.algebra.printer import explain as render_plan
+    from repro.engine.options import STRATEGIES
+    from repro.errors import PlanError
+
+    resolved = options.canonical().strategy
+    if resolved in ("auto", "gmdj_optimized"):
+        from repro.unnesting.translate import subquery_to_gmdj
+
+        return render_plan(subquery_to_gmdj(query, db.catalog, optimize=True))
+    if resolved in ("gmdj", "gmdj_coalesce", "gmdj_completion"):
+        from repro.unnesting.translate import subquery_to_gmdj
+
+        return render_plan(subquery_to_gmdj(query, db.catalog))
+    if resolved in STRATEGIES:
+        return render_plan(query)
+    raise PlanError(f"unknown strategy {resolved!r}")
+
+
+def explain_report(db, query, options="auto", *, analyze: bool = False,
+                   strict: bool = False) -> Explain:
+    """The unified EXPLAIN entry point behind ``Database.explain`` /
+    ``explain_analyze`` and the CLI.
+
+    Without ``analyze``, nothing executes: the text is exactly the plan
+    rendering the old ``Database.explain`` returned, and the payload
+    carries the static lint report and cost certificate.  With
+    ``analyze=True`` the query executes **once** under tracing and both
+    the text and the payload are derived from that single run.
+    """
     options = _coerce(options)
-    plan_text = db.explain(query, options)
-    report, invariants, expectations = analyze(db, query, options, strict)
+    plan_text = _plan_text(db, query, options)
+    lint, certificate = static_report(db, query, options)
+    canonical = options.canonical()
+    payload: dict = {
+        "strategy": options.strategy,
+        "mode": canonical.mode,
+        "rollup": canonical.rollup,
+        "plan": plan_text,
+        "lint": lint.to_json(),
+        "certificate": certificate.to_json(),
+    }
+    if not analyze:
+        return Explain(plan_text, payload)
+
+    report, invariants, expectations = analyze_query(
+        db, query, options, strict
+    )
     counters = ", ".join(
         f"{key}={value}"
         for key, value in sorted(report.counters.items())
@@ -239,28 +322,12 @@ def explain_analyze(db, query, options="auto", strict: bool = False) -> str:
             "-- single-scan expectation: "
             + ", ".join(sorted(expectations))
         )
-    lint, certificate = static_report(db, query, options)
     lines.append(f"-- lint: {lint.summary()}")
     lines.extend(f"--   {d.render()}" for d in lint.sorted())
     lines.append(f"-- {certificate.summary()}")
     lines.append(f"-- {invariants.summary()}")
-    return "\n".join(lines)
-
-
-def explain_analyze_json(db, query, options="auto",
-                         strict: bool = False) -> dict:
-    """Machine-readable EXPLAIN ANALYZE (the ``--json`` trace export)."""
-    options = _coerce(options)
-    plan_text = db.explain(query, options)
-    report, invariants, expectations = analyze(db, query, options, strict)
-    lint, certificate = static_report(db, query, options)
-    canonical = options.canonical()
-    return {
-        "strategy": options.strategy,
-        "mode": canonical.mode,
-        "rollup": canonical.rollup,
-        "executed": executed_summary(report.trace),
-        "plan": plan_text,
+    payload.update({
+        "executed": executed,
         "rows": report.row_count,
         "elapsed_ms": round(report.elapsed_seconds * 1000, 3),
         "counters": {
@@ -268,24 +335,102 @@ def explain_analyze_json(db, query, options="auto",
             if value
         },
         "single_scan_expectation": sorted(expectations),
-        "lint": lint.to_json(),
-        "certificate": certificate.to_json(),
         "invariants": {
             "checked": invariants.checked,
             "violations": list(invariants.violations),
         },
         "trace": report.trace.to_json(),
+    })
+    return Explain("\n".join(lines), payload)
+
+
+def explain_batch(db, queries, options=None) -> Explain:
+    """EXPLAIN for a batch: share groups and coalesced plans, unexecuted.
+
+    Runs the MQO planner (:func:`repro.engine.mqo.plan_batch`) over the
+    batch and renders, per share group, the members, the single
+    multi-consumer GMDJ the group would execute, and its single-scan
+    cost certificate; singleton members get their ordinary per-query
+    plan text.
+    """
+    from repro.algebra.printer import explain as render_plan
+    from repro.engine.mqo import plan_batch
+    from repro.lint import certify_plan
+
+    options = _coerce(options)
+    plan = plan_batch(queries, db.catalog, options, cache=db.cache)
+    lines = [
+        f"-- EXPLAIN BATCH ({len(queries)} queries, mqo={plan.level}, "
+        f"{_label(options)})"
+    ]
+    groups_payload = []
+    for group in plan.groups:
+        certificate = certify_plan(group.shared.gmdj)
+        coalesced = render_plan(group.shared.gmdj)
+        lines.append(
+            f"-- share group {group.group_id}: queries "
+            f"{group.indices} on {group.shared.detail_table} "
+            f"({group.shared.consumer_blocks} consumer block(s) -> "
+            f"{group.shared.shared_blocks} shared, "
+            f"{len(group.indices) - 1} scan(s) saved)"
+        )
+        lines.append(coalesced)
+        lines.append(f"-- {certificate.summary()}")
+        groups_payload.append({
+            "group": group.group_id,
+            "members": list(group.indices),
+            "detail_table": group.shared.detail_table,
+            "consumer_blocks": group.shared.consumer_blocks,
+            "shared_blocks": group.shared.shared_blocks,
+            "scans_saved": len(group.indices) - 1,
+            "plan": coalesced,
+            "certificate": certificate.to_json(),
+        })
+    singles_payload = []
+    for index in plan.singletons:
+        text = _plan_text(db, queries[index], options)
+        lines.append(f"-- query {index} (no sharing)")
+        lines.append(text)
+        singles_payload.append({"index": index, "plan": text})
+    payload = {
+        "mqo": plan.level,
+        "queries": len(queries),
+        "strategy": options.strategy,
+        "share_groups": groups_payload,
+        "singletons": singles_payload,
+        "scans_saved": sum(g["scans_saved"] for g in groups_payload),
     }
+    return Explain("\n".join(lines), payload)
+
+
+def explain_analyze(db, query, options="auto", strict: bool = False) -> str:
+    """The full EXPLAIN ANALYZE text: plan, trace, counters, invariants.
+
+    Thin wrapper over :func:`explain_report` (one execution; the same
+    :class:`Explain` also carries the JSON payload).
+    """
+    return explain_report(db, query, options, analyze=True, strict=strict)
+
+
+def explain_analyze_json(db, query, options="auto",
+                         strict: bool = False) -> dict:
+    """Machine-readable EXPLAIN ANALYZE (the ``--json`` trace export)."""
+    return explain_report(
+        db, query, options, analyze=True, strict=strict
+    ).json()
 
 
 __all__ = [
     "COALESCING_STRATEGIES",
+    "Explain",
     "InvariantReport",
     "analyze",
     "derive_single_scan_tables",
     "executed_summary",
     "explain_analyze",
     "explain_analyze_json",
+    "explain_batch",
+    "explain_report",
     "rollup_summary",
     "static_report",
 ]

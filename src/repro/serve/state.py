@@ -58,7 +58,7 @@ _TENANT_NAME = re.compile(r"^[A-Za-z0-9_.\-]{1,64}$")
 #: (``trace`` above all — tracing is the server's decision) is rejected.
 OPTION_FIELDS = frozenset({
     "strategy", "mode", "partitions", "workers", "chunk_budget",
-    "chunk_size", "use_cache", "lint", "rollup",
+    "chunk_size", "use_cache", "lint", "rollup", "mqo",
 })
 
 
@@ -149,6 +149,69 @@ class Tenant:
                 "row_count": len(result),
                 "elapsed_ms": round(elapsed * 1000, 3),
                 "served_by": _served_by(metrics),
+                "detail_scans": detail_scans,
+                "io": {
+                    key: value
+                    for key, value in stats.snapshot().items() if value
+                },
+                "metrics": {
+                    "counters": {
+                        name: counter.value
+                        for name, counter in sorted(metrics.counters.items())
+                    },
+                },
+            }
+        finally:
+            self.lock.release_read()
+
+    def run_batch(self, sqls: list[str], options: QueryOptions,
+                  deadline: float | None = None) -> dict:
+        """Execute a ``/batch`` request with cross-query scan sharing.
+
+        One read-lock hold covers the whole batch (members share a
+        catalog snapshot — the MQO merge requires it).  The response
+        reconciles by construction: each item's ``io`` and
+        ``detail_scans`` are its fractional attribution from the batch
+        engine, and their sums equal the batch-level totals measured
+        here, so ``/metrics`` stays consistent with per-request
+        certificates.
+        """
+        try:
+            self.lock.acquire_read(timeout=remaining(deadline))
+        except LockTimeout as error:
+            raise DeadlineExceeded(str(error)) from None
+        try:
+            remaining(deadline)
+            with metrics_scope() as metrics:
+                with collect() as stats, tracing() as tracer:
+                    started = time.perf_counter()
+                    batch = self.db.execute_sql_batch(sqls, options)
+                    elapsed = time.perf_counter() - started
+            detail_scans = sum(
+                1 for span_ in tracer.trace().walk()
+                if span_.kind == "detail_scan"
+            )
+            self.queries += len(sqls)
+            report = batch.report
+            results = []
+            for item in batch.items:
+                results.append({
+                    "index": item.index,
+                    "columns": list(item.result.schema.names),
+                    "rows": [list(row) for row in item.result.rows],
+                    "row_count": len(item.result),
+                    "elapsed_ms": round(item.elapsed_seconds * 1000, 3),
+                    "group": item.group_id,
+                    "shared": item.shared,
+                    "detail_scans": item.detail_scans,
+                    "io": item.io_json(),
+                })
+            return {
+                "tenant": self.name,
+                "results": results,
+                "batch": report.to_json(),
+                "scans_saved": report.scans_saved,
+                "elapsed_ms": round(elapsed * 1000, 3),
                 "detail_scans": detail_scans,
                 "io": {
                     key: value

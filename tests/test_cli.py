@@ -167,10 +167,16 @@ class TestExplainSubcommand:
         assert payload["invariants"]["violations"] == []
         assert payload["trace"]["spans"][0]["kind"] == "query"
 
-    def test_json_without_analyze_is_exit_2(self, data_dir):
-        code, _ = run_cli(["explain", self.SQL, "--data", str(data_dir),
-                           "--json"])
-        assert code == 2
+    def test_json_without_analyze_is_static_payload(self, data_dir):
+        import json
+
+        code, out = run_cli(["explain", self.SQL, "--data", str(data_dir),
+                             "--json"])
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["strategy"] == "auto"
+        assert "plan" in payload and "certificate" in payload
+        assert "trace" not in payload  # nothing executed
 
     def test_sql_error_is_exit_1(self, data_dir):
         code, _ = run_cli(["explain", "SELECT FROM nothing",

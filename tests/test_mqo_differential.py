@@ -1,0 +1,275 @@
+"""Differential proof that batch MQO execution is invisible.
+
+``execute_batch`` must be a pure scheduling change: for every batch,
+each member's result is row- AND order-identical to what ``execute``
+returns for it alone — across all six Table 1 subquery forms over
+NULL-heavy data, with the lint certificates proving one detail scan per
+detail table per share group and the runtime trace confirming it.
+
+The seeded-bug test demonstrates the suite has teeth: an over-eager
+fingerprint that ignores θ conjuncts referencing only the base relation
+(a classic MQO over-merge) makes the differential comparison fail.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Database, DataType, QueryOptions
+from repro.algebra.aggregates import agg
+from repro.algebra.expressions import TRUE, Comparison, col, conjuncts_of, lit
+from repro.algebra.nested import (
+    Exists,
+    NestedSelect,
+    QuantifiedComparison,
+    ScalarComparison,
+    Subquery,
+    in_predicate,
+    not_in_predicate,
+)
+from repro.algebra.operators import ScanTable
+
+NO_CACHE = QueryOptions(use_cache=False)
+
+#: NULL-heavy fixed data: NULLs in join keys, outer columns, and the
+#: subquery item/aggregate column, so three-valued logic is exercised
+#: on every form.
+B_ROWS = [(1, 10), (2, None), (3, 30), (None, 40), (2, 20), (None, None)]
+R_ROWS = [(1, 5), (1, None), (2, 2), (3, None), (None, 1), (None, None),
+          (2, 7), (3, 3)]
+
+
+def make_db():
+    db = Database()
+    db.create_table(
+        "B", [("K", DataType.INTEGER), ("X", DataType.INTEGER)], B_ROWS
+    )
+    db.create_table(
+        "R", [("K", DataType.INTEGER), ("Y", DataType.INTEGER)], R_ROWS
+    )
+    return db
+
+
+def subquery(theta, **kwargs):
+    return Subquery(ScanTable("R", "r"), theta, **kwargs)
+
+
+def form_query(form: str, bound: int) -> NestedSelect:
+    """One Table 1 subquery form, parameterized so same-form queries are
+    share-compatible (same base, different θ constants)."""
+    theta = (col("r.K") == col("b.K")) & (col("r.Y") > lit(bound))
+    if form == "exists":
+        predicate = Exists(subquery(theta))
+    elif form == "not_exists":
+        predicate = Exists(subquery(theta), negated=True)
+    elif form == "in":
+        predicate = in_predicate(
+            col("b.X"), subquery(theta, item=col("r.Y"))
+        )
+    elif form == "not_in":
+        predicate = not_in_predicate(
+            col("b.X"), subquery(theta, item=col("r.Y"))
+        )
+    elif form == "quantified":
+        predicate = QuantifiedComparison(
+            ">", "all", col("b.X"), subquery(theta, item=col("r.Y"))
+        )
+    elif form == "agg":
+        predicate = ScalarComparison(
+            ">=", col("b.X"),
+            subquery(theta, aggregate=agg("sum", col("r.Y"), "v")),
+        )
+    else:  # pragma: no cover - guarded by FORMS
+        raise AssertionError(form)
+    return NestedSelect(ScanTable("B", "b"), predicate)
+
+
+FORMS = ("exists", "not_exists", "in", "not_in", "quantified", "agg")
+
+
+class TestSixFormsDifferential:
+    @pytest.mark.parametrize("form", FORMS)
+    def test_batch_identical_to_sequential(self, form):
+        db = make_db()
+        queries = [form_query(form, bound) for bound in (0, 2, 4, 6)]
+        batch = db.execute_batch(queries, NO_CACHE)
+        for query, result in zip(queries, batch):
+            expected = db.execute(query, NO_CACHE)
+            assert result.schema.names == expected.schema.names
+            assert result.rows == expected.rows  # row- AND order-identical
+
+    @pytest.mark.parametrize("form", FORMS)
+    def test_group_certificate_single_scan(self, form):
+        db = make_db()
+        queries = [form_query(form, bound) for bound in (1, 3, 5)]
+        batch = db.execute_batch(queries, NO_CACHE)
+        groups = [g for g in batch.report.groups if g.coalesced]
+        assert groups, f"{form}: expected a coalesced share group"
+        for group in groups:
+            # Static claim: one detail scan per detail table per group.
+            assert group.certificate.scan_counts == {"R": 1}
+            assert group.certificate.single_scan_tables == {"R"}
+            # Runtime cross-check against the trace's detail_scan spans.
+            assert group.runtime_detail_scans == 1
+            assert group.certified is True
+            assert group.scans_saved == len(group.members) - 1
+
+    def test_mixed_form_mega_batch(self):
+        db = make_db()
+        queries = [form_query(form, bound)
+                   for form in FORMS for bound in (1, 4)]
+        batch = db.execute_batch(queries, NO_CACHE)
+        assert batch.report.scans_saved >= 1
+        for query, result in zip(queries, batch):
+            expected = db.execute(query, NO_CACHE)
+            assert result.rows == expected.rows
+
+    @pytest.mark.parametrize("mode_options", [
+        QueryOptions(use_cache=False, mode="gmdj_vectorized"),
+        QueryOptions(use_cache=False, mode="chunked", chunk_budget=4),
+        QueryOptions(use_cache=False, mode="partitioned", partitions=2,
+                     workers=2),
+    ])
+    def test_batch_identical_under_execution_modes(self, mode_options):
+        db = make_db()
+        queries = [form_query("exists", bound) for bound in (0, 3)]
+        batch = db.execute_batch(queries, mode_options)
+        for query, result in zip(queries, batch):
+            expected = db.execute(query, mode_options)
+            assert result.rows == expected.rows
+
+
+# -- property: random compatible/incompatible mixes ---------------------------
+
+small_int = st.one_of(st.none(), st.integers(min_value=0, max_value=6))
+comparison_ops = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+
+
+@st.composite
+def batch_members(draw):
+    theta = TRUE
+    if draw(st.booleans()):
+        theta = col("r.K") == col("b.K")
+    if draw(st.booleans()):
+        extra = Comparison(draw(comparison_ops), col("r.Y"),
+                           lit(draw(st.integers(0, 6))))
+        theta = extra if theta is TRUE else theta & extra
+    form = draw(st.sampled_from(FORMS))
+    if form == "exists":
+        predicate = Exists(subquery(theta),
+                           negated=draw(st.booleans()))
+    elif form == "not_exists":
+        predicate = Exists(subquery(theta), negated=True)
+    elif form == "in":
+        predicate = in_predicate(col("b.X"),
+                                 subquery(theta, item=col("r.Y")))
+    elif form == "not_in":
+        predicate = not_in_predicate(col("b.X"),
+                                     subquery(theta, item=col("r.Y")))
+    elif form == "quantified":
+        predicate = QuantifiedComparison(
+            draw(comparison_ops), draw(st.sampled_from(["some", "all"])),
+            col("b.X"), subquery(theta, item=col("r.Y")),
+        )
+    else:
+        function = draw(st.sampled_from(["count", "sum", "min", "max"]))
+        argument = None if function == "count" else col("r.Y")
+        predicate = ScalarComparison(
+            draw(comparison_ops), col("b.X"),
+            subquery(theta, aggregate=agg(function, argument, "v")),
+        )
+    # Flat members (no subquery) are share-incompatible by construction.
+    if draw(st.integers(0, 4)) == 0:
+        return NestedSelect(ScanTable("B", "b"),
+                            col("b.X") > lit(draw(st.integers(0, 6))))
+    return NestedSelect(ScanTable("B", "b"), predicate)
+
+
+class TestBatchProperty:
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        b_rows=st.lists(st.tuples(small_int, small_int), max_size=8),
+        r_rows=st.lists(st.tuples(small_int, small_int), max_size=10),
+        queries=st.lists(batch_members(), min_size=2, max_size=5),
+    )
+    def test_batch_bag_equal_to_sequential(self, b_rows, r_rows, queries):
+        db = Database()
+        db.create_table(
+            "B", [("K", DataType.INTEGER), ("X", DataType.INTEGER)], b_rows
+        )
+        db.create_table(
+            "R", [("K", DataType.INTEGER), ("Y", DataType.INTEGER)], r_rows
+        )
+        batch = db.execute_batch(queries, NO_CACHE)
+        for query, result in zip(queries, batch):
+            expected = db.execute(query, NO_CACHE)
+            assert result.rows == expected.rows
+            assert expected.bag_equal(result)
+
+
+# -- the seeded bug: over-eager fingerprint ignoring base-only conjuncts ------
+
+
+class TestSeededOverMerge:
+    """An MQO merge keyed only on detail-referencing θ conjuncts merges
+    blocks that differ in base-only conjuncts — routing one consumer's
+    aggregates through another consumer's θ.  The differential suite
+    must catch it."""
+
+    @staticmethod
+    def buggy_block_key(block):
+        def touches_detail(conjunct):
+            return any(
+                ref.rpartition(".")[0].startswith("mqo_")
+                for ref in conjunct.references()
+            )
+
+        kept = [c for c in conjuncts_of(block.condition)
+                if touches_detail(c)]
+        return repr([repr(c) for c in kept])
+
+    def queries(self):
+        # Same detail θ; the *base-only* conjunct (b.X > bound) differs.
+        def query(bound):
+            theta = ((col("r.K") == col("b.K"))
+                     & (col("b.X") > lit(bound)))
+            return NestedSelect(ScanTable("B", "b"),
+                                Exists(subquery(theta)))
+
+        return [query(5), query(35)]
+
+    def test_blocks_do_merge_under_the_bug(self, monkeypatch):
+        import repro.gmdj.share as share
+
+        monkeypatch.setattr(share, "block_key", self.buggy_block_key)
+        db = make_db()
+        from repro.engine.mqo import plan_batch
+
+        plan = plan_batch(self.queries(), db.catalog, NO_CACHE)
+        assert len(plan.groups) == 1
+        assert plan.groups[0].shared.shared_blocks == 1  # over-merged
+
+    def test_differential_catches_the_over_merge(self, monkeypatch):
+        import repro.gmdj.share as share
+
+        monkeypatch.setattr(share, "block_key", self.buggy_block_key)
+        db = make_db()
+        queries = self.queries()
+        batch = db.execute_batch(queries, NO_CACHE)
+        diverged = any(
+            batch[i].rows != db.execute(queries[i], NO_CACHE).rows
+            for i in range(len(queries))
+        )
+        assert diverged, (
+            "the seeded over-merge produced identical results; the "
+            "differential suite would not catch this bug class"
+        )
+
+    def test_correct_key_passes_the_same_comparison(self):
+        db = make_db()
+        queries = self.queries()
+        batch = db.execute_batch(queries, NO_CACHE)
+        for query, result in zip(queries, batch):
+            assert result.rows == db.execute(query, NO_CACHE).rows

@@ -1,0 +1,244 @@
+"""Unit tests for cross-query GMDJ scan sharing (repro.gmdj.share)
+and the batch MQO planner/report plumbing (repro.engine.mqo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, DataType, QueryOptions
+from repro.engine.mqo import plan_batch, resolve_level
+from repro.engine.options import MQO_LEVELS
+from repro.errors import ConfigurationError
+from repro.gmdj.share import (
+    block_key,
+    fingerprint_plan,
+    merge_group,
+)
+from repro.unnesting import subquery_to_gmdj
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "B", [("K", DataType.INTEGER), ("X", DataType.INTEGER)],
+        [(1, 10), (2, 20), (3, 30), (None, 40)],
+    )
+    database.create_table(
+        "R", [("K", DataType.INTEGER), ("Y", DataType.INTEGER)],
+        [(1, 5), (1, 7), (2, 2), (3, None), (None, 1)],
+    )
+    database.create_table(
+        "S", [("K", DataType.INTEGER), ("Z", DataType.INTEGER)],
+        [(1, 1), (2, 2)],
+    )
+    return database
+
+
+def translated(db, sql):
+    return subquery_to_gmdj(db.sql(sql), db.catalog, optimize=True)
+
+
+EXISTS_R = ("SELECT K FROM B WHERE EXISTS "
+            "(SELECT 1 FROM R WHERE R.K = B.K)")
+EXISTS_R_THETA = ("SELECT K FROM B WHERE EXISTS "
+                  "(SELECT 1 FROM R WHERE R.K = B.K AND R.Y > 4)")
+EXISTS_S = ("SELECT K FROM B WHERE EXISTS "
+            "(SELECT 1 FROM S WHERE S.K = B.K)")
+
+
+class TestFingerprint:
+    def test_shareable_plan_fingerprints(self, db):
+        candidate = fingerprint_plan(translated(db, EXISTS_R))
+        assert candidate is not None
+        assert candidate.fingerprint.detail_table == "R"
+        assert candidate.detail_alias
+
+    def test_same_base_same_fingerprint(self, db):
+        a = fingerprint_plan(translated(db, EXISTS_R))
+        b = fingerprint_plan(translated(db, EXISTS_R_THETA))
+        assert a.fingerprint == b.fingerprint
+
+    def test_different_detail_tables_differ(self, db):
+        a = fingerprint_plan(translated(db, EXISTS_R))
+        b = fingerprint_plan(translated(db, EXISTS_S))
+        assert a.fingerprint != b.fingerprint
+
+    def test_flat_plan_is_unshareable(self, db):
+        assert fingerprint_plan(db.sql("SELECT K FROM B")) is None
+
+    def test_multi_gmdj_plan_is_unshareable(self, db):
+        sql = ("SELECT K FROM B b WHERE EXISTS "
+               "(SELECT 1 FROM R r WHERE r.K = b.K) "
+               "AND EXISTS (SELECT 1 FROM S s WHERE s.K = b.K)")
+        plan = subquery_to_gmdj(db.sql(sql), db.catalog, optimize=False)
+        assert fingerprint_plan(plan) is None
+
+
+class TestMergeGroup:
+    def group(self, db, *sqls):
+        return [fingerprint_plan(translated(db, sql)) for sql in sqls]
+
+    def test_identical_blocks_deduplicate(self, db):
+        shared = merge_group(self.group(db, EXISTS_R, EXISTS_R))
+        assert shared.consumer_blocks == 2
+        assert shared.shared_blocks == 1
+        assert len(shared.gmdj.blocks) == 1
+
+    def test_distinct_thetas_stay_separate(self, db):
+        shared = merge_group(self.group(db, EXISTS_R, EXISTS_R_THETA))
+        assert shared.consumer_blocks == 2
+        assert shared.shared_blocks == 2
+
+    def test_slots_route_every_consumer_output(self, db):
+        candidates = self.group(db, EXISTS_R, EXISTS_R_THETA)
+        shared = merge_group(candidates)
+        names = set(shared.gmdj.output_names())
+        for slot, candidate in zip(shared.slots, candidates):
+            assert len(slot.outputs) == sum(
+                len(b.aggregates) for b in candidate.gmdj.blocks
+            )
+            for shared_name, original in slot.outputs:
+                assert shared_name in names
+                assert original in candidate.gmdj.output_names()
+
+    def test_fresh_alias_avoids_collision(self, db):
+        sql = ("SELECT K FROM B WHERE EXISTS "
+               "(SELECT 1 FROM R mqo_r WHERE mqo_r.K = B.K)")
+        shared = merge_group(self.group(db, sql, sql))
+        alias = shared.gmdj.detail.alias
+        assert alias != "mqo_r"
+        # The requalified condition must reference the fresh alias.
+        assert any(
+            alias == ref.rpartition(".")[0]
+            for block in shared.gmdj.blocks
+            for ref in block.condition.references()
+        )
+
+    def test_block_key_is_whole_condition(self, db):
+        a, b = (c.gmdj.blocks[0] for c in
+                self.group(db, EXISTS_R, EXISTS_R_THETA))
+        assert block_key(a) != block_key(b)
+
+
+class TestPlanBatch:
+    def test_groups_compatible_queries(self, db):
+        queries = [db.sql(EXISTS_R), db.sql(EXISTS_R_THETA),
+                   db.sql(EXISTS_S)]
+        plan = plan_batch(queries, db.catalog, QueryOptions())
+        assert len(plan.groups) == 1
+        assert plan.groups[0].indices == [0, 1]
+        assert plan.singletons == [2]
+
+    def test_off_level_disables_grouping(self, db):
+        queries = [db.sql(EXISTS_R), db.sql(EXISTS_R)]
+        plan = plan_batch(queries, db.catalog, QueryOptions(mqo="off"))
+        assert plan.groups == []
+        assert plan.singletons == [0, 1]
+
+    def test_batch_of_one_never_groups(self, db):
+        plan = plan_batch([db.sql(EXISTS_R)], db.catalog, QueryOptions())
+        assert plan.groups == []
+
+    def test_baseline_strategy_never_shares(self, db):
+        queries = [db.sql(EXISTS_R), db.sql(EXISTS_R)]
+        plan = plan_batch(
+            queries, db.catalog, QueryOptions(strategy="naive")
+        )
+        assert plan.groups == []
+
+
+class TestMqoOption:
+    def test_levels(self):
+        assert set(MQO_LEVELS) == {None, "off", "fingerprint", "coalesce"}
+
+    def test_invalid_level_raises(self):
+        with pytest.raises(ConfigurationError, match="mqo"):
+            QueryOptions(mqo="always")
+
+    def test_explicit_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MQO", "off")
+        assert resolve_level(QueryOptions(mqo="coalesce")) == "coalesce"
+
+    def test_environment_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MQO", "fingerprint")
+        assert resolve_level(QueryOptions()) == "fingerprint"
+
+    def test_environment_off_suppresses_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MQO", "off")
+        assert resolve_level(QueryOptions()) == "off"
+
+    def test_default_is_coalesce(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MQO", raising=False)
+        assert resolve_level(QueryOptions()) == "coalesce"
+
+    def test_bad_environment_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MQO", "nope")
+        with pytest.raises(ConfigurationError, match="REPRO_MQO"):
+            QueryOptions.environment_mqo()
+
+    def test_cache_key_carries_mqo(self):
+        assert (QueryOptions(mqo="fingerprint").cache_key()
+                != QueryOptions(mqo="coalesce").cache_key())
+        # "off" and unset hash alike: both mean per-query execution.
+        assert (QueryOptions(mqo="off").cache_key()
+                == QueryOptions().cache_key())
+
+
+class TestExecuteBatchSurface:
+    def test_fingerprint_level_reports_without_sharing(self, db):
+        batch = db.execute_sql_batch(
+            [EXISTS_R, EXISTS_R_THETA], QueryOptions(mqo="fingerprint")
+        )
+        assert batch.report.mqo == "fingerprint"
+        assert len(batch.report.groups) == 1
+        group = batch.report.groups[0]
+        assert not group.coalesced
+        assert group.scans_saved == 0
+        assert batch.report.scans_saved == 0
+        assert [sorted(r.rows) for r in batch] == [
+            sorted(db.execute_sql(EXISTS_R).rows),
+            sorted(db.execute_sql(EXISTS_R_THETA).rows),
+        ]
+
+    def test_coalesce_level_saves_scans(self, db):
+        batch = db.execute_sql_batch([EXISTS_R, EXISTS_R_THETA])
+        assert batch.report.mqo == "coalesce"
+        group = batch.report.groups[0]
+        assert group.coalesced
+        assert group.scans_saved == 1
+        assert group.runtime_detail_scans == 1
+        assert group.certified is True
+        assert batch.report.certificate is not None
+        assert "R" in batch.report.certificate.single_scan_tables
+
+    def test_sequence_protocol(self, db):
+        batch = db.execute_sql_batch([EXISTS_R, EXISTS_R_THETA, EXISTS_S])
+        assert len(batch) == 3
+        assert batch[0].rows == batch.results[0].rows
+        assert [r.rows for r in batch[1:]] == [
+            r.rows for r in batch.results[1:]
+        ]
+        assert len(list(iter(batch))) == 3
+
+    def test_io_attribution_reconciles(self, db):
+        batch = db.execute_sql_batch(
+            [EXISTS_R, EXISTS_R_THETA, EXISTS_S],
+            QueryOptions(use_cache=False),
+        )
+        summed: dict[str, float] = {}
+        for item in batch.items:
+            for key, value in item.io.items():
+                summed[key] = summed.get(key, 0) + value
+        for key, total in batch.report.io_totals.items():
+            assert summed.get(key, 0) == pytest.approx(total)
+
+    def test_string_options_rejected(self, db):
+        with pytest.raises(ConfigurationError):
+            db.execute_sql_batch([EXISTS_R], "gmdj")
+
+    def test_summary_mentions_savings(self, db):
+        batch = db.execute_sql_batch([EXISTS_R, EXISTS_R])
+        text = batch.report.summary()
+        assert "1 share group" in text
+        assert "1 detail scan(s) saved" in text

@@ -233,27 +233,30 @@ class TestDatabaseAcceptsOptions:
         assert "all hold" in text
 
 
-class TestDeprecatedShims:
-    def test_execute_sql_string_warns_but_works(self, db):
-        expected = db.execute_sql(SQL, QueryOptions(strategy="naive"))
-        with pytest.warns(DeprecationWarning, match="QueryOptions"):
-            result = db.execute_sql(SQL, "naive")
-        assert expected.bag_equal(result)
+class TestRemovedShims:
+    """The PR-3 string-strategy shims completed their deprecation cycle:
+    QueryOptions (or None) is now the only options surface, and the old
+    forms fail loudly with the migration spelled out."""
 
-    def test_execute_strategy_keyword_warns(self, db):
-        query = db.sql(SQL)
-        with pytest.warns(DeprecationWarning, match="strategy= keyword"):
-            result = db.execute(query, strategy="gmdj")
-        assert db.execute_sql(SQL, QueryOptions("naive")).bag_equal(result)
+    def test_execute_sql_string_raises(self, db):
+        with pytest.raises(ConfigurationError, match="QueryOptions"):
+            db.execute_sql(SQL, "naive")
 
-    def test_profile_string_warns(self, db):
-        with pytest.warns(DeprecationWarning):
-            report = db.profile(db.sql(SQL), "gmdj")
-        assert report.strategy == "gmdj"
+    def test_execute_strategy_keyword_is_gone(self, db):
+        with pytest.raises(TypeError, match="strategy"):
+            db.execute(db.sql(SQL), strategy="gmdj")
 
-    def test_explain_string_warns(self, db):
-        with pytest.warns(DeprecationWarning):
+    def test_profile_string_raises(self, db):
+        with pytest.raises(ConfigurationError, match="Database.profile"):
+            db.profile(db.sql(SQL), "gmdj")
+
+    def test_explain_string_raises(self, db):
+        with pytest.raises(ConfigurationError, match="removed"):
             db.explain(db.sql(SQL), "gmdj")
+
+    def test_execute_batch_rejects_strings(self, db):
+        with pytest.raises(ConfigurationError, match="QueryOptions"):
+            db.execute_batch([db.sql(SQL)], "gmdj")
 
     def test_options_form_is_warning_free(self, db, recwarn):
         import warnings
@@ -262,6 +265,13 @@ class TestDeprecatedShims:
             warnings.simplefilter("error", DeprecationWarning)
             db.execute_sql(SQL, QueryOptions(strategy="gmdj"))
             db.profile(db.sql(SQL), QueryOptions(strategy="naive"))
+
+    def test_execute_is_batch_of_one(self, db):
+        single = db.execute_sql(SQL, QueryOptions(strategy="gmdj"))
+        batch = db.execute_sql_batch([SQL], QueryOptions(strategy="gmdj"))
+        assert len(batch) == 1
+        assert batch[0].rows == single.rows
+        assert batch.report.queries == 1
 
 
 class TestEnvironmentDefaults:

@@ -1,0 +1,151 @@
+"""End-to-end tests for the serving tier's batch MQO path.
+
+Covers the ``/batch`` endpoint (shared-scan execution over HTTP, with
+fractional per-member attribution that reconciles against the batch
+totals — the ``/metrics`` consistency contract) and the opt-in
+``batch_window_ms`` coalescing of concurrent ``/query`` requests."""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+import pytest
+
+from tests.test_serve_service import LiveServer
+
+COMPATIBLE = [
+    ("SELECT K FROM B b WHERE EXISTS "
+     "(SELECT * FROM R r WHERE r.K = b.K)"),
+    ("SELECT K FROM B b WHERE EXISTS "
+     "(SELECT * FROM R r WHERE r.K = b.K AND r.V > 8)"),
+    ("SELECT K FROM B b WHERE EXISTS "
+     "(SELECT * FROM R r WHERE r.K = b.K AND r.V < 6)"),
+]
+
+
+@pytest.fixture
+def live_server():
+    servers = []
+
+    def make(**overrides):
+        server = LiveServer(**overrides)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.stop()
+
+
+class TestBatchEndpoint:
+    def test_batch_shares_scans_and_matches_query(self, live_server):
+        server = live_server()
+        server.create_tables()
+        status, payload = server.post("/batch", {"queries": COMPATIBLE})
+        assert status == 200
+        assert payload["scans_saved"] >= 1
+        assert payload["batch"]["mqo"] == "coalesce"
+        assert len(payload["results"]) == len(COMPATIBLE)
+        for sql, member in zip(COMPATIBLE, payload["results"]):
+            q_status, single = server.post(
+                "/query", {"sql": sql, "options": {"use_cache": False}})
+            assert q_status == 200
+            assert member["rows"] == single["rows"]
+            assert member["columns"] == single["columns"]
+
+    def test_fractional_attribution_reconciles(self, live_server):
+        server = live_server()
+        server.create_tables()
+        _, payload = server.post("/batch", {"queries": COMPATIBLE})
+        members = payload["results"]
+        shared = [m for m in members if m["shared"]]
+        assert shared, "expected shared members in a compatible batch"
+        # Per-member fractional detail scans sum to the trace's total.
+        total = sum(m["detail_scans"] for m in members
+                    if m["detail_scans"] is not None)
+        assert total == pytest.approx(payload["detail_scans"])
+        # Per-member io sums reconcile with the batch io totals (the
+        # wire payload rounds each fraction to 4 decimals, so allow
+        # that much slack per member).
+        for key, value in payload["io"].items():
+            summed = sum(m["io"].get(key, 0) for m in members)
+            assert summed == pytest.approx(
+                value, abs=5e-4 * len(members)
+            )
+
+    def test_batch_certificate_rides_along(self, live_server):
+        server = live_server()
+        server.create_tables()
+        _, payload = server.post("/batch", {"queries": COMPATIBLE[:2]})
+        groups = payload["batch"]["share_groups"]
+        assert len(groups) == 1
+        assert groups[0]["certified"] is True
+        assert groups[0]["runtime_detail_scans"] == 1
+        certificate = payload["batch"]["certificate"]
+        assert certificate["detail_scan_counts"] == {"R": 1}
+
+    def test_mqo_option_accepted_over_http(self, live_server):
+        server = live_server()
+        server.create_tables()
+        status, payload = server.post("/batch", {
+            "queries": COMPATIBLE[:2],
+            "options": {"mqo": "fingerprint"},
+        })
+        assert status == 200
+        assert payload["batch"]["mqo"] == "fingerprint"
+        assert payload["scans_saved"] == 0
+
+    def test_bad_bodies_are_400(self, live_server):
+        server = live_server()
+        server.create_tables()
+        for body in ({}, {"queries": []}, {"queries": "SELECT 1"},
+                     {"queries": [""]}):
+            status, _ = server.post("/batch", body)
+            assert status == 400
+
+    def test_get_is_405(self, live_server):
+        server = live_server()
+        status, _ = server.get("/batch")
+        assert status == 405
+
+
+class TestBatchWindow:
+    def test_window_coalesces_concurrent_queries(self, live_server):
+        server = live_server(batch_window_ms=250.0)
+        server.create_tables()
+
+        def post(sql):
+            return server.post("/query", {"sql": sql})
+
+        with concurrent.futures.ThreadPoolExecutor(3) as pool:
+            futures = [pool.submit(post, sql) for sql in COMPATIBLE]
+            responses = [f.result(30) for f in futures]
+        payloads = []
+        for status, payload in responses:
+            assert status == 200
+            assert payload["served_by"] == "batch"
+            payloads.append(payload)
+        # All three landed in one window: each saw the full batch.
+        assert {p["batch_queries"] for p in payloads} == {3}
+        assert all(p["batch_scans_saved"] >= 1 for p in payloads)
+        # Per-member results still correct.
+        _, single = server.post(
+            "/batch", {"queries": COMPATIBLE,
+                       "options": {"use_cache": False}})
+        for member, windowed in zip(single["results"], payloads):
+            assert windowed["rows"] == member["rows"]
+
+    def test_window_off_by_default(self, live_server):
+        server = live_server()
+        sql = server.create_tables()
+        _, payload = server.post("/query", {"sql": sql})
+        assert payload["served_by"] == "execute"
+
+    def test_single_request_window_still_answers(self, live_server):
+        server = live_server(batch_window_ms=50.0)
+        sql = server.create_tables()
+        status, payload = server.post("/query", {"sql": sql})
+        assert status == 200
+        assert payload["served_by"] == "batch"
+        assert payload["batch_queries"] == 1
+        assert sorted(payload["rows"]) == [[1], [2]]
