@@ -47,7 +47,12 @@ from repro.engine import (
     execute,
     profile,
 )
-from repro.errors import InvariantViolation, LintError, ReproError
+from repro.errors import (
+    CertificateViolation,
+    InvariantViolation,
+    LintError,
+    ReproError,
+)
 from repro.gmdj import GMDJ, md, optimize_plan
 from repro.lint import CostCertificate, LintReport, certify_plan, lint_plan
 from repro.obs import Explain, Tracer, check_trace, explain_analyze, tracing
@@ -68,6 +73,7 @@ __all__ = [
     "Exists",
     "Explain",
     "GMDJ",
+    "CertificateViolation",
     "InvariantViolation",
     "LintError",
     "LintReport",

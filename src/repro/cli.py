@@ -328,12 +328,27 @@ def build_lint_parser() -> argparse.ArgumentParser:
         "--no-advice", action="store_true",
         help="suppress advisory (Axxx) diagnostics",
     )
+    parser.add_argument(
+        "--capabilities", action="store_true",
+        help="also derive the capability certificate (nullability "
+             "lattice, aggregate classes, theta-block facts) per plan",
+    )
+    parser.add_argument(
+        "--concurrency", action="append", type=Path, default=[],
+        metavar="PATH",
+        help="run the source-level concurrency lint (RW-lock discipline, "
+             "ContextVar isolation, shared-mutable capture) over this "
+             "file or directory instead of a plan (repeatable)",
+    )
     return parser
 
 
 def _lint_one(db: Database, sql: str, strategy: str, advice: bool):
-    """Lint the plan ``strategy`` would run; returns (report, certificate)."""
-    from repro.lint import certify_plan, lint_plan
+    """Lint the plan ``strategy`` would run.
+
+    Returns ``(report, cost_certificate, capability_certificate)``.
+    """
+    from repro.lint import certify_capabilities, certify_plan, lint_plan
     from repro.unnesting import subquery_to_gmdj
 
     query = db.sql(sql)
@@ -343,7 +358,41 @@ def _lint_one(db: Database, sql: str, strategy: str, advice: bool):
         plan = subquery_to_gmdj(query, db.catalog, optimize=True)
     elif resolved in ("gmdj", "gmdj_coalesce", "gmdj_completion"):
         plan = subquery_to_gmdj(query, db.catalog)
-    return lint_plan(plan, db.catalog, advice=advice), certify_plan(plan)
+    return (lint_plan(plan, db.catalog, advice=advice),
+            certify_plan(plan), certify_capabilities(plan, db.catalog))
+
+
+def _lint_concurrency(paths, as_json: bool, out) -> int:
+    """Run the source-level concurrency lint over files/directories."""
+    from repro.lint import lint_concurrency_paths
+
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: {path} does not exist", file=sys.stderr)
+        return 2
+    report = lint_concurrency_paths(paths)
+    if as_json:
+        import json
+
+        print(json.dumps(report.to_json(), indent=2), file=out)
+    else:
+        print(report.render(), file=out)
+    return 0 if report.ok else 1
+
+
+def _corpus_capability(database: Database, sql: str):
+    """The capability certificate of a corpus case's optimized plan."""
+    from repro.errors import TranslationError
+    from repro.lint import certify_capabilities
+    from repro.unnesting import subquery_to_gmdj
+
+    query = database.sql(sql)
+    try:
+        plan = subquery_to_gmdj(query, database.catalog, optimize=True)
+    except TranslationError:
+        plan = query
+    return certify_capabilities(plan, database.catalog)
 
 
 def _lint_corpus(args, out) -> int:
@@ -368,23 +417,32 @@ def _lint_corpus(args, out) -> int:
                 name, list(table_spec.columns), table_spec.rows
             )
         findings = lint_findings(database, data["sql"])
+        capability = (
+            _corpus_capability(database, data["sql"])
+            if args.capabilities else None
+        )
         if findings:
             failures += 1
         if args.json:
-            results.append({
+            entry = {
                 "case": path.name,
                 "ok": not findings,
                 "diagnostics": [
                     dict(plan=label, **diagnostic.to_json())
                     for label, diagnostic in findings
                 ],
-            })
+            }
+            if capability is not None:
+                entry["capabilities"] = capability.to_json()
+            results.append(entry)
         elif findings:
             print(f"{path.name}: {len(findings)} error(s)", file=out)
             for label, diagnostic in findings:
                 print(f"  {label}: {diagnostic.render()}", file=out)
         else:
-            print(f"{path.name}: OK", file=out)
+            suffix = (f" — {capability.summary()}"
+                      if capability is not None else "")
+            print(f"{path.name}: OK{suffix}", file=out)
     if args.json:
         print(json.dumps({
             "ok": failures == 0,
@@ -399,9 +457,16 @@ def _lint_corpus(args, out) -> int:
 
 def lint_main(argv: list[str], out) -> int:
     args = build_lint_parser().parse_args(argv)
+    if args.concurrency:
+        if args.sql is not None or args.corpus is not None:
+            print("error: --concurrency lints source files; it does not "
+                  "combine with a SQL statement or --corpus",
+                  file=sys.stderr)
+            return 2
+        return _lint_concurrency(args.concurrency, args.json, out)
     if (args.sql is None) == (args.corpus is None):
-        print("error: provide either a SQL statement or --corpus DIR",
-              file=sys.stderr)
+        print("error: provide either a SQL statement, --corpus DIR, or "
+              "--concurrency PATH", file=sys.stderr)
         return 2
     try:
         if args.corpus is not None:
@@ -414,19 +479,24 @@ def lint_main(argv: list[str], out) -> int:
         status = _load_and_index(db, args)
         if status:
             return status
-        report, certificate = _lint_one(
+        report, certificate, capabilities = _lint_one(
             db, args.sql, args.strategy, advice=not args.no_advice
         )
         if args.json:
             import json
 
-            print(json.dumps({
+            payload = {
                 "lint": report.to_json(),
                 "certificate": certificate.to_json(),
-            }, indent=2), file=out)
+            }
+            if args.capabilities:
+                payload["capabilities"] = capabilities.to_json()
+            print(json.dumps(payload, indent=2), file=out)
         else:
             print(report.render(), file=out)
             print(certificate.summary(), file=out)
+            if args.capabilities:
+                print(capabilities.summary(), file=out)
         return 0 if report.ok else 1
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

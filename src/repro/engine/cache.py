@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from typing import Any, Hashable
 
 from repro.storage.relation import Relation
 
@@ -45,17 +46,17 @@ class _LRU:
 
     def __init__(self, capacity: int):
         self.capacity = capacity
-        self._entries: OrderedDict = OrderedDict()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
 
-    def get(self, key):
+    def get(self, key: Hashable) -> Any:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
             return entry
 
-    def put(self, key, value) -> None:
+    def put(self, key: Hashable, value: Any) -> None:
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -70,7 +71,7 @@ class _LRU:
         with self._lock:
             return len(self._entries)
 
-    def __contains__(self, key) -> bool:
+    def __contains__(self, key: Hashable) -> bool:
         with self._lock:
             return key in self._entries
 
@@ -91,7 +92,7 @@ class PlanCache:
     # -- keys ------------------------------------------------------------------
 
     @staticmethod
-    def plan_key(query) -> str:
+    def plan_key(query: Any) -> str:
         """The normalized rendering that identifies a logical plan."""
         from repro.algebra.printer import explain
 
@@ -99,7 +100,7 @@ class PlanCache:
 
     # -- translation cache -----------------------------------------------------
 
-    def translation(self, key):
+    def translation(self, key: Hashable) -> Any:
         """A cached translated plan, or None (counts hit/miss)."""
         plan = self._translations.get(key)
         if plan is None:
@@ -108,12 +109,12 @@ class PlanCache:
             self.translation_hits += 1
         return plan
 
-    def store_translation(self, key, plan) -> None:
+    def store_translation(self, key: Hashable, plan: Any) -> None:
         self._translations.put(key, plan)
 
     # -- result cache ----------------------------------------------------------
 
-    def result(self, key) -> Relation | None:
+    def result(self, key: Hashable) -> Relation | None:
         """A cached result relation (defensively copied), or None."""
         from repro.obs.metrics import get_registry
 
@@ -128,7 +129,7 @@ class PlanCache:
         # corrupt later hits.
         return cached.copy()
 
-    def store_result(self, key, relation: Relation) -> None:
+    def store_result(self, key: Hashable, relation: Relation) -> None:
         # Snapshot: the caller holds (and may mutate) the original.
         self._results.put(key, relation.copy())
 
@@ -140,7 +141,7 @@ class PlanCache:
         self._results.clear()
         self.invalidations += 1
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         return {
             "translations": len(self._translations),
             "results": len(self._results),

@@ -34,7 +34,9 @@ from repro.algebra.nested import (
 )
 from repro.algebra.operators import Operator, ScanTable
 from repro.engine.planner import contains_nested_select
+from repro.engine.statistics import TableStatistics
 from repro.storage.catalog import Catalog
+from repro.storage.schema import Schema
 
 #: Cost charged per tuple touched through an index probe chain, relative
 #: to a sequential scan touch.  Probes are cheaper per-tuple.
@@ -63,14 +65,14 @@ class CostEstimate:
 
     outer_rows: int
     leaves: list[LeafProfile] = field(default_factory=list)
-    costs: dict = field(default_factory=dict)
+    costs: dict[str, float] = field(default_factory=dict)
 
     def best(self) -> str:
         return min(self.costs, key=lambda name: self.costs[name])
 
 
 def _profile_leaf(leaf: SubqueryPredicate, catalog: Catalog,
-                  outer_schema) -> LeafProfile:
+                  outer_schema: Schema) -> LeafProfile:
     source = leaf.subquery.source
     table = source.table_name if isinstance(source, ScanTable) else None
     if table is not None and catalog.has_table(table):
@@ -109,7 +111,7 @@ def _profile_leaf(leaf: SubqueryPredicate, catalog: Catalog,
 
 
 def estimate_costs(query: Operator, catalog: Catalog,
-                   statistics: dict | None = None) -> CostEstimate:
+                   statistics: dict[str, TableStatistics] | None = None) -> CostEstimate:
     """Estimate tuple touches per strategy for a (possibly nested) query.
 
     Only the outermost NestedSelect is profiled — strategy choice is a

@@ -31,7 +31,7 @@ re-scanning).  All DDL entry points invalidate the cache.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.algebra.operators import Operator
 from repro.engine.cache import PlanCache
@@ -45,6 +45,12 @@ from repro.storage.catalog import Catalog
 from repro.storage.csvio import load_csv
 from repro.storage.relation import Relation
 from repro.storage.types import DataType
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from repro.engine.mqo import BatchResult
+    from repro.obs.explain import Explain
 
 
 class DatabaseClosedError(ReproError):
@@ -97,7 +103,7 @@ class Database:
         self._check_open()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def _check_open(self) -> None:
@@ -142,7 +148,7 @@ class Database:
         self.rollups.invalidate()
         return self.catalog.replace_table(name, relation)
 
-    def load_csv(self, name: str, path) -> Relation:
+    def load_csv(self, name: str, path: str | Path) -> Relation:
         """Create a table from a CSV written by ``repro.storage.save_csv``."""
         self._check_open()
         self.cache.invalidate()
@@ -238,7 +244,7 @@ class Database:
         self,
         queries: Sequence[Operator],
         options: QueryOptions | None = None,
-    ):
+    ) -> BatchResult:
         """Evaluate a batch of queries with cross-query scan sharing.
 
         Share-compatible members (same detail table, same base values —
@@ -277,7 +283,7 @@ class Database:
         self,
         query: Operator,
         options: QueryOptions | None = None,
-    ):
+    ) -> Explain:
         """The plan the given options would execute, as an
         :class:`~repro.obs.explain.Explain` report (a ``str`` subclass
         with ``.text()`` / ``.json()`` renderers)."""
@@ -293,7 +299,7 @@ class Database:
         options: QueryOptions | None = None,
         *,
         strict: bool = False,
-    ):
+    ) -> Explain:
         """EXPLAIN plus actual execution: plan text, the measured span
         tree with per-operator counter deltas, and the invariant
         checker's verdict — one :class:`~repro.obs.explain.Explain`
@@ -308,7 +314,7 @@ class Database:
         self,
         queries: Sequence[Operator],
         options: QueryOptions | None = None,
-    ):
+    ) -> Explain:
         """EXPLAIN for a batch: the share groups the MQO planner would
         form, each group's coalesced plan and certificate, and the
         singleton plans — without executing anything."""
@@ -340,7 +346,7 @@ class Database:
         self,
         texts: Sequence[str],
         options: QueryOptions | None = None,
-    ):
+    ) -> BatchResult:
         """Parse, bind, and evaluate a batch of SQL queries with
         cross-query scan sharing; see :meth:`execute_batch`."""
         options = self._require_options(options, "execute_sql_batch")

@@ -17,8 +17,10 @@ from repro.engine.cache import PlanCache
 from repro.engine.options import QueryOptions
 from repro.engine.planner import make_executor
 from repro.engine.reports import ExecutionReport
+from repro.engine.rollup import RollupStore
 from repro.obs.tracer import Tracer, tracing, tracing_enabled
 from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
 from repro.storage.iostats import collect
 
 
@@ -28,7 +30,7 @@ def run(
     options: QueryOptions | str | None = None,
     cache: PlanCache | None = None,
     profiled: bool = True,
-    rollups=None,
+    rollups: RollupStore | None = None,
 ) -> ExecutionReport:
     """Evaluate ``query`` under ``options``; the one execution path.
 
@@ -81,7 +83,7 @@ def run(
 
 
 def execute(query: Operator, catalog: Catalog,
-            options: QueryOptions | str = "auto"):
+            options: QueryOptions | str = "auto") -> Relation:
     """Evaluate ``query`` under ``options``; returns the result relation."""
     return run(query, catalog, options, profiled=False).result
 

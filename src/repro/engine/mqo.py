@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence, overload
 
 from repro.algebra.operators import Operator
 from repro.engine.options import QueryOptions
@@ -59,8 +59,13 @@ from repro.gmdj.share import (
 )
 from repro.lint.cost import CostCertificate, certify_batch, certify_plan
 from repro.obs.tracer import Tracer, span, tracing, tracing_enabled
+from repro.storage.catalog import Catalog
 from repro.storage.iostats import IOStats
 from repro.storage.relation import Relation
+
+if TYPE_CHECKING:
+    from repro.engine.cache import PlanCache
+    from repro.engine.database import Database
 
 __all__ = [
     "BatchItem",
@@ -106,6 +111,19 @@ def _share_strategy(query: Operator, options: QueryOptions) -> str | None:
     return None
 
 
+def _plan_decomposable(plan: Operator) -> bool:
+    """True when every GMDJ aggregate in the plan is decomposable."""
+    from repro.gmdj.operator import GMDJ
+    from repro.lint.absint import decomposable_aggregates
+
+    def visit(node: Operator) -> bool:
+        if isinstance(node, GMDJ) and not decomposable_aggregates(node):
+            return False
+        return all(visit(child) for child in node.children())
+
+    return visit(plan)
+
+
 # -- batch planning -----------------------------------------------------------
 
 
@@ -135,9 +153,9 @@ class BatchPlan:
 
 def plan_batch(
     queries: Sequence[Operator],
-    catalog,
+    catalog: Catalog,
     options: QueryOptions,
-    cache=None,
+    cache: PlanCache | None = None,
 ) -> BatchPlan:
     """Translate, fingerprint, and partition a batch into share groups.
 
@@ -157,7 +175,15 @@ def plan_batch(
             candidates.append(None)
             continue
         translate = _translator(query, catalog, strategy, canon, cache)
-        candidates.append(fingerprint_plan(translate()))
+        plan = translate()
+        if not _plan_decomposable(plan):
+            # Certificate gate: coalescing stacks every member's blocks
+            # onto one shared scan and merges per-member results, which
+            # is only sound for decomposable aggregates.  A holistic
+            # spec (DISTINCT) keeps its query a singleton.
+            candidates.append(None)
+            continue
+        candidates.append(fingerprint_plan(plan))
     by_fingerprint: dict = {}
     for index, candidate in zip(indices, candidates):
         if candidate is not None:
@@ -307,7 +333,13 @@ class BatchResult(Sequence):
     def __len__(self) -> int:
         return len(self.items)
 
-    def __getitem__(self, index) -> Relation:
+    @overload
+    def __getitem__(self, index: int) -> Relation: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> list[Relation]: ...
+
+    def __getitem__(self, index: int | slice) -> Relation | list[Relation]:
         if isinstance(index, slice):
             return [item.result for item in self.items[index]]
         return self.items[index].result
@@ -346,7 +378,9 @@ def _scan_countable(canon: QueryOptions) -> bool:
     )
 
 
-def _run_traced_group(runner, group: PlannedGroup):
+def _run_traced_group(
+    runner: Callable[[Operator], Relation], group: PlannedGroup
+) -> tuple[Relation, int]:
     """Run one shared GMDJ under a tracer; returns (result, scan count).
 
     With an ambient tracer (the serve tier, EXPLAIN ANALYZE) the group
@@ -374,7 +408,7 @@ def _run_traced_group(runner, group: PlannedGroup):
 
 
 def execute_batch(
-    db,
+    db: Database,
     queries: Sequence[Operator],
     options: QueryOptions | None = None,
 ) -> BatchResult:

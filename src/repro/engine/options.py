@@ -127,7 +127,7 @@ class QueryOptions:
     rollup: str | None = None
     mqo: str | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
             raise PlanError(
                 f"unknown strategy {self.strategy!r}; "

@@ -29,7 +29,11 @@ skip re-translation of plans the database has seen before.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.engine.rollup import RollupStore
+    from repro.gmdj.operator import GMDJ
 
 from repro.algebra.nested import NestedSelect
 from repro.algebra.operators import Operator
@@ -93,7 +97,7 @@ def contains_nested_select(operator: Operator) -> bool:
     """True when the tree holds at least one NestedSelect node."""
     found = False
 
-    def visit(node):
+    def visit(node: Operator) -> Operator:
         nonlocal found
         if isinstance(node, NestedSelect):
             found = True
@@ -109,7 +113,7 @@ def make_executor(
     catalog: Catalog,
     options: QueryOptions | str = "auto",
     cache: PlanCache | None = None,
-    rollups=None,
+    rollups: RollupStore | None = None,
 ) -> Callable[[], Relation]:
     """Return a zero-argument callable that evaluates ``query``.
 
@@ -145,7 +149,13 @@ def make_executor(
     return traced
 
 
-def _translator(query, catalog, strategy, options, cache):
+def _translator(
+    query: Operator,
+    catalog: Catalog,
+    strategy: str,
+    options: QueryOptions,
+    cache: PlanCache | None,
+) -> Callable[[], Operator]:
     """A callable producing the translated GMDJ plan, cache-aware.
 
     With ``options.lint`` active the translated plan passes through the
@@ -156,7 +166,7 @@ def _translator(query, catalog, strategy, options, cache):
     flags = _TRANSLATION_FLAGS[strategy]
     lint = options.lint if options.lint in ("warn", "strict") else None
 
-    def verified(plan):
+    def verified(plan: Operator) -> Operator:
         if lint is not None:
             _lint_gate(plan, catalog, lint)
         return plan
@@ -166,7 +176,7 @@ def _translator(query, catalog, strategy, options, cache):
 
     key = (strategy, PlanCache.plan_key(query))
 
-    def translate():
+    def translate() -> Operator:
         plan = cache.translation(key)
         if plan is None:
             plan = subquery_to_gmdj(query, catalog, **flags)
@@ -176,7 +186,9 @@ def _translator(query, catalog, strategy, options, cache):
     return translate
 
 
-def _rollup_node_runners(catalog, options):
+def _rollup_node_runners(
+    catalog: Catalog, options: QueryOptions
+) -> tuple[Callable[[GMDJ], Relation], Callable[..., Relation] | None]:
     """Per-GMDJ-node kernel runners for the rollup walker's miss path.
 
     Replicates the four-way mode dispatch of :func:`_gmdj_runner` at node
@@ -246,7 +258,38 @@ def _rollup_node_runners(catalog, options):
     return (lambda gmdj: gmdj.evaluate(catalog), None)
 
 
-def _gmdj_runner(query, catalog, strategy, options, cache, rollups=None):
+def _certified_runner(
+    translate: Callable[[], Operator],
+    catalog: Catalog,
+    run: Callable[[Operator], Relation],
+) -> Callable[[], Relation]:
+    """Translate, certify, and execute under the certificate's scope.
+
+    Every GMDJ-strategy runner goes through here: the translated plan's
+    :class:`~repro.lint.absint.CapabilityCertificate` is derived once
+    and installed as the ambient certificate for the evaluation, so
+    downstream certificate-gated optimizations (the vectorized kernel's
+    mask skip, in particular) can consult it without new plumbing
+    through every evaluation signature.
+    """
+    from repro.lint.absint import capability_scope, certify_capabilities
+
+    def runner() -> Relation:
+        plan = translate()
+        with capability_scope(certify_capabilities(plan, catalog)):
+            return run(plan)
+
+    return runner
+
+
+def _gmdj_runner(
+    query: Operator,
+    catalog: Catalog,
+    strategy: str,
+    options: QueryOptions,
+    cache: PlanCache | None,
+    rollups: RollupStore | None = None,
+) -> Callable[[], Relation]:
     """Build the runner for a GMDJ strategy under the requested mode."""
     translate = _translator(query, catalog, strategy, options, cache)
     if rollups is not None and options.rollup in ("exact", "subsume"):
@@ -254,22 +297,25 @@ def _gmdj_runner(query, catalog, strategy, options, cache, rollups=None):
 
         node_runner, select_runner = _rollup_node_runners(catalog, options)
         subsume = options.rollup == "subsume"
-        return lambda: evaluate_plan_rollup(
-            translate(), catalog, rollups, subsume,
-            node_runner, select_runner,
-        )
+        return _certified_runner(translate, catalog, lambda plan:
+            evaluate_plan_rollup(
+                plan, catalog, rollups, subsume,
+                node_runner, select_runner,
+            ))
     if options.mode == "chunked":
         from repro.gmdj.modes import DEFAULT_MEMORY_TUPLES, evaluate_plan_chunked
 
         budget = options.chunk_budget or DEFAULT_MEMORY_TUPLES
-        return lambda: evaluate_plan_chunked(translate(), catalog, budget)
+        return _certified_runner(translate, catalog, lambda plan:
+            evaluate_plan_chunked(plan, catalog, budget))
     if options.mode == "partitioned":
         from repro.gmdj.modes import DEFAULT_PARTITIONS, evaluate_plan_partitioned
 
         partitions = options.partitions or DEFAULT_PARTITIONS
-        return lambda: evaluate_plan_partitioned(
-            translate(), catalog, partitions, workers=options.workers,
-        )
+        return _certified_runner(translate, catalog, lambda plan:
+            evaluate_plan_partitioned(
+                plan, catalog, partitions, workers=options.workers,
+            ))
     if options.mode == "gmdj_vectorized":
         # The vectorized kernel composes with the fragmentation regimes:
         # a chunk_budget selects base-chunked scans on batch kernels,
@@ -284,25 +330,27 @@ def _gmdj_runner(query, catalog, strategy, options, cache, rollups=None):
         )
 
         if options.chunk_budget is not None:
-            return lambda: evaluate_plan_chunked(
-                translate(), catalog, options.chunk_budget,
-                vectorized=True, chunk_size=options.chunk_size,
-            )
+            return _certified_runner(translate, catalog, lambda plan:
+                evaluate_plan_chunked(
+                    plan, catalog, options.chunk_budget,
+                    vectorized=True, chunk_size=options.chunk_size,
+                ))
         if options.partitions is not None or options.workers is not None:
             partitions = options.partitions or DEFAULT_PARTITIONS
-            return lambda: evaluate_plan_partitioned(
-                translate(), catalog, partitions, workers=options.workers,
-                vectorized=True, chunk_size=options.chunk_size,
-            )
-        return lambda: evaluate_plan_vectorized(
-            translate(), catalog, options.chunk_size,
-        )
-    return lambda: translate().evaluate(catalog)
+            return _certified_runner(translate, catalog, lambda plan:
+                evaluate_plan_partitioned(
+                    plan, catalog, partitions, workers=options.workers,
+                    vectorized=True, chunk_size=options.chunk_size,
+                ))
+        return _certified_runner(translate, catalog, lambda plan:
+            evaluate_plan_vectorized(plan, catalog, options.chunk_size))
+    return _certified_runner(translate, catalog,
+                             lambda plan: plan.evaluate(catalog))
 
 
 def _resolve_executor(
     query: Operator, catalog: Catalog, options: QueryOptions,
-    cache: PlanCache | None, rollups=None,
+    cache: PlanCache | None, rollups: RollupStore | None = None,
 ) -> tuple[str, str | None, Callable[[], Relation]]:
     """Resolve ``auto``/``cost_based`` and build the raw runner."""
     strategy = options.strategy

@@ -49,6 +49,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro.algebra.analysis import refers_only_to
 from repro.algebra.expressions import Expression, conjuncts_of
@@ -56,7 +57,7 @@ from repro.algebra.operators import Operator, Select, TableValue
 from repro.algebra.rewrite import map_children
 from repro.errors import ReproError
 from repro.gmdj.evaluate import SelectGMDJ
-from repro.gmdj.operator import GMDJ
+from repro.gmdj.operator import GMDJ, ThetaBlock
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import span
 from repro.storage.catalog import Catalog
@@ -72,12 +73,14 @@ def _plan_text(node: Operator) -> str:
     return explain(node)
 
 
-def _block_aggs(block) -> tuple[str, ...]:
+def _block_aggs(block: ThetaBlock) -> tuple[str, ...]:
     """The aggregate list of one θ-block, as comparable reprs."""
     return tuple(repr(spec) for spec in block.aggregates)
 
 
-def _signature(base_text: str, detail_text: str, blocks) -> tuple:
+def _signature(
+    base_text: str, detail_text: str, blocks: Sequence[ThetaBlock]
+) -> tuple:
     """The exact-match key of a GMDJ node."""
     return (
         base_text,
@@ -86,7 +89,7 @@ def _signature(base_text: str, detail_text: str, blocks) -> tuple:
     )
 
 
-def _empty_values(block) -> tuple:
+def _empty_values(block: ThetaBlock) -> tuple:
     """Per-aggregate empty-input results (count family 0, rest NULL)."""
     return tuple(
         0 if spec.function == "count" else None for spec in block.aggregates
@@ -239,6 +242,18 @@ class RollupStore:
             )
             if extras is None:
                 return None
+            # Certificate gate: serving refines the stored result by
+            # re-filtering base rows on the residual, which is only
+            # sound when each residual conjunct has a known predicate
+            # class (equality / inequality / range / null-test /
+            # constant).  An opaque conjunct carries no monotonicity
+            # fact the subsumption argument can lean on, so it misses.
+            from repro.lint.absint import classify_conjunct
+
+            for extra in extras:
+                klass, _ = classify_conjunct(extra)
+                if klass == "opaque":
+                    return None
             residuals.append(extras)
         # Empty residuals and no base filter can still land here when the
         # query θ is a conjunct *reordering* of the stored θ (And is
@@ -359,8 +374,8 @@ def evaluate_plan_rollup(
     catalog: Catalog,
     store: RollupStore,
     subsume: bool,
-    run_gmdj_node,
-    run_select_node=None,
+    run_gmdj_node: Callable[[GMDJ], Relation],
+    run_select_node: Callable[[SelectGMDJ], Relation] | None = None,
 ) -> Relation:
     """Evaluate ``plan``, answering GMDJ nodes from ``store`` when possible.
 

@@ -41,7 +41,7 @@ class TableStatistics:
     """Statistics for one table."""
 
     row_count: int = 0
-    columns: dict = field(default_factory=dict)
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
 
     def matches_per_key(self, column: str) -> float:
         """Expected rows per distinct value of ``column``."""
@@ -79,7 +79,7 @@ def analyze_table(relation: Relation) -> TableStatistics:
     return table_stats
 
 
-def analyze_catalog(catalog: Catalog) -> dict:
+def analyze_catalog(catalog: Catalog) -> dict[str, TableStatistics]:
     """Profile every table of a catalog: ``{table_name: TableStatistics}``."""
     return {
         name: analyze_table(catalog.table(name))

@@ -79,7 +79,8 @@ class Divergence:
     """One engine disagreeing with the oracle (or blowing up)."""
 
     engine: str
-    kind: str  # "mismatch" | "error"
+    kind: str  # "mismatch" | "error" | "lint-error"
+    #          | "rollup-divergence" | "certificate-violation"
     detail: str
     expected: list | None = None
     actual: list | None = None
@@ -187,6 +188,65 @@ def lint_findings(database: Database, repro_sql: str) -> list[tuple[str, object]
     return findings
 
 
+def capability_violations(database: Database, repro_sql: str) -> list[str]:
+    """Cross-check capability certificates against actual evaluation.
+
+    Both GMDJ translations of the query are certified
+    (:func:`repro.lint.absint.certify_capabilities`) and evaluated —
+    once on the row kernel and once on the vectorized kernel, the
+    latter under the certificate's ambient scope so the mask-skip path
+    runs with the certificate it trusts — and the observed rows are
+    checked against the certified per-column nullability.  Returns
+    human-readable violation strings; the certificate's soundness
+    contract is that this list is empty for every oracle-accepted
+    query, so the fuzzer reports each entry as a divergence of the
+    pseudo-engine ``"capability"``.
+    """
+    from repro.errors import CertificateViolation
+    from repro.lint.absint import capability_scope, certify_capabilities
+    from repro.obs.invariants import check_capabilities
+
+    try:
+        query = database.sql(repro_sql)
+    except ReproError:
+        return []
+    problems: list[str] = []
+    builders = (
+        ("gmdj", lambda: subquery_to_gmdj(query, database.catalog)),
+        ("gmdj_optimized",
+         lambda: subquery_to_gmdj(query, database.catalog, optimize=True)),
+    )
+    for label, build in builders:
+        try:
+            plan = build()
+        except TranslationError:
+            continue
+        certificate = certify_capabilities(plan, database.catalog)
+        runs = (
+            (label, lambda: plan.evaluate(database.catalog)),
+            (f"{label}/vectorized",
+             lambda: evaluate_plan_vectorized(
+                 plan, database.catalog, FUZZ_CHUNK_SIZE)),
+        )
+        for run_label, run in runs:
+            try:
+                with capability_scope(certificate):
+                    rows = run().rows
+            except CertificateViolation as error:
+                problems.append(f"{run_label}: {error}")
+                continue
+            except Exception:
+                # Engine failures are the engine loop's findings, not
+                # certificate unsoundness.
+                continue
+            report = check_capabilities(rows, certificate)
+            problems.extend(
+                f"{run_label}: {violation}"
+                for violation in report.violations
+            )
+    return problems
+
+
 def _rollup_warm_divergence(
     database: Database, repro_sql: str, expected: Counter,
 ) -> Divergence | None:
@@ -266,6 +326,17 @@ def run_differential(
         outcome.divergences.append(Divergence(
             engine="lint", kind="lint-error",
             detail=f"linter crashed: {type(error).__name__}: {error}",
+        ))
+    try:
+        for problem in capability_violations(database, repro_sql):
+            outcome.divergences.append(Divergence(
+                engine="capability", kind="certificate-violation",
+                detail=problem,
+            ))
+    except Exception as error:  # nor must the certifier
+        outcome.divergences.append(Divergence(
+            engine="capability", kind="certificate-violation",
+            detail=f"certifier crashed: {type(error).__name__}: {error}",
         ))
     for engine in engines:
         try:

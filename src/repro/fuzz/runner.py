@@ -99,6 +99,7 @@ class FuzzReport:
     iterations_run: int = 0
     engines_run: int = 0
     skips: int = 0
+    certificate_violations: int = 0
     counterexamples: list[Counterexample] = field(default_factory=list)
     elapsed_seconds: float = 0.0
 
@@ -112,6 +113,7 @@ class FuzzReport:
         return (
             f"fuzz: {self.iterations_run} iteration(s), "
             f"{self.engines_run} engine run(s), {self.skips} skip(s), "
+            f"{self.certificate_violations} certificate violation(s), "
             f"{self.elapsed_seconds:.1f}s — {status}"
         )
 
@@ -163,6 +165,13 @@ def run_fuzz(config: FuzzConfig, log=None) -> FuzzReport:
         if outcome.ok:
             continue
         registry.counter("fuzz.divergences").inc(len(outcome.divergences))
+        certified = sum(
+            1 for d in outcome.divergences
+            if d.kind == "certificate-violation"
+        )
+        if certified:
+            report.certificate_violations += certified
+            registry.counter("fuzz.certificate_violations").inc(certified)
         if log:
             log(f"iteration {iteration}: "
                 f"{len(outcome.divergences)} divergence(s), shrinking...")

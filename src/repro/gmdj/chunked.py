@@ -29,6 +29,7 @@ from repro.obs.tracer import span
 from repro.storage.catalog import Catalog
 from repro.storage.iostats import IOStats
 from repro.storage.relation import Relation
+from repro.storage.schema import Schema
 
 
 def evaluate_gmdj_chunked(
@@ -50,7 +51,8 @@ def evaluate_gmdj_chunked(
     if vectorized:
         from repro.gmdj.vectorized import run_gmdj_vectorized
 
-        def run(fragment, detail, plan, schema):
+        def run(fragment: Relation, detail: Relation, plan: GMDJ,
+                schema: Schema) -> Relation:
             return run_gmdj_vectorized(fragment, detail, plan, schema,
                                        chunk_size=chunk_size)
     else:

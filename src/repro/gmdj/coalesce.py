@@ -113,7 +113,7 @@ def pull_up_base_selection(gmdj: GMDJ) -> Select | None:
     return Select(lifted, base.predicate)
 
 
-def coalesce_plan(plan):
+def coalesce_plan(plan: Operator) -> Operator:
     """Exhaustively merge stacked GMDJs in a plan, pulling selections up
     when doing so enables a merge.  Returns the rewritten plan."""
     from repro.algebra.rewrite import transform_bottom_up
@@ -121,7 +121,7 @@ def coalesce_plan(plan):
 
     merges = pull_ups = collapses = 0
 
-    def step(node):
+    def step(node: Operator) -> Operator:
         nonlocal merges, pull_ups, collapses
         if isinstance(node, GMDJ):
             merged = merge_stacked(node)

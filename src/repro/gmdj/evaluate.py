@@ -24,13 +24,14 @@ trusted to reject afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.algebra.aggregates import AggregateBlock
 from repro.algebra.analysis import factor_condition
 from repro.algebra.expressions import Expression
 from repro.algebra.operators import Operator
 from repro.gmdj.completion import CompletionRule
-from repro.gmdj.operator import GMDJ
+from repro.gmdj.operator import GMDJ, ThetaBlock
 from repro.obs.tracer import span
 from repro.storage.catalog import Catalog
 from repro.storage.iostats import IOStats
@@ -51,13 +52,13 @@ class invariant_sharing:
         self.enabled = enabled
         self._previous = True
 
-    def __enter__(self):
+    def __enter__(self) -> "invariant_sharing":
         global _INVARIANT_SHARING
         self._previous = _INVARIANT_SHARING
         _INVARIANT_SHARING = self.enabled
         return self
 
-    def __exit__(self, *exc_info):
+    def __exit__(self, *exc_info: object) -> None:
         global _INVARIANT_SHARING
         _INVARIANT_SHARING = self._previous
 
@@ -77,8 +78,9 @@ class _BlockRuntime:
     __slots__ = ("index", "aggregates", "residual_eval", "right_key_evals",
                  "buckets", "uses_hash", "invariant", "shared_state")
 
-    def __init__(self, index, block, base, detail_schema, combined_schema,
-                 allow_invariant):
+    def __init__(self, index: int, block: ThetaBlock, base: Relation,
+                 detail_schema: Schema, combined_schema: Schema,
+                 allow_invariant: bool):
         from repro.algebra.analysis import refers_only_to
 
         self.index = index
@@ -116,19 +118,19 @@ class _BlockRuntime:
 
 
 def _scan_detail(
-    detail_rows,
+    detail_rows: Iterable[tuple],
     runtimes: list[_BlockRuntime],
-    base_rows,
-    state,
+    base_rows: Sequence[tuple],
+    state: list[list[Any]],
     status: bytearray,
     stats: IOStats,
     must_be_zero: frozenset,
     pair_equal: tuple,
     can_doom: bool,
     can_assure: bool,
-    remaining_needs,
-    active_list,
-):
+    remaining_needs: list[dict[int, int]] | None,
+    active_list: list[int] | None,
+) -> list[int] | None:
     """The single pass over the detail rows (the hot loop).
 
     Returns the (possibly compacted) active list so a chunked caller —
@@ -207,11 +209,11 @@ def _scan_detail(
 
 
 def _emit_rows(
-    base_rows,
+    base_rows: Sequence[tuple],
     status: bytearray,
-    state,
+    state: list[list[Any]],
     shared_values: dict,
-    selection_eval,
+    selection_eval: Callable | None,
     output_schema: Schema,
     stats: IOStats,
 ) -> Relation:
@@ -341,7 +343,7 @@ class SelectGMDJ(Operator):
     selection: Expression
     rule: CompletionRule | None = None
 
-    def children(self):
+    def children(self) -> tuple[Operator, ...]:
         return (self.gmdj,)
 
     def schema(self, catalog: Catalog) -> Schema:

@@ -18,6 +18,7 @@ bag-equivalent to plain evaluation for any budget / partition count.
 from __future__ import annotations
 
 import dataclasses
+from typing import Callable
 
 from repro.algebra.operators import Operator, TableValue
 from repro.algebra.rewrite import map_children
@@ -125,8 +126,10 @@ def evaluate_plan_partitioned(
         )
 
 
-def _evaluate(node: Operator, catalog: Catalog, run_gmdj_node,
-              run_select_node=None) -> Relation:
+def _evaluate(node: Operator, catalog: Catalog,
+              run_gmdj_node: Callable[[GMDJ], Relation],
+              run_select_node: Callable[[SelectGMDJ], Relation] | None = None,
+              ) -> Relation:
     """Bottom-up evaluation routing GMDJ nodes through ``run_gmdj_node``.
 
     Children are materialized first and re-wrapped as :class:`TableValue`

@@ -26,7 +26,8 @@ from repro.algebra.expressions import Expression
 from repro.algebra.operators import Operator
 from repro.errors import SchemaError
 from repro.storage.catalog import Catalog
-from repro.storage.schema import Schema
+from repro.storage.relation import Relation
+from repro.storage.schema import Field, Schema
 
 
 @dataclass
@@ -36,7 +37,7 @@ class ThetaBlock:
     aggregates: list[AggregateSpec]
     condition: Expression
 
-    def output_fields(self, detail_schema: Schema):
+    def output_fields(self, detail_schema: Schema) -> list[Field]:
         return [spec.output_field(detail_schema) for spec in self.aggregates]
 
 
@@ -48,7 +49,7 @@ class GMDJ(Operator):
     detail: Operator
     blocks: list[ThetaBlock]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         names = [
             spec.output_name for block in self.blocks for spec in block.aggregates
         ]
@@ -59,7 +60,7 @@ class GMDJ(Operator):
         if not self.blocks:
             raise SchemaError("a GMDJ needs at least one (l, theta) block")
 
-    def children(self):
+    def children(self) -> tuple[Operator, ...]:
         return (self.base, self.detail)
 
     def output_names(self) -> list[str]:
@@ -76,7 +77,7 @@ class GMDJ(Operator):
             extra.extend(block.output_fields(detail_schema))
         return base_schema.extend(extra)
 
-    def evaluate(self, catalog: Catalog):
+    def evaluate(self, catalog: Catalog) -> Relation:
         from repro.gmdj.evaluate import evaluate_gmdj
 
         return evaluate_gmdj(self, catalog)

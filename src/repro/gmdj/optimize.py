@@ -18,15 +18,18 @@ measure their contributions separately.
 
 from __future__ import annotations
 
-from repro.algebra.operators import Project, ProjectItem, Select
+from typing import Sequence
+
+from repro.algebra.operators import Operator, Project, ProjectItem, Select
 from repro.algebra.rewrite import transform_bottom_up
 from repro.gmdj.coalesce import coalesce_plan
 from repro.gmdj.completion import derive_completion_rule
 from repro.gmdj.evaluate import SelectGMDJ
 from repro.gmdj.operator import GMDJ
+from repro.storage.catalog import Catalog
 
 
-def _items_reference_aggregates(items, gmdj: GMDJ) -> bool:
+def _items_reference_aggregates(items: Sequence, gmdj: GMDJ) -> bool:
     """True when any projection item reads a GMDJ aggregate output."""
     output_names = set(gmdj.output_names())
     for item in items:
@@ -37,7 +40,7 @@ def _items_reference_aggregates(items, gmdj: GMDJ) -> bool:
     return False
 
 
-def fuse_completion(plan):
+def fuse_completion(plan: Operator) -> Operator:
     """Fuse σ-over-GMDJ patterns into completion-aware SelectGMDJ nodes.
 
     Matching is top-down so that ``Project(Select(GMDJ))`` is recognized as
@@ -50,7 +53,7 @@ def fuse_completion(plan):
 
     fusions = 0
 
-    def walk(node):
+    def walk(node: Operator) -> Operator:
         nonlocal fusions
         if (
             isinstance(node, Project)
@@ -89,9 +92,10 @@ def fuse_completion(plan):
         return fused_plan
 
 
-def optimize_plan(plan, coalesce: bool = True, completion: bool = True,
-                  fold_constants: bool = True, push_selections: bool = True,
-                  catalog=None):
+def optimize_plan(plan: Operator, coalesce: bool = True,
+                  completion: bool = True, fold_constants: bool = True,
+                  push_selections: bool = True,
+                  catalog: Catalog | None = None) -> Operator:
     """Apply the Section 4 optimizations to a translated GMDJ plan.
 
     Constant folding runs first so the pattern matchers (and the
@@ -116,7 +120,7 @@ def optimize_plan(plan, coalesce: bool = True, completion: bool = True,
         return plan
 
 
-def push_base_selections(plan, catalog):
+def push_base_selections(plan: Operator, catalog: Catalog) -> Operator:
     """Commute base-only selection conjuncts below GMDJs.
 
     The paper notes the GMDJ "can commute with projections, selections,
@@ -135,7 +139,7 @@ def push_base_selections(plan, catalog):
     from repro.algebra.expressions import conjoin, conjuncts_of
     from repro.algebra.rewrite import transform_bottom_up
 
-    def step(node):
+    def step(node: Operator) -> Operator:
         if not (isinstance(node, Select) and isinstance(node.child, GMDJ)):
             return node
         gmdj = node.child

@@ -34,6 +34,8 @@ planner keeps completion on single-node plans.
 
 from __future__ import annotations
 
+from typing import Any, Callable
+
 from repro.algebra.aggregates import AggregateSpec
 from repro.errors import ConfigurationError
 from repro.gmdj.evaluate import run_gmdj
@@ -42,6 +44,7 @@ from repro.obs.tracer import span
 from repro.storage.catalog import Catalog
 from repro.storage.iostats import IOStats
 from repro.storage.relation import Relation
+from repro.storage.schema import Schema
 
 
 def partition_rows(relation: Relation, partitions: int) -> list[Relation]:
@@ -61,7 +64,7 @@ def partition_rows(relation: Relation, partitions: int) -> list[Relation]:
     return fragments
 
 
-def _merge_add(left, right):
+def _merge_add(left: Any, right: Any) -> Any:
     """Counts and sums: NULL means "no contribution"."""
     if left is None:
         return right
@@ -70,7 +73,7 @@ def _merge_add(left, right):
     return left + right
 
 
-def _merge_min(left, right):
+def _merge_min(left: Any, right: Any) -> Any:
     if left is None:
         return right
     if right is None:
@@ -78,7 +81,7 @@ def _merge_min(left, right):
     return left if left <= right else right
 
 
-def _merge_max(left, right):
+def _merge_max(left: Any, right: Any) -> Any:
     if left is None:
         return right
     if right is None:
@@ -90,7 +93,9 @@ _MERGERS = {"count": _merge_add, "sum": _merge_add,
             "min": _merge_min, "max": _merge_max}
 
 
-def _shadow_plan(gmdj: GMDJ):
+def _shadow_plan(
+    gmdj: GMDJ,
+) -> tuple[GMDJ, list[str], list[tuple]]:
     """Rewrite AVG specs to SUM+COUNT so every output column merges.
 
     Returns ``(shadow_gmdj, merge_kinds, reconstruct)`` where
@@ -157,13 +162,15 @@ def evaluate_gmdj_partitioned(
                relation=getattr(detail, "name", None) or "<derived>")
         IOStats.ambient().record_scan(len(base))
         output_schema = gmdj.schema(catalog)
-        has_distinct = any(
-            spec.distinct
-            for block in gmdj.blocks for spec in block.aggregates
-        )
-        if partitions == 1 or len(detail) == 0 or has_distinct:
-            # DISTINCT aggregates finalize to unmergeable values; evaluate
-            # them in one scan (a distributed engine would ship value sets).
+        # Certificate gate: partition-and-merge is sound only for
+        # decomposable (distributive/algebraic) aggregates.  Holistic
+        # ones — today exactly the DISTINCT specs — finalize to
+        # unmergeable values; evaluate them in one scan (a distributed
+        # engine would ship value sets).
+        from repro.lint.absint import decomposable_aggregates
+
+        if (partitions == 1 or len(detail) == 0
+                or not decomposable_aggregates(gmdj)):
             sp.set(partitions=1, workers=1)
             result = run(base, detail, gmdj, output_schema)
             sp.set(output_rows=len(result))
@@ -176,13 +183,16 @@ def evaluate_gmdj_partitioned(
         return result
 
 
-def _fragment_runner(vectorized: bool, chunk_size: int | None):
+def _fragment_runner(
+    vectorized: bool, chunk_size: int | None
+) -> Callable[[Relation, Relation, GMDJ, Schema], Relation]:
     """The per-fragment kernel: row interpreter or columnar batches."""
     if not vectorized:
         return run_gmdj
     from repro.gmdj.vectorized import run_gmdj_vectorized
 
-    def run(base, fragment, plan, schema):
+    def run(base: Relation, fragment: Relation, plan: GMDJ,
+            schema: Schema) -> Relation:
         return run_gmdj_vectorized(base, fragment, plan, schema,
                                    chunk_size=chunk_size)
     return run
@@ -193,7 +203,7 @@ def _evaluate_partitions(
     base: Relation,
     detail: Relation,
     partitions: int,
-    output_schema,
+    output_schema: Schema,
     catalog: Catalog,
     workers: int = 1,
     executor: str | None = None,
@@ -247,9 +257,9 @@ def _merge_partials(
 def _finalize(
     merged: list[list],
     reconstruct: list[tuple],
-    shadow_schema,
+    shadow_schema: Schema,
     base_arity: int,
-    output_schema,
+    output_schema: Schema,
 ) -> Relation:
     """Map merged shadow columns back to the requested output columns."""
     shadow_index = {

@@ -54,12 +54,16 @@ import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from contextvars import ContextVar
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.obs.tracer import Tracer, attach_subtrace, span, tracing, tracing_enabled
 from repro.storage.iostats import IOStats, collect
 from repro.storage.relation import Relation
 from repro.storage.schema import Schema
+
+if TYPE_CHECKING:
+    from repro.gmdj.operator import GMDJ
 
 #: Below this many detail rows ``auto`` prefers threads: forking and
 #: pickling would cost more than the scan itself.
@@ -93,7 +97,8 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
-def choose_executor(kind: str | None, detail_rows: int, task_sample) -> str:
+def choose_executor(kind: str | None, detail_rows: int,
+                    task_sample: object) -> str:
     """Resolve ``auto`` to a concrete executor kind for this input.
 
     ``task_sample`` is any object that must survive pickling for the
@@ -150,7 +155,8 @@ def run_partition(task: PartitionTask) -> PartitionResult:
     if task.vectorized:
         from repro.gmdj.vectorized import run_gmdj_vectorized
 
-        def run(base, fragment, shadow, shadow_schema):
+        def run(base: Relation, fragment: Relation, shadow: GMDJ,
+                shadow_schema: Schema) -> Relation:
             return run_gmdj_vectorized(base, fragment, shadow, shadow_schema,
                                        chunk_size=task.chunk_size)
     else:
@@ -264,11 +270,11 @@ class pooling:
         self._token = _registry_var.set(self.registry)
         return self.registry
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         _registry_var.reset(self._token)
 
 
-def _make_pool(kind: str, workers: int):
+def _make_pool(kind: str, workers: int) -> Executor:
     if kind == "process":
         import multiprocessing
 
@@ -287,7 +293,7 @@ def _make_pool(kind: str, workers: int):
 def map_partitions(
     base: Relation,
     fragments: list[Relation],
-    shadow,
+    shadow: GMDJ,
     shadow_schema: Schema,
     workers: int,
     executor: str | None = None,

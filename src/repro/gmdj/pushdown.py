@@ -19,6 +19,8 @@ would need for a non-neighboring predicate of that depth.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.algebra.expressions import Column, Comparison, Expression, conjoin
 from repro.algebra.operators import Join
 from repro.gmdj.operator import GMDJ, ThetaBlock
@@ -81,7 +83,8 @@ def _fresh_qualifier(base_schema: Schema, catalog: Catalog, gmdj: GMDJ) -> str:
         counter += 1
 
 
-def _requalify_free(blocks, base_schema: Schema, qualifier: str) -> Expression:
+def _requalify_free(blocks: Sequence[ThetaBlock], base_schema: Schema,
+                    qualifier: str) -> Expression:
     """The join condition of Theorem 3.3 is the disjunction-free part of θ
     restricted to what can be checked at join time; we simply join on the
     conjunction of all block conditions re-pointed at the embedded copy.

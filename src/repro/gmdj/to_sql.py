@@ -41,7 +41,7 @@ from repro.algebra.expressions import (
     TruthLiteral,
     disjoin,
 )
-from repro.algebra.operators import Project, ScanTable, Select
+from repro.algebra.operators import Operator, Project, ScanTable, Select
 from repro.algebra.truth import Truth
 from repro.errors import TranslationError
 from repro.gmdj.operator import GMDJ
@@ -101,7 +101,7 @@ def _aggregate_to_sql(spec: AggregateSpec, condition: Expression) -> str:
             f"AS {spec.output_name}")
 
 
-def _source_to_sql(operator, catalog: Catalog) -> str:
+def _source_to_sql(operator: Operator, catalog: Catalog) -> str:
     if isinstance(operator, ScanTable):
         alias = operator.alias or operator.table_name
         return f"{operator.table_name} AS {alias}"
@@ -168,7 +168,7 @@ def gmdj_to_sql(gmdj: GMDJ, catalog: Catalog) -> str:
     return "\n".join(lines)
 
 
-def plan_to_sql(plan, catalog: Catalog) -> str:
+def plan_to_sql(plan: Operator, catalog: Catalog) -> str:
     """Emit SQL for a translated subquery plan.
 
     Supports the shapes Algorithm SubqueryToGMDJ produces: an optional

@@ -31,6 +31,8 @@ path is counter-identical to the row kernel by construction.
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 from repro.algebra.aggregates import AggregateBlock, CountStar
 from repro.algebra.analysis import factor_condition
 from repro.algebra.compile import (
@@ -46,10 +48,11 @@ from repro.gmdj.completion import CompletionRule
 from repro.gmdj.evaluate import (
     _ACTIVE,
     _BlockRuntime,
+    SelectGMDJ,
     _emit_rows,
     _scan_detail,
 )
-from repro.gmdj.operator import GMDJ
+from repro.gmdj.operator import GMDJ, ThetaBlock
 from repro.obs.tracer import span
 from repro.storage.catalog import Catalog
 from repro.storage.columnar import ColumnarRelation
@@ -79,8 +82,8 @@ class _VectorBlock:
     __slots__ = ("runtime", "key_batch", "filter_pair", "filter_detail",
                  "value_fns")
 
-    def __init__(self, runtime: _BlockRuntime, block, base: Relation,
-                 detail_schema: Schema) -> None:
+    def __init__(self, runtime: _BlockRuntime, block: ThetaBlock,
+                 base: Relation, detail_schema: Schema) -> None:
         self.runtime = runtime
         factored = factor_condition(block.condition, base.schema,
                                     detail_schema)
@@ -104,7 +107,9 @@ class _VectorBlock:
         ]
 
 
-def _bulk_update(state_list, value_fns, cols, indices, stats: IOStats):
+def _bulk_update(state_list: Sequence[Any], value_fns: Sequence,
+                 cols: Sequence, indices: Sequence[int],
+                 stats: IOStats) -> None:
     """Fused accumulator update for every survivor of one chunk.
 
     Mirrors :meth:`AggregateBlock.update` applied once per index — same
@@ -128,10 +133,38 @@ def _bulk_update(state_list, value_fns, cols, indices, stats: IOStats):
                 add(value)
 
 
+def _never_null_positions(detail: Relation) -> frozenset[int]:
+    """Detail column positions the ambient capability certificate proves
+    NULL-free, keyed by the stored relation's name.
+
+    Conservative by construction: no ambient certificate (pool workers —
+    ContextVars do not cross executor threads), a derived detail (no
+    name), or a name the certificate does not mention all yield the
+    empty set, and the encoder keeps its validity masks.
+    """
+    # Imported here: repro.lint pulls in the algebra package, which pulls
+    # in repro.gmdj — a module-level import would close the cycle.
+    from repro.lint.absint import current_capabilities
+
+    certificate = current_capabilities()
+    name = getattr(detail, "name", None)
+    if certificate is None or name is None:
+        return frozenset()
+    never = certificate.detail_never_null().get(name)
+    if not never:
+        return frozenset()
+    return frozenset(
+        position for position, field in enumerate(detail.schema.fields)
+        if field.name in never
+    )
+
+
 def _scan_batched(detail: Relation, vblocks: list[_VectorBlock],
-                  base_rows, state, stats: IOStats, chunk_size: int) -> None:
+                  base_rows: Sequence[tuple], state: list[list[Any]],
+                  stats: IOStats, chunk_size: int,
+                  never_null: frozenset[int] = frozenset()) -> None:
     """The completion-free batch scan: every base tuple stays active."""
-    columnar = ColumnarRelation.from_relation(detail)
+    columnar = ColumnarRelation.from_relation(detail, never_null=never_null)
     cols = columnar.value_columns()
     total = len(detail)
     n_base = len(base_rows)
@@ -254,10 +287,11 @@ def run_gmdj_vectorized(
     total = len(detail)
     chunks = -(-total // chunk_size) if total else 0
 
+    never_null = _never_null_positions(detail) if rule is None else frozenset()
     with span("scan", kind="detail_scan",
               relation=getattr(detail, "name", None) or "<derived>",
               rows=total, chunks=chunks, chunk_size=chunk_size,
-              vectorized=True):
+              vectorized=True, mask_skipped=len(never_null)):
         stats.record_scan(total)
         if rule is None:
             vblocks = [
@@ -265,7 +299,7 @@ def run_gmdj_vectorized(
                 for runtime, block in zip(runtimes, gmdj.blocks)
             ]
             _scan_batched(detail, vblocks, base_rows, state, stats,
-                          chunk_size)
+                          chunk_size, never_null)
         else:
             _recompile_runtimes(runtimes, gmdj, base, detail_schema,
                                 combined_schema)
@@ -330,7 +364,7 @@ def evaluate_gmdj_vectorized(
 
 
 def evaluate_select_gmdj_vectorized(
-    node, catalog: Catalog, chunk_size: int | None = None,
+    node: SelectGMDJ, catalog: Catalog, chunk_size: int | None = None,
 ) -> Relation:
     """Batch-run a fused ``σ[C](MD(...))`` (a :class:`SelectGMDJ` node)."""
     rule = node.rule

@@ -21,6 +21,26 @@ True
 from __future__ import annotations
 
 from repro.algebra.operators import Operator
+from repro.lint.absint import (
+    AggregateCapability,
+    CapabilityCertificate,
+    ColumnCapability,
+    GMDJCapabilityEntry,
+    Nullability,
+    ThetaFact,
+    capability_scope,
+    certify_capabilities,
+    classify_aggregate,
+    classify_condition,
+    classify_conjunct,
+    current_capabilities,
+    decomposable_aggregates,
+    expression_nullability,
+)
+from repro.lint.concurrency import (
+    lint_concurrency_paths,
+    lint_concurrency_source,
+)
 from repro.lint.cost import CostCertificate, GMDJCostEntry, certify_batch, certify_plan
 from repro.lint.diagnostics import (
     DIAGNOSTIC_CODES,
@@ -28,6 +48,7 @@ from repro.lint.diagnostics import (
     LintWarning,
     PlanDiagnostic,
     Severity,
+    plan_codes,
     severity_of,
 )
 from repro.lint.infer import PlanTyper
@@ -49,16 +70,33 @@ def lint_plan(
 
 
 __all__ = [
+    "AggregateCapability",
+    "CapabilityCertificate",
+    "ColumnCapability",
     "CostCertificate",
     "DIAGNOSTIC_CODES",
+    "GMDJCapabilityEntry",
     "GMDJCostEntry",
     "LintReport",
     "LintWarning",
+    "Nullability",
     "PlanDiagnostic",
     "PlanTyper",
     "Severity",
+    "ThetaFact",
+    "capability_scope",
     "certify_batch",
+    "certify_capabilities",
     "certify_plan",
+    "classify_aggregate",
+    "classify_condition",
+    "classify_conjunct",
+    "current_capabilities",
+    "decomposable_aggregates",
+    "expression_nullability",
+    "lint_concurrency_paths",
+    "lint_concurrency_source",
     "lint_plan",
+    "plan_codes",
     "severity_of",
 ]

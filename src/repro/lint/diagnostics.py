@@ -40,8 +40,11 @@ class Severity(enum.IntEnum):
 
 #: Every rule the linter can emit, keyed by its stable code.  Codes are
 #: grouped by severity band: ``Lxxx`` errors, ``Wxxx`` warnings, ``Axxx``
-#: advisories.  Tests assert each code has at least one triggering
-#: fixture, so additions here must come with a fixture.
+#: advisories, ``Cxxx`` concurrency errors (source-level, emitted by
+#: :mod:`repro.lint.concurrency` rather than :func:`lint_plan`).  Tests
+#: assert each code has at least one triggering fixture — a plan fixture
+#: for plan codes, a source fixture for ``Cxxx`` — so additions here
+#: must come with a fixture.
 DIAGNOSTIC_CODES: dict[str, str] = {
     "L001": "unknown attribute reference",
     "L002": "ambiguous attribute reference",
@@ -59,13 +62,24 @@ DIAGNOSTIC_CODES: dict[str, str] = {
     "A202": "join over a GMDJ base could push down (Thm 3.4)",
     "A203": "theta block has no equality conjunct (hash grouping unavailable)",
     "A204": "quantifier emulated via MIN/MAX extremum (footnote 2 hazard)",
+    "C301": "state mutation under a reader lock",
+    "C302": "DDL path reached without the writer lock",
+    "C303": "pool submission without ContextVar isolation",
+    "C304": "shared mutable captured into a pool submission",
 }
 
 _SEVERITY_BY_PREFIX = {
     "L": Severity.ERROR,
     "W": Severity.WARNING,
     "A": Severity.ADVICE,
+    "C": Severity.ERROR,
 }
+
+
+def plan_codes() -> set[str]:
+    """Codes :func:`repro.lint.lint_plan` can emit (everything but the
+    source-level concurrency band)."""
+    return {code for code in DIAGNOSTIC_CODES if not code.startswith("C")}
 
 
 def severity_of(code: str) -> Severity:

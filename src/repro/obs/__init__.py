@@ -29,7 +29,11 @@ from repro.obs.explain import (
     explain_batch,
     explain_report,
 )
-from repro.obs.invariants import InvariantReport, check_trace
+from repro.obs.invariants import (
+    InvariantReport,
+    check_capabilities,
+    check_trace,
+)
 from repro.obs.metrics import (
     Counter,
     Histogram,
@@ -55,6 +59,7 @@ __all__ = [
     "Span",
     "Trace",
     "Tracer",
+    "check_capabilities",
     "check_trace",
     "explain_analyze",
     "explain_analyze_json",

@@ -158,6 +158,21 @@ def rollup_summary(trace) -> str | None:
             f" — {tier}")
 
 
+def _static_plan(db, query, options):
+    """The plan the given options would statically verify/execute."""
+    options = _coerce(options)
+    resolved = options.canonical().strategy
+    if resolved in ("auto", "gmdj_optimized"):
+        from repro.unnesting.translate import subquery_to_gmdj
+
+        return subquery_to_gmdj(query, db.catalog, optimize=True)
+    if resolved in ("gmdj", "gmdj_coalesce", "gmdj_completion"):
+        from repro.unnesting.translate import subquery_to_gmdj
+
+        return subquery_to_gmdj(query, db.catalog)
+    return query
+
+
 def static_report(db, query, options="auto"):
     """Lint + cost-certify the plan the given options would execute.
 
@@ -168,18 +183,22 @@ def static_report(db, query, options="auto"):
     """
     from repro.lint import certify_plan, lint_plan
 
-    options = _coerce(options)
-    resolved = options.canonical().strategy
-    plan = query
-    if resolved in ("auto", "gmdj_optimized"):
-        from repro.unnesting.translate import subquery_to_gmdj
-
-        plan = subquery_to_gmdj(query, db.catalog, optimize=True)
-    elif resolved in ("gmdj", "gmdj_coalesce", "gmdj_completion"):
-        from repro.unnesting.translate import subquery_to_gmdj
-
-        plan = subquery_to_gmdj(query, db.catalog)
+    plan = _static_plan(db, query, options)
     return lint_plan(plan, db.catalog), certify_plan(plan)
+
+
+def capability_report(db, query, options="auto"):
+    """The capability certificate of the plan the options would execute.
+
+    The abstract-interpretation companion of :func:`static_report`: the
+    per-output-column nullability lattice, per-aggregate Gray et al.
+    classification, and θ-block predicate facts of the same plan
+    (:func:`repro.lint.absint.certify_capabilities`).
+    """
+    from repro.lint import certify_capabilities
+
+    plan = _static_plan(db, query, options)
+    return certify_capabilities(plan, db.catalog)
 
 
 def _certifiable(canonical) -> bool:
@@ -239,6 +258,38 @@ def analyze(db, query, options="auto", strict: bool = False):
     return report, invariants, expectations
 
 
+def _capability_check(result, capabilities) -> dict | None:
+    """Observed-vs-certified nullability per output column, or None.
+
+    ``None`` when the certificate carries no columns or its arity does
+    not match the result (e.g. the plan resolved to a shape the
+    interpreter could not fully type) — there is nothing meaningful to
+    compare then.
+    """
+    from repro.lint.absint import stored_nullability
+    from repro.obs.invariants import check_capabilities
+
+    columns = capabilities.columns
+    if not columns or len(result.schema.fields) != len(columns):
+        return None
+    observed = stored_nullability(result.rows, len(columns))
+    checked = check_capabilities(result.rows, capabilities)
+    return {
+        "ok": checked.ok,
+        "violations": list(checked.violations),
+        "columns": [
+            {
+                "name": column.name,
+                "certified": column.nullability.value,
+                "observed": verdict.value,
+                "ok": not any(column.name in violation
+                              for violation in checked.violations),
+            }
+            for column, verdict in zip(columns, observed)
+        ],
+    }
+
+
 #: Inside :func:`explain_report` the ``analyze`` keyword shadows the
 #: function, so the call goes through this alias.
 analyze_query = analyze
@@ -278,6 +329,7 @@ def explain_report(db, query, options="auto", *, analyze: bool = False,
     options = _coerce(options)
     plan_text = _plan_text(db, query, options)
     lint, certificate = static_report(db, query, options)
+    capabilities = capability_report(db, query, options)
     canonical = options.canonical()
     payload: dict = {
         "strategy": options.strategy,
@@ -286,6 +338,7 @@ def explain_report(db, query, options="auto", *, analyze: bool = False,
         "plan": plan_text,
         "lint": lint.to_json(),
         "certificate": certificate.to_json(),
+        "capabilities": capabilities.to_json(),
     }
     if not analyze:
         return Explain(plan_text, payload)
@@ -325,6 +378,17 @@ def explain_report(db, query, options="auto", *, analyze: bool = False,
     lines.append(f"-- lint: {lint.summary()}")
     lines.extend(f"--   {d.render()}" for d in lint.sorted())
     lines.append(f"-- {certificate.summary()}")
+    lines.append(f"-- {capabilities.summary()}")
+    capability_check = _capability_check(report.result, capabilities)
+    if capability_check is not None:
+        for column in capability_check["columns"]:
+            verdict = "ok" if column["ok"] else "VIOLATED"
+            lines.append(
+                f"--   nullability {column['name']}: "
+                f"certified={column['certified']} "
+                f"observed={column['observed']} — {verdict}"
+            )
+        payload["capability_check"] = capability_check
     lines.append(f"-- {invariants.summary()}")
     payload.update({
         "executed": executed,
@@ -425,6 +489,7 @@ __all__ = [
     "Explain",
     "InvariantReport",
     "analyze",
+    "capability_report",
     "derive_single_scan_tables",
     "executed_summary",
     "explain_analyze",

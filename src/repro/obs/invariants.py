@@ -28,9 +28,13 @@ warnings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.errors import InvariantViolation
+from repro.errors import CertificateViolation, InvariantViolation
 from repro.obs.tracer import Span, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.absint import CapabilityCertificate
 
 #: Span kinds that own the detail scans performed beneath them.
 _OWNER_KINDS = frozenset({"gmdj", "gmdj_chunked", "gmdj_partitioned"})
@@ -229,5 +233,55 @@ def check_trace(
             "trace violates paper invariants:\n" + "\n".join(
                 f"  - {violation}" for violation in report.violations
             )
+        )
+    return report
+
+
+def check_capabilities(
+    rows: Iterable[Sequence[object]],
+    certificate: "CapabilityCertificate",
+    strict: bool = False,
+) -> InvariantReport:
+    """Cross-check a capability certificate against observed result rows.
+
+    The runtime counterpart of
+    :func:`repro.lint.absint.certify_capabilities`: the lattice claims
+    are sound over-approximations, so observing a NULL in a NEVER-null
+    column — or a non-NULL in an ALWAYS-null column — is a hard
+    analysis bug.  ``MAYBE`` columns make no checkable claim.  With
+    ``strict`` the first violation raises
+    :class:`~repro.errors.CertificateViolation`; otherwise violations
+    collect on the report like the cost checks above.
+    """
+    from repro.lint.absint import ALWAYS, NEVER
+
+    report = InvariantReport()
+    checkable = [
+        (position, column)
+        for position, column in enumerate(certificate.columns)
+        if column.nullability in (NEVER, ALWAYS)
+    ]
+    report.checked += len(checkable)
+    if not checkable:
+        return report
+    for row in rows:
+        for position, column in checkable:
+            value = row[position]
+            if column.nullability is NEVER and value is None:
+                report.violations.append(
+                    f"nullability: column {column.name!r} certified "
+                    f"NEVER-null, observed NULL"
+                )
+            elif column.nullability is ALWAYS and value is not None:
+                report.violations.append(
+                    f"nullability: column {column.name!r} certified "
+                    f"ALWAYS-null, observed {value!r}"
+                )
+        if report.violations:
+            break
+    if strict and report.violations:
+        raise CertificateViolation(
+            "observed rows violate the capability certificate:\n"
+            + "\n".join(f"  - {v}" for v in report.violations)
         )
     return report

@@ -17,6 +17,15 @@ NULLs are carried out-of-band in a per-column validity ``bytearray``
 conversion is lossless in both directions: ``to_relation`` reproduces the
 original rows exactly, duplicates and NULLs included, in the same order.
 
+Columns a capability certificate proves NEVER-null
+(:func:`repro.lint.absint.certify_capabilities`) skip the validity mask
+entirely — :meth:`ColumnarRelation.from_relation` takes the set of such
+column positions and encodes them with ``valid=None`` ("all present"),
+eliding both the mask allocation and the per-element mask stores.  The
+certificate is trusted but verified: a ``None`` encountered while
+encoding a NEVER-null column raises
+:class:`~repro.errors.CertificateViolation` on the spot.
+
 The batch GMDJ kernels (:mod:`repro.gmdj.vectorized`) do not read the
 typed arrays element-wise in their hot loops — they ask for
 :meth:`ColumnarRelation.values`, a decoded plain list with ``None`` for
@@ -27,8 +36,9 @@ access a single list index while the relation itself stays compact.
 from __future__ import annotations
 
 from array import array
-from typing import Any, Sequence
+from typing import Any, Collection, Sequence
 
+from repro.errors import CertificateViolation
 from repro.storage.relation import Relation
 from repro.storage.schema import Schema
 from repro.storage.types import DataType
@@ -42,11 +52,16 @@ _BOOLS = (False, True)
 
 
 class ColumnData:
-    """One attribute's values: typed storage plus a validity mask."""
+    """One attribute's values: typed storage plus a validity mask.
+
+    ``valid=None`` means "every value present" — the encoding used for
+    columns certified NEVER-null, where the mask would be all ones and
+    is not worth materializing.
+    """
 
     __slots__ = ("kind", "data", "valid", "dictionary")
 
-    def __init__(self, kind: str, data: Any, valid: bytearray,
+    def __init__(self, kind: str, data: Any, valid: bytearray | None,
                  dictionary: list | None = None) -> None:
         self.kind = kind  # "int" | "float" | "bool" | "dict" | "object"
         self.data = data
@@ -54,21 +69,34 @@ class ColumnData:
         self.dictionary = dictionary
 
     def __len__(self) -> int:
-        return len(self.valid)
+        return len(self.data)
+
+    @property
+    def mask_free(self) -> bool:
+        """True when this column was encoded without a validity mask."""
+        return self.valid is None
 
     def null_count(self) -> int:
+        if self.valid is None:
+            return 0
         return len(self.valid) - sum(self.valid)
 
     def decode(self) -> list:
         """The column as a plain list with ``None`` for NULL."""
         if self.kind == "dict":
             dictionary = self.dictionary or []
+            if self.valid is None:
+                return [dictionary[code] for code in self.data]
             return [dictionary[code] if ok else None
                     for code, ok in zip(self.data, self.valid)]
         if self.kind == "bool":
+            if self.valid is None:
+                return [_BOOLS[value] for value in self.data]
             return [_BOOLS[value] if ok else None
                     for value, ok in zip(self.data, self.valid)]
         if self.kind == "object":
+            return list(self.data)
+        if self.valid is None:
             return list(self.data)
         return [value if ok else None
                 for value, ok in zip(self.data, self.valid)]
@@ -141,6 +169,62 @@ def _encode_column(values: list, dtype: DataType) -> ColumnData:
     return _object_column(values)
 
 
+def _encode_never_null(
+    values: list, dtype: DataType, column: str
+) -> ColumnData:
+    """Encode a column certified NEVER-null, skipping the validity mask.
+
+    Type checking stays (declared dtypes are not guarantees on
+    intermediates — see :func:`_encode_column`), but the mask is never
+    allocated and no per-element validity store happens.  Observing a
+    ``None`` here means the static analysis was wrong, which is a hard
+    :class:`~repro.errors.CertificateViolation`, not a fallback case.
+    """
+    n = len(values)
+    for value in values:
+        if value is None:
+            raise CertificateViolation(
+                f"column {column!r} certified NEVER-null holds a NULL; "
+                f"the capability certificate is unsound"
+            )
+    if dtype is DataType.INTEGER:
+        data = array("q", bytes(8 * n))
+        for position, value in enumerate(values):
+            if (type(value) is not int
+                    or value < _INT64_MIN or value > _INT64_MAX):
+                return _object_column(values)
+            data[position] = value
+        return ColumnData("int", data, None)
+    if dtype is DataType.FLOAT:
+        data = array("d", bytes(8 * n))
+        for position, value in enumerate(values):
+            if type(value) is not float:
+                return _object_column(values)
+            data[position] = value
+        return ColumnData("float", data, None)
+    if dtype is DataType.BOOLEAN:
+        flags = bytearray(n)
+        for position, value in enumerate(values):
+            if type(value) is not bool:
+                return _object_column(values)
+            flags[position] = 1 if value else 0
+        return ColumnData("bool", flags, None)
+    if dtype is DataType.STRING:
+        codes = array("i", bytes(4 * n))
+        dictionary: list = []
+        seen: dict[str, int] = {}
+        for position, value in enumerate(values):
+            if type(value) is not str:
+                return _object_column(values)
+            code = seen.get(value)
+            if code is None:
+                code = seen[value] = len(dictionary)
+                dictionary.append(value)
+            codes[position] = code
+        return ColumnData("dict", codes, None, dictionary)
+    return _object_column(values)
+
+
 class ColumnarRelation:
     """A relation transposed into typed columns (see module docstring)."""
 
@@ -158,8 +242,16 @@ class ColumnarRelation:
         return self.length
 
     @classmethod
-    def from_relation(cls, relation: Relation) -> "ColumnarRelation":
-        """Transpose a row-major relation into columnar form."""
+    def from_relation(
+        cls, relation: Relation,
+        never_null: Collection[int] = frozenset(),
+    ) -> "ColumnarRelation":
+        """Transpose a row-major relation into columnar form.
+
+        ``never_null`` lists column positions a capability certificate
+        proves NULL-free; those columns encode mask-free (see
+        :func:`_encode_never_null`).
+        """
         schema = relation.schema
         rows = relation.rows
         n = len(rows)
@@ -168,11 +260,18 @@ class ColumnarRelation:
         else:
             raw_columns = [[] for _ in schema.fields]
         columns = [
-            _encode_column(list(raw), field.dtype)
-            for raw, field in zip(raw_columns, schema.fields)
+            _encode_never_null(list(raw), field.dtype, field.full_name)
+            if position in never_null
+            else _encode_column(list(raw), field.dtype)
+            for position, (raw, field) in enumerate(
+                zip(raw_columns, schema.fields))
         ]
         return cls(schema, columns, n,
                    name=getattr(relation, "name", None))
+
+    def mask_free_columns(self) -> int:
+        """How many columns were encoded without a validity mask."""
+        return sum(1 for column in self.columns if column.mask_free)
 
     def to_relation(self) -> Relation:
         """Transpose back; reproduces the source rows exactly, in order."""

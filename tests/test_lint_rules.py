@@ -38,6 +38,7 @@ from repro.lint import (
     PlanDiagnostic,
     Severity,
     lint_plan,
+    plan_codes,
     severity_of,
 )
 from repro.storage import DataType
@@ -169,19 +170,23 @@ def fixture_plans(kv_catalog, string_catalog):
 
 
 class TestEachCodeHasAFixture:
-    @pytest.mark.parametrize("code", sorted(DIAGNOSTIC_CODES))
+    @pytest.mark.parametrize("code", sorted(plan_codes()))
     def test_fixture_triggers_code(self, code, fixture_plans):
         catalog, plan = fixture_plans[code]
         report = lint_plan(plan, catalog)
         assert code in report.codes(), report.render()
 
     def test_registry_completeness(self, fixture_plans):
-        """The fixtures jointly exercise the entire registry."""
-        assert set(fixture_plans) == set(DIAGNOSTIC_CODES)
+        """The fixtures jointly exercise the whole plan-level registry.
+
+        Source-level ``Cxxx`` codes get the same treatment with source
+        fixtures in ``tests/test_concurrency_lint.py``.
+        """
+        assert set(fixture_plans) == plan_codes()
         triggered = set()
         for catalog, plan in fixture_plans.values():
             triggered |= lint_plan(plan, catalog).codes()
-        assert triggered == set(DIAGNOSTIC_CODES)
+        assert triggered == plan_codes()
 
     def test_l007_fixture_fires_nothing_else(self, fixture_plans):
         catalog, plan = fixture_plans["L007"]
