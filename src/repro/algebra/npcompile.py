@@ -1,0 +1,408 @@
+"""Whole-array expression evaluation for the numpy GMDJ backend.
+
+The batch compiler (:mod:`repro.algebra.compile`) removes per-node
+closure dispatch but still executes one generated Python frame *per
+row*.  This module removes the per-row frame as well: an expression is
+evaluated over an entire column set with one numpy operation per AST
+node, amortizing interpreter overhead across the whole detail relation.
+
+Value model
+-----------
+Scalars travel as :class:`NpValue` — ``(values, null, kind)``:
+
+* ``values`` is an ndarray over the rows in scope, or a plain Python
+  scalar (literals, base-row values in pair residuals); numpy
+  broadcasting unifies the two.
+* ``null`` is the SQL NULL mask: a bool ndarray, or the Python bool
+  ``False``/``True`` kept *symbolic* so certified NEVER-null columns
+  (``mask is None`` in columnar storage) never materialize or combine
+  masks at all.
+* ``kind`` is ``"num"`` (ints/floats/bools), ``"str"``
+  (dictionary-encoded codes plus the decoded dictionary), or ``"null"``
+  (the typeless NULL literal).
+
+Predicates travel as :class:`NpTruth` ``(true, false)`` mask pairs —
+UNKNOWN is ``~(true | false)`` — giving Kleene AND/OR/NOT as two
+boolean array ops each.
+
+Exactness
+---------
+The numpy backend must return *bit-identical* rows to the python
+kernels, so every operation that could silently diverge from Python
+semantics raises :class:`NpUnsupported` instead, and the caller falls
+back to the python kernel for that operator:
+
+* object-encoded columns (mixed types, >64-bit ints) have no array form;
+* int64 arithmetic that could overflow (Python ints are unbounded), and
+  int↔float comparisons/divisions beyond 2**53 (numpy promotes int64 to
+  float64; Python compares exactly);
+* string ordering across two dictionary columns is supported via a
+  shared rank table; anything else stringly-mixed falls back (including
+  the string-vs-number comparisons the interpreter rejects with
+  :class:`~repro.errors.ExpressionError` — the fallback re-raises them
+  with identical messages).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable
+
+from repro.algebra.expressions import (
+    And,
+    Arithmetic,
+    Coalesce,
+    Column,
+    Comparison,
+    Expression,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    TruthLiteral,
+)
+from repro.algebra.truth import Truth
+from repro.storage.npcolumns import NpColumn, numpy as _np
+
+#: Magnitudes beyond which int64 arithmetic may overflow (Python ints
+#: are arbitrary precision) or float64 conversion loses integer
+#: exactness.  Conservative bounds; violations are rare in OLAP data
+#: and simply route the operator to the python kernel.
+_INT_SAFE = 2 ** 62
+_FLOAT_EXACT = 2 ** 53
+
+
+class NpUnsupported(Exception):
+    """This expression (or this data) has no exact whole-array form."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class NpValue:
+    """A scalar expression over N rows: values + NULL mask + kind."""
+
+    __slots__ = ("values", "null", "kind", "dictionary")
+
+    def __init__(self, values: Any, null: Any, kind: str,
+                 dictionary: list | None = None) -> None:
+        self.values = values
+        self.null = null
+        self.kind = kind  # "num" | "str" | "null"
+        self.dictionary = dictionary
+
+
+class NpTruth:
+    """A predicate over N rows as (TRUE mask, FALSE mask)."""
+
+    __slots__ = ("true", "false")
+
+    def __init__(self, true: Any, false: Any) -> None:
+        self.true = true
+        self.false = false
+
+
+#: Symbolic boolean algebra over ``bool | ndarray`` — Python bools stay
+#: symbolic so mask-free (NEVER-null) columns never touch an array mask.
+def _and(a: Any, b: Any) -> Any:
+    if a is False or b is False:
+        return False
+    if a is True:
+        return b
+    if b is True:
+        return a
+    return a & b
+
+
+def _or(a: Any, b: Any) -> Any:
+    if a is True or b is True:
+        return True
+    if a is False:
+        return b
+    if b is False:
+        return a
+    return a | b
+
+
+def _not(a: Any) -> Any:
+    if a is True:
+        return False
+    if a is False:
+        return True
+    return ~a
+
+
+def mask_of(flag: Any, n: int) -> Any:
+    """Materialize a symbolic bool as an ndarray mask of length ``n``."""
+    if flag is True:
+        return _np.ones(n, dtype=bool)
+    if flag is False:
+        return _np.zeros(n, dtype=bool)
+    return flag
+
+
+_COLUMN_KINDS = {"int": "num", "float": "num", "bool": "num"}
+
+
+def value_of_column(column: NpColumn) -> NpValue:
+    """Wrap an ndarray column view as an :class:`NpValue`."""
+    null = False if column.mask is None else ~column.mask
+    if column.kind == "dict":
+        return NpValue(column.values, null, "str",
+                       dictionary=column.dictionary or [])
+    return NpValue(column.values, null, _COLUMN_KINDS[column.kind])
+
+
+def value_of_scalar(value: Any) -> NpValue:
+    """Wrap a Python scalar (literal or base-row value)."""
+    if value is None:
+        return NpValue(None, True, "null")
+    if isinstance(value, str):
+        return NpValue(value, False, "str")
+    if isinstance(value, bool) or type(value) is float:
+        return NpValue(value, False, "num")
+    if type(value) is int:
+        if not -_INT_SAFE < value < _INT_SAFE:
+            raise NpUnsupported("integer literal beyond int64 range")
+        return NpValue(value, False, "num")
+    raise NpUnsupported(f"unsupported scalar type {type(value).__name__}")
+
+
+Resolver = Callable[[str], NpValue]
+
+
+def _is_array(value: Any) -> bool:
+    return isinstance(value, _np.ndarray)
+
+
+def _is_floatish(value: NpValue) -> bool:
+    if _is_array(value.values):
+        return value.values.dtype.kind == "f"
+    return type(value.values) is float
+
+
+def _is_intish(value: NpValue) -> bool:
+    if _is_array(value.values):
+        return value.values.dtype.kind in "iub"
+    return isinstance(value.values, (bool, int))
+
+
+def _max_abs(value: NpValue) -> float:
+    """Magnitude bound of a numeric operand (0 for empty arrays)."""
+    v = value.values
+    if _is_array(v):
+        if not len(v):
+            return 0.0
+        if v.dtype.kind == "b":
+            return 1.0
+        return float(max(-int(v.min()), int(v.max()))) \
+            if v.dtype.kind in "iu" else float(_np.abs(v).max())
+    return float(abs(v))
+
+
+def _guard_float_exact(left: NpValue, right: NpValue, what: str) -> None:
+    """Mixed int/float numpy ops promote int64→float64; Python does not
+    lose integer exactness.  Beyond 2**53 the results can differ, so the
+    operator falls back."""
+    if (_is_floatish(left) or _is_floatish(right)):
+        for side in (left, right):
+            if _is_intish(side) and not isinstance(side.values, bool) \
+                    and _max_abs(side) >= _FLOAT_EXACT:
+                raise NpUnsupported(
+                    f"int/float {what} beyond exact float range")
+
+
+_NP_COMPARE = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _string_compare(op: str, left: NpValue, right: NpValue) -> Any:
+    """Raw comparison result for two string-kind operands.
+
+    Dictionary codes compare through small per-dictionary tables: a
+    code→bool lookup against a scalar, or a code→rank table shared by
+    both dictionaries (string order is preserved by ranks in the merged
+    sorted dictionary), so the row-wise work stays whole-array.
+    """
+    cmp = _NP_COMPARE[op]
+    left_arr, right_arr = _is_array(left.values), _is_array(right.values)
+    if not left_arr and not right_arr:
+        return cmp(left.values, right.values)
+    if left_arr and not right_arr:
+        table = _np.fromiter(
+            (cmp(word, right.values) for word in left.dictionary or []),
+            dtype=bool, count=len(left.dictionary or []))
+        return table[left.values] if len(table) else \
+            _np.zeros(len(left.values), dtype=bool)
+    if right_arr and not left_arr:
+        table = _np.fromiter(
+            (cmp(left.values, word) for word in right.dictionary or []),
+            dtype=bool, count=len(right.dictionary or []))
+        return table[right.values] if len(table) else \
+            _np.zeros(len(right.values), dtype=bool)
+    # dict column vs dict column: compare merged-dictionary ranks.
+    merged = sorted(set(left.dictionary or []) | set(right.dictionary or []))
+    rank = {word: position for position, word in enumerate(merged)}
+    left_ranks = _np.fromiter((rank[w] for w in left.dictionary or []),
+                              dtype=_np.int64,
+                              count=len(left.dictionary or []))
+    right_ranks = _np.fromiter((rank[w] for w in right.dictionary or []),
+                               dtype=_np.int64,
+                               count=len(right.dictionary or []))
+    left_vals = left_ranks[left.values] if len(left_ranks) else \
+        _np.zeros(len(left.values), dtype=_np.int64)
+    right_vals = right_ranks[right.values] if len(right_ranks) else \
+        _np.zeros(len(right.values), dtype=_np.int64)
+    return cmp(left_vals, right_vals)
+
+
+def _comparison(op: str, left: NpValue, right: NpValue) -> NpTruth:
+    if left.kind == "null" or right.kind == "null":
+        return NpTruth(False, False)  # everything UNKNOWN
+    null = _or(left.null, right.null)
+    if left.kind != right.kind:
+        # The interpreter raises ExpressionError for non-null string vs
+        # non-string pairs; the python fallback reproduces that exactly.
+        raise NpUnsupported("string vs non-string comparison")
+    if left.kind == "str":
+        raw = _string_compare(op, left, right)
+    else:
+        _guard_float_exact(left, right, "comparison")
+        raw = _NP_COMPARE[op](left.values, right.values)
+        if raw is NotImplemented:  # pragma: no cover - defensive
+            raise NpUnsupported("incomparable operands")
+    not_null = _not(null)
+    return NpTruth(_and(raw, not_null), _and(_not(raw), not_null))
+
+
+def _arithmetic(op: str, left: NpValue, right: NpValue) -> NpValue:
+    if left.kind == "null" or right.kind == "null":
+        return NpValue(None, True, "null")
+    if left.kind != "num" or right.kind != "num":
+        raise NpUnsupported("non-numeric arithmetic")
+    null = _or(left.null, right.null)
+    a, b = left.values, right.values
+    if op == "/":
+        # True division; a zero divisor yields NULL (OLAP-total ratios).
+        _guard_float_exact(left, right, "division")
+        if _is_intish(left) and _is_intish(right):
+            for side in (left, right):
+                if _max_abs(side) >= _FLOAT_EXACT:
+                    raise NpUnsupported(
+                        "integer division beyond exact float range")
+        zero = b == 0
+        with _np.errstate(divide="ignore", invalid="ignore"):
+            values = _np.true_divide(a, b)
+        return NpValue(values, _or(null, zero if _np.any(zero) else False),
+                       "num")
+    both_int = _is_intish(left) and _is_intish(right)
+    bound_left, bound_right = _max_abs(left), _max_abs(right)
+    if both_int:
+        # Python ints never overflow; int64 silently wraps.  Bound the
+        # result magnitude or hand the operator to the python kernel.
+        overflow = (bound_left * bound_right if op == "*"
+                    else bound_left + bound_right) >= _INT_SAFE
+        if overflow:
+            raise NpUnsupported("int64 arithmetic may overflow")
+        if isinstance(a, bool) or (_is_array(a) and a.dtype.kind == "b"):
+            a = _np.asarray(a, dtype=_np.int64) if _is_array(a) else int(a)
+        if isinstance(b, bool) or (_is_array(b) and b.dtype.kind == "b"):
+            b = _np.asarray(b, dtype=_np.int64) if _is_array(b) else int(b)
+    else:
+        _guard_float_exact(left, right, "arithmetic")
+    func = {"+": operator.add, "-": operator.sub, "*": operator.mul}[op]
+    return NpValue(func(a, b), null, "num")
+
+
+def _num_class(value: NpValue) -> str:
+    if _is_array(value.values):
+        return {"b": "bool", "i": "int", "u": "int",
+                "f": "float"}[value.values.dtype.kind]
+    if isinstance(value.values, bool):
+        return "bool"
+    return "int" if type(value.values) is int else "float"
+
+
+def _coalesce(first: NpValue, second: NpValue) -> NpValue:
+    if first.null is False:
+        return first
+    if first.kind == "null":
+        return second
+    if first.kind != "num" or second.kind not in ("num", "null"):
+        raise NpUnsupported("non-numeric COALESCE")
+    if second.kind == "null":
+        return first
+    if _num_class(first) != _num_class(second):
+        # np.where would promote to one dtype; Python keeps the branch
+        # values' own types per row (3 vs 3.0, True vs 1).
+        raise NpUnsupported("COALESCE over mixed numeric types")
+    take_second = mask_of(first.null, len(first.values)
+                          if _is_array(first.values) else 1)
+    values = _np.where(take_second, second.values, first.values)
+    null = _and(first.null, second.null)
+    return NpValue(values, null, "num")
+
+
+def np_value(expression: Expression, resolve: Resolver) -> NpValue:
+    """Evaluate a scalar expression to an :class:`NpValue`.
+
+    Raises :class:`NpUnsupported` when no exact whole-array evaluation
+    exists; the caller routes that operator to the python kernel.
+    """
+    if isinstance(expression, Literal):
+        return value_of_scalar(expression.value)
+    if isinstance(expression, Column):
+        return resolve(expression.reference)
+    if isinstance(expression, Arithmetic):
+        return _arithmetic(expression.op,
+                           np_value(expression.left, resolve),
+                           np_value(expression.right, resolve))
+    if isinstance(expression, Coalesce):
+        return _coalesce(np_value(expression.first, resolve),
+                         np_value(expression.second, resolve))
+    raise NpUnsupported(
+        f"no array form for {type(expression).__name__}")
+
+
+def np_predicate(expression: Expression, resolve: Resolver) -> NpTruth:
+    """Evaluate a predicate expression to an :class:`NpTruth`."""
+    if isinstance(expression, Comparison):
+        return _comparison(expression.op,
+                           np_value(expression.left, resolve),
+                           np_value(expression.right, resolve))
+    if isinstance(expression, And):
+        a = np_predicate(expression.left, resolve)
+        b = np_predicate(expression.right, resolve)
+        return NpTruth(_and(a.true, b.true), _or(a.false, b.false))
+    if isinstance(expression, Or):
+        a = np_predicate(expression.left, resolve)
+        b = np_predicate(expression.right, resolve)
+        return NpTruth(_or(a.true, b.true), _and(a.false, b.false))
+    if isinstance(expression, Not):
+        a = np_predicate(expression.operand, resolve)
+        return NpTruth(a.false, a.true)
+    if isinstance(expression, IsNull):
+        operand = np_value(expression.operand, resolve)
+        null = operand.null if operand.kind != "null" else True
+        if expression.negated:
+            return NpTruth(_not(null), null)
+        return NpTruth(null, _not(null))
+    if isinstance(expression, TruthLiteral):
+        value = expression.value
+        return NpTruth(value is Truth.TRUE, value is Truth.FALSE)
+    raise NpUnsupported(
+        f"no array form for predicate {type(expression).__name__}")
+
+
+def np_truth_mask(expression: Expression, resolve: Resolver,
+                  n: int) -> Any:
+    """The rows (as a bool mask of length ``n``) where a predicate is
+    TRUE — the only verdict selections and residuals keep."""
+    return mask_of(np_predicate(expression, resolve).true, n)

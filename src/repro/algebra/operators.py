@@ -89,6 +89,10 @@ class ScanTable(Operator):
         qualifier = self.alias or self.table_name
         out = Relation(relation.schema.rename(qualifier), relation.rows,
                        name=self.table_name, validate=False)
+        # Scan views share the stored relation's columnar-encoding cache:
+        # the typed columns are qualifier-independent, so every query
+        # over this table reuses one encoding until the table mutates.
+        out._columnar = relation._columnar
         return out
 
 

@@ -11,7 +11,8 @@ Parallel and memory-bounded GMDJ execution hang off the same flags:
 ``--workers N`` evaluates detail partitions on a worker pool
 (``--partitions`` controls the fragment count), ``--chunk-budget``
 switches to memory-bounded chunked evaluation, ``--chunk-size`` (or
-``--mode gmdj_vectorized``) runs the columnar batch kernel, and
+``--mode gmdj_vectorized``) runs the columnar batch kernel,
+``--backend numpy`` runs that kernel on whole-array numpy buffers, and
 ``--no-cache`` bypasses the database's plan/result cache.
 
 Every ``*.csv`` file in ``--data`` (written by
@@ -56,6 +57,15 @@ control (429 on overload), per-request deadlines (408), and graceful
 drain on SIGINT/SIGTERM (503 while draining).  ``--data`` pre-loads a
 CSV directory into the ``default`` tenant; other tenants are created on
 first reference.
+
+The ``convert`` subcommand rewrites a data directory between the CSV
+interchange format and the binary ``.cols`` column format::
+
+    python -m repro convert warehouse_dir/ warehouse_bin/ --to binary
+
+Binary tables load memory-mapped without a parse step; ``--data``
+accepts directories holding either format (binary shadows a same-named
+CSV).
 
 The ``fuzz`` subcommand runs the differential fuzzer instead::
 
@@ -113,6 +123,12 @@ def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
              "(implies --mode gmdj_vectorized)",
     )
     parser.add_argument(
+        "--backend", choices=("python", "numpy", "auto"), default=None,
+        help="array-kernel backend for vectorized evaluation (implies "
+             "--mode gmdj_vectorized; 'auto' picks numpy when installed; "
+             "also via REPRO_BACKEND)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the plan/result cache for this run",
     )
@@ -139,6 +155,7 @@ def query_options(args) -> QueryOptions:
         workers=args.workers,
         chunk_budget=args.chunk_budget,
         chunk_size=args.chunk_size,
+        backend=args.backend,
         use_cache=not args.no_cache,
         rollup=args.rollup,
         mqo=args.mqo,
@@ -154,7 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("sql", help="the SELECT statement to run")
     parser.add_argument(
         "--data", type=Path, default=None,
-        help="directory of *.csv files to load as tables",
+        help="directory of *.csv files and *.cols binary tables to load",
     )
     add_execution_arguments(parser)
     parser.add_argument(
@@ -182,12 +199,82 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def load_data_directory(db: Database, directory: Path) -> list[str]:
-    """Load every CSV in ``directory`` as a table; returns table names."""
+    """Load every table in ``directory``; returns table names.
+
+    ``*.csv`` files load through the text reader; ``*.cols/`` binary
+    column directories (see :mod:`repro.storage.binio`) load through the
+    memory-mapped reader.  A binary table shadows a same-named CSV — the
+    binary form is the faster, lossless one, and ``repro convert`` keeps
+    the CSV around only as interchange.
+    """
+    from repro.storage.binio import binary_tables, table_stem
+
     names = []
+    binary_names = set()
+    for path in binary_tables(directory):
+        name = table_stem(path)
+        db.load_binary(name, path)
+        binary_names.add(name)
+        names.append(name)
     for path in sorted(directory.glob("*.csv")):
+        if path.stem in binary_names:
+            continue
         db.load_csv(path.stem, path)
         names.append(path.stem)
-    return names
+    return sorted(names)
+
+
+def build_convert_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro convert",
+        description="Convert a data directory between the CSV interchange "
+                    "format and the binary .cols column format "
+                    "(NPY-per-column + JSON manifest, memory-mapped on "
+                    "load).",
+    )
+    parser.add_argument(
+        "source", type=Path,
+        help="directory of tables to convert (*.csv and/or *.cols)",
+    )
+    parser.add_argument(
+        "destination", type=Path,
+        help="directory to write converted tables into (created if needed)",
+    )
+    parser.add_argument(
+        "--to", choices=("binary", "csv"), default="binary",
+        help="target format (default: binary)",
+    )
+    return parser
+
+
+def convert_main(argv: list[str], out) -> int:
+    from repro.storage import save_binary, save_csv
+
+    args = build_convert_parser().parse_args(argv)
+    if not args.source.is_dir():
+        print(f"error: {args.source} is not a directory", file=sys.stderr)
+        return 2
+    db = Database()
+    try:
+        names = load_data_directory(db, args.source)
+        if not names:
+            print(f"error: no tables (*.csv or *.cols) in {args.source}",
+                  file=sys.stderr)
+            return 2
+        args.destination.mkdir(parents=True, exist_ok=True)
+        for name in names:
+            relation = db.catalog.table(name)
+            if args.to == "binary":
+                written = save_binary(relation, args.destination / name)
+            else:
+                written = args.destination / f"{name}.csv"
+                save_csv(relation, written)
+            print(f"{name}: {len(relation)} rows -> {written}", file=out)
+        print(f"converted {len(names)} table(s) to {args.to}", file=out)
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 def build_fuzz_parser() -> argparse.ArgumentParser:
@@ -305,7 +392,7 @@ def build_lint_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--data", type=Path, default=None,
-        help="directory of *.csv files to load as tables",
+        help="directory of *.csv files and *.cols binary tables to load",
     )
     parser.add_argument(
         "--index", action="append", default=[], metavar="TABLE.ATTR",
@@ -597,7 +684,7 @@ def build_explain_parser() -> argparse.ArgumentParser:
     parser.add_argument("sql", help="the SELECT statement to explain")
     parser.add_argument(
         "--data", type=Path, default=None,
-        help="directory of *.csv files to load as tables",
+        help="directory of *.csv files and *.cols binary tables to load",
     )
     add_execution_arguments(parser)
     parser.add_argument(
@@ -687,6 +774,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return lint_main(argv[1:], out)
     if argv and argv[0] == "serve":
         return serve_main(argv[1:], out)
+    if argv and argv[0] == "convert":
+        return convert_main(argv[1:], out)
     args = build_parser().parse_args(argv)
     db = Database()
     try:

@@ -155,6 +155,21 @@ class Database:
         self.rollups.invalidate()
         return self.catalog.create_table(name, load_csv(path, name=name))
 
+    def load_binary(self, name: str, path: str | Path) -> Relation:
+        """Create a table from a ``.cols`` binary column directory.
+
+        The loaded relation arrives with its columnar encoding cache
+        pre-seeded from the memory-mapped column files (see
+        :mod:`repro.storage.binio`), so the first vectorized query scans
+        the mapped buffers without re-encoding the rows.
+        """
+        from repro.storage.binio import load_binary
+
+        self._check_open()
+        self.cache.invalidate()
+        self.rollups.invalidate()
+        return self.catalog.create_table(name, load_binary(path, name=name))
+
     def create_index(self, table: str, attribute: str) -> None:
         """Create a single-attribute hash index (conventional engines'
         correlation lookups and indexed joins use these)."""

@@ -12,6 +12,12 @@ frozen dataclass, :class:`QueryOptions`:
   with columnwise merge, ``"gmdj_vectorized"`` (alias
   ``"vectorized"``) for columnar batch execution
   (:mod:`repro.gmdj.vectorized`).
+* ``backend``       — the array-kernel backend for vectorized scans:
+  ``"python"`` forces the dependency-free batch kernel, ``"numpy"``
+  requires the whole-array numpy kernel
+  (:mod:`repro.gmdj.npkernel`), ``"auto"`` picks numpy when
+  importable.  Setting it implies ``mode="gmdj_vectorized"``; ``None``
+  defers to the ``REPRO_BACKEND`` environment hook at kernel dispatch.
 * ``partitions``    — fragment count for partitioned mode.
 * ``workers``       — worker-pool size for partitioned mode (1 =
   sequential fragments; defaults to ``REPRO_WORKERS``).
@@ -77,6 +83,17 @@ GMDJ_STRATEGIES = frozenset({
 
 MODES = (None, "plain", "chunked", "partitioned", "gmdj_vectorized")
 
+#: Array-kernel backends for the vectorized mode.  ``None`` defers to the
+#: ``REPRO_BACKEND`` environment hook at kernel dispatch (defaulting to
+#: the dependency-free Python batch kernel); ``"auto"`` picks numpy when
+#: importable, else python.
+BACKENDS = (None, "python", "numpy", "auto")
+
+#: Environment hook supplying the *default* array-kernel backend for
+#: vectorized scans whose options left ``backend`` unset.  Composes with
+#: ``REPRO_MODE=gmdj_vectorized`` (the CI numpy matrix leg sets both).
+REPRO_BACKEND_ENV = "REPRO_BACKEND"
+
 #: Accepted spellings that normalize onto a canonical mode name.
 _MODE_ALIASES = {"vectorized": "gmdj_vectorized"}
 
@@ -117,6 +134,7 @@ class QueryOptions:
 
     strategy: str = "auto"
     mode: str | None = None
+    backend: str | None = None
     partitions: int | None = None
     workers: int | None = None
     chunk_budget: int | None = None
@@ -139,6 +157,16 @@ class QueryOptions:
             raise ConfigurationError(
                 f"unknown mode {self.mode!r}; choose one of {MODES}"
             )
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; "
+                f"choose one of {BACKENDS}"
+            )
+        if self.backend == "numpy":
+            # Fail fast with a clean error instead of at kernel dispatch.
+            from repro.storage.npcolumns import require_numpy
+
+            require_numpy()
         if self.lint not in LINT_LEVELS:
             raise ConfigurationError(
                 f"unknown lint level {self.lint!r}; "
@@ -209,7 +237,7 @@ class QueryOptions:
                 )
             strategy, mode = base, (implied if mode != "plain" else "plain")
         if mode is None:
-            if self.chunk_size is not None:
+            if self.backend is not None or self.chunk_size is not None:
                 mode = "gmdj_vectorized"
             elif self.partitions is not None or self.workers is not None:
                 if self.chunk_budget is not None:
@@ -232,6 +260,11 @@ class QueryOptions:
         if self.chunk_size is not None and mode != "gmdj_vectorized":
             raise ConfigurationError(
                 f"chunk_size applies only to mode 'gmdj_vectorized', "
+                f"not {mode!r}"
+            )
+        if self.backend is not None and mode != "gmdj_vectorized":
+            raise ConfigurationError(
+                f"backend applies only to mode 'gmdj_vectorized', "
                 f"not {mode!r}"
             )
         if mode == "gmdj_vectorized":
@@ -300,6 +333,25 @@ class QueryOptions:
         return value
 
     @staticmethod
+    def environment_backend() -> str | None:
+        """The ``REPRO_BACKEND`` default-backend override, validated.
+
+        Consulted at kernel dispatch for vectorized scans whose options
+        left ``backend`` unset; an explicit ``backend=...`` always wins.
+        """
+        import os
+
+        value = os.environ.get(REPRO_BACKEND_ENV)
+        if not value:
+            return None
+        if value not in BACKENDS:
+            raise ConfigurationError(
+                f"{REPRO_BACKEND_ENV}={value!r} is not a backend; "
+                f"choose one of {BACKENDS[1:]}"
+            )
+        return value
+
+    @staticmethod
     def _environment_mode() -> str | None:
         """The ``REPRO_MODE`` default-mode override, validated."""
         import os
@@ -330,6 +382,6 @@ class QueryOptions:
         canon = self.canonical()
         lint = None if canon.lint == "off" else canon.lint
         mqo = None if canon.mqo == "off" else canon.mqo
-        return (canon.strategy, canon.mode, canon.partitions,
+        return (canon.strategy, canon.mode, canon.backend, canon.partitions,
                 canon.workers, canon.chunk_budget, canon.chunk_size, lint,
                 canon.rollup, mqo)

@@ -231,6 +231,7 @@ def _rollup_node_runners(
                 lambda gmdj: evaluate_gmdj_chunked(
                     gmdj, catalog, options.chunk_budget,
                     vectorized=True, chunk_size=options.chunk_size,
+                    backend=options.backend,
                 ),
                 None,
             )
@@ -245,14 +246,17 @@ def _rollup_node_runners(
                 lambda gmdj: evaluate_gmdj_partitioned(
                     gmdj, catalog, partitions, workers=workers,
                     vectorized=True, chunk_size=options.chunk_size,
+                    backend=options.backend,
                 ),
                 None,
             )
         resolved = resolve_chunk_size(options.chunk_size)
         return (
-            lambda gmdj: evaluate_gmdj_vectorized(gmdj, catalog, resolved),
+            lambda gmdj: evaluate_gmdj_vectorized(
+                gmdj, catalog, resolved, backend=options.backend
+            ),
             lambda node: evaluate_select_gmdj_vectorized(
-                node, catalog, resolved
+                node, catalog, resolved, backend=options.backend
             ),
         )
     return (lambda gmdj: gmdj.evaluate(catalog), None)
@@ -334,6 +338,7 @@ def _gmdj_runner(
                 evaluate_plan_chunked(
                     plan, catalog, options.chunk_budget,
                     vectorized=True, chunk_size=options.chunk_size,
+                    backend=options.backend,
                 ))
         if options.partitions is not None or options.workers is not None:
             partitions = options.partitions or DEFAULT_PARTITIONS
@@ -341,9 +346,11 @@ def _gmdj_runner(
                 evaluate_plan_partitioned(
                     plan, catalog, partitions, workers=options.workers,
                     vectorized=True, chunk_size=options.chunk_size,
+                    backend=options.backend,
                 ))
         return _certified_runner(translate, catalog, lambda plan:
-            evaluate_plan_vectorized(plan, catalog, options.chunk_size))
+            evaluate_plan_vectorized(plan, catalog, options.chunk_size,
+                                     backend=options.backend))
     return _certified_runner(translate, catalog,
                              lambda plan: plan.evaluate(catalog))
 

@@ -57,8 +57,11 @@ STRATEGY_ENGINES = (
 )
 
 #: Evaluation-mode engines (plain translation, fragmented or batched
-#: evaluation).
-MODE_ENGINES = ("gmdj_chunked", "gmdj_parallel", "gmdj_vectorized")
+#: evaluation).  ``gmdj_numpy`` is the vectorized mode on the numpy
+#: whole-array backend; it is recorded as a skip when the optional
+#: numpy extra is not installed.
+MODE_ENGINES = ("gmdj_chunked", "gmdj_parallel", "gmdj_vectorized",
+                "gmdj_numpy")
 
 #: Cold-then-warm replay through the semantic rollup store
 #: (:mod:`repro.engine.rollup`); divergence kind "rollup-divergence".
@@ -205,6 +208,7 @@ def capability_violations(database: Database, repro_sql: str) -> list[str]:
     from repro.errors import CertificateViolation
     from repro.lint.absint import capability_scope, certify_capabilities
     from repro.obs.invariants import check_capabilities
+    from repro.storage.npcolumns import HAVE_NUMPY
 
     try:
         query = database.sql(repro_sql)
@@ -222,12 +226,19 @@ def capability_violations(database: Database, repro_sql: str) -> list[str]:
         except TranslationError:
             continue
         certificate = certify_capabilities(plan, database.catalog)
-        runs = (
+        runs = [
             (label, lambda: plan.evaluate(database.catalog)),
             (f"{label}/vectorized",
              lambda: evaluate_plan_vectorized(
                  plan, database.catalog, FUZZ_CHUNK_SIZE)),
-        )
+        ]
+        if HAVE_NUMPY:
+            # The whole-array backend trusts the same certificate for
+            # its mask-free encodings; it must uphold it too.
+            runs.append((f"{label}/numpy",
+                         lambda: evaluate_plan_vectorized(
+                             plan, database.catalog, FUZZ_CHUNK_SIZE,
+                             backend="numpy")))
         for run_label, run in runs:
             try:
                 with capability_scope(certificate):
@@ -356,6 +367,15 @@ def run_differential(
                 elif engine == "gmdj_vectorized":
                     result = evaluate_plan_vectorized(
                         plan, database.catalog, FUZZ_CHUNK_SIZE)
+                elif engine == "gmdj_numpy":
+                    from repro.storage.npcolumns import HAVE_NUMPY
+
+                    if not HAVE_NUMPY:
+                        outcome.skipped.append(engine)
+                        continue
+                    result = evaluate_plan_vectorized(
+                        plan, database.catalog, FUZZ_CHUNK_SIZE,
+                        backend="numpy")
                 else:
                     result = evaluate_plan_partitioned(
                         plan, database.catalog, FUZZ_PARTITIONS)

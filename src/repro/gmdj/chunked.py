@@ -35,6 +35,7 @@ from repro.storage.schema import Schema
 def evaluate_gmdj_chunked(
     gmdj: GMDJ, catalog: Catalog, memory_tuples: int,
     vectorized: bool = False, chunk_size: int | None = None,
+    backend: str | None = None,
 ) -> Relation:
     """Evaluate a GMDJ holding at most ``memory_tuples`` base tuples.
 
@@ -42,7 +43,10 @@ def evaluate_gmdj_chunked(
     the detail relation is scanned ``ceil(|B| / memory_tuples)`` times.
     ``vectorized`` runs each fragment's scan on the columnar batch kernel
     (:mod:`repro.gmdj.vectorized`) with ``chunk_size`` detail rows per
-    batch.
+    batch, optionally on the numpy ``backend``.  Every fragment scans
+    the *same* detail relation, so the columnar encoding (and its
+    ndarray views) is built once and served from the relation's cache
+    for every subsequent fragment.
     """
     if memory_tuples < 1:
         raise ConfigurationError(
@@ -54,7 +58,8 @@ def evaluate_gmdj_chunked(
         def run(fragment: Relation, detail: Relation, plan: GMDJ,
                 schema: Schema) -> Relation:
             return run_gmdj_vectorized(fragment, detail, plan, schema,
-                                       chunk_size=chunk_size)
+                                       chunk_size=chunk_size,
+                                       backend=backend)
     else:
         run = run_gmdj
     with span("GMDJ(chunked)", kind="gmdj_chunked", budget=memory_tuples,

@@ -42,12 +42,13 @@ def evaluate_plan_chunked(
     memory_tuples: int = DEFAULT_MEMORY_TUPLES,
     vectorized: bool = False,
     chunk_size: int | None = None,
+    backend: str | None = None,
 ) -> Relation:
     """Evaluate ``plan`` with every GMDJ base-chunked to ``memory_tuples``.
 
     ``vectorized`` runs each base chunk's scan through the columnar batch
-    kernel (``chunk_size`` detail rows per batch) instead of the row
-    interpreter.
+    kernel (``chunk_size`` detail rows per batch, optionally on the numpy
+    ``backend``) instead of the row interpreter.
     """
     if memory_tuples < 1:
         raise ConfigurationError(
@@ -60,35 +61,40 @@ def evaluate_plan_chunked(
             lambda gmdj: evaluate_gmdj_chunked(
                 gmdj, catalog, memory_tuples,
                 vectorized=vectorized, chunk_size=chunk_size,
+                backend=backend,
             ),
         )
 
 
 def evaluate_plan_vectorized(
     plan: Operator, catalog: Catalog, chunk_size: int | None = None,
+    backend: str | None = None,
 ) -> Relation:
     """Evaluate ``plan`` with every GMDJ on the columnar batch kernel.
 
     Single-scan evaluation exactly like plain mode — same IOStats
     accounting, same trace invariants, bag-equal output — but the detail
     scan runs in ``chunk_size``-row batches over columnar storage with
-    codegen'd expressions (:mod:`repro.gmdj.vectorized`).  Fused
+    codegen'd expressions (:mod:`repro.gmdj.vectorized`), or whole-array
+    on the numpy ``backend`` (:mod:`repro.gmdj.npkernel`).  Fused
     ``SelectGMDJ`` nodes route through the kernel's completion path.
     """
     from repro.gmdj.vectorized import (
         evaluate_gmdj_vectorized,
         evaluate_select_gmdj_vectorized,
+        resolve_backend,
         resolve_chunk_size,
     )
 
     resolved = resolve_chunk_size(chunk_size)
     with span("plan(vectorized)", kind="mode", mode="gmdj_vectorized",
-              chunk_size=resolved):
+              chunk_size=resolved, backend=resolve_backend(backend)):
         return _evaluate(
             plan, catalog,
-            lambda gmdj: evaluate_gmdj_vectorized(gmdj, catalog, resolved),
+            lambda gmdj: evaluate_gmdj_vectorized(gmdj, catalog, resolved,
+                                                  backend=backend),
             run_select_node=lambda node: evaluate_select_gmdj_vectorized(
-                node, catalog, resolved
+                node, catalog, resolved, backend=backend
             ),
         )
 
@@ -101,6 +107,7 @@ def evaluate_plan_partitioned(
     executor: str | None = None,
     vectorized: bool = False,
     chunk_size: int | None = None,
+    backend: str | None = None,
 ) -> Relation:
     """Evaluate ``plan`` with every GMDJ's detail split into ``partitions``.
 
@@ -108,7 +115,7 @@ def evaluate_plan_partitioned(
     a worker pool (see :mod:`repro.gmdj.pool`); the default follows the
     ``REPRO_WORKERS`` environment variable, else sequential fragments.
     ``vectorized`` runs every fragment's scan on the columnar batch
-    kernel.
+    kernel, optionally on the numpy ``backend``.
     """
     from repro.gmdj.pool import resolve_workers
 
@@ -121,7 +128,7 @@ def evaluate_plan_partitioned(
             plan, catalog,
             lambda gmdj: evaluate_gmdj_partitioned(
                 gmdj, catalog, partitions, workers=workers, executor=executor,
-                vectorized=vectorized, chunk_size=chunk_size,
+                vectorized=vectorized, chunk_size=chunk_size, backend=backend,
             ),
         )
 

@@ -1,0 +1,524 @@
+"""Whole-array GMDJ detail scan: the numpy backend.
+
+The python batch kernel (:mod:`repro.gmdj.vectorized`) amortizes closure
+dispatch across chunks but still executes one generated Python frame per
+chunk element.  This kernel eliminates per-row Python entirely for
+completion-free scans:
+
+* θ residuals and invariant filters evaluate as whole-array 3VL masks
+  (:mod:`repro.algebra.npcompile`) over zero-copy column views
+  (:mod:`repro.storage.npcolumns`);
+* hash probing factorizes the key columns with ``np.unique`` — the
+  Python-level bucket dictionary is probed once per *distinct* key, not
+  once per row — and detail rows group into per-base-tuple index
+  segments with one stable argsort;
+* distributive/algebraic aggregates accumulate with whole-array
+  reductions per segment (``np.cumsum`` for float sums keeps Python's
+  sequential addition order bit-for-bit).
+
+Identity contract
+-----------------
+The scan produces the same rows, in the same order, with the same
+:class:`~repro.storage.iostats.IOStats` counters as the python kernels:
+``index_probes`` counts every detail row per hash block, and
+``predicate_evals``/``aggregate_updates`` count candidate pairs and
+per-spec survivor updates exactly as ``_scan_batched`` does.  Work that
+has no *exact* whole-array form — object-encoded columns, DISTINCT
+(holistic) aggregates, int64 overflow hazards, NaN min/max — falls back
+per operator: an unsupported θ block runs untouched on the python batch
+kernel, while an unsupported aggregate argument or risky segment
+reduction drops to per-value Python accumulation over the
+already-computed survivor set.  Block- and spec-level fallbacks are
+reported to the caller so EXPLAIN ANALYZE can surface them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.algebra.aggregates import (
+    Avg,
+    CountStar,
+    CountValue,
+    Max,
+    Min,
+    Sum,
+)
+from repro.algebra.analysis import factor_condition, refers_only_to
+from repro.algebra.compile import compile_batch_values
+from repro.algebra.npcompile import (
+    _INT_SAFE,
+    NpUnsupported,
+    NpValue,
+    np_truth_mask,
+    np_value,
+    value_of_column,
+    value_of_scalar,
+)
+from repro.gmdj.evaluate import _BlockRuntime
+from repro.gmdj.operator import ThetaBlock
+from repro.storage.columnar import ColumnarRelation
+from repro.storage.iostats import IOStats
+from repro.storage.npcolumns import column_array, require_numpy
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+#: Int64 magnitude bound above which a segment sum falls back to exact
+#: Python accumulation (Python ints are unbounded; int64 wraps).
+_SUM_SAFE = 2 ** 63
+
+
+class _SegmentFallback(Exception):
+    """This spec/segment needs per-value Python accumulation (exactness
+    guard or holistic aggregate); the survivor set is already known, so
+    this never aborts the block."""
+
+
+class _DetailContext:
+    """Whole-column NpValue resolution over one columnar relation."""
+
+    __slots__ = ("columnar", "schema", "_by_ref", "_by_position")
+
+    def __init__(self, columnar: ColumnarRelation, schema: Schema) -> None:
+        self.columnar = columnar
+        self.schema = schema
+        self._by_ref: dict[str, NpValue] = {}
+        self._by_position: dict[int, NpValue] = {}
+
+    def by_position(self, position: int) -> NpValue:
+        value = self._by_position.get(position)
+        if value is None:
+            column = column_array(self.columnar, position)
+            if column is None:
+                field = self.schema.fields[position]
+                raise NpUnsupported(
+                    f"object-encoded column {field.full_name}")
+            value = self._by_position[position] = value_of_column(column)
+        return value
+
+    def resolve(self, reference: str) -> NpValue:
+        value = self._by_ref.get(reference)
+        if value is None:
+            position = self.schema.index_of(reference)
+            value = self._by_ref[reference] = self.by_position(position)
+        return value
+
+
+def _gather(value: NpValue, idx: Any, np: Any) -> NpValue:
+    """Restrict a whole-column NpValue to the rows in ``idx``."""
+    values = value.values
+    if isinstance(values, np.ndarray):
+        values = values[idx]
+    null = value.null
+    if isinstance(null, np.ndarray):
+        null = null[idx]
+    return NpValue(values, null, value.kind, value.dictionary)
+
+
+class _PairContext:
+    """Resolution over base-row scalars ++ detail columns.
+
+    Mirrors how the row kernel binds residuals against the concatenated
+    schema: positions below the base arity read the (Python) base row,
+    positions above it read detail columns — whole columns, or gathered
+    down to one hash segment's candidate rows.
+    """
+
+    __slots__ = ("detail", "combined_schema", "base_arity", "_positions")
+
+    def __init__(self, detail: _DetailContext, combined_schema: Schema,
+                 base_arity: int) -> None:
+        self.detail = detail
+        self.combined_schema = combined_schema
+        self.base_arity = base_arity
+        self._positions: dict[str, int] = {}
+
+    def resolver(self, base_row: tuple, idx: Any,
+                 np: Any) -> Callable[[str], NpValue]:
+        """A resolver for one base row; ``idx`` (or None for all rows)
+        selects the detail rows in scope."""
+        def resolve(reference: str) -> NpValue:
+            position = self._positions.get(reference)
+            if position is None:
+                position = self._positions[reference] = \
+                    self.combined_schema.index_of(reference)
+            if position < self.base_arity:
+                return value_of_scalar(base_row[position])
+            column = self.detail.by_position(position - self.base_arity)
+            return column if idx is None else _gather(column, idx, np)
+        return resolve
+
+
+def _python_key_value(key: NpValue, row: int, np: Any) -> Any:
+    """One key component at ``row`` as the Python value the buckets use."""
+    values = key.values
+    if not isinstance(values, np.ndarray):
+        return values  # literal key component, already a Python scalar
+    if key.kind == "str":
+        return (key.dictionary or [])[int(values[row])]
+    kind = values.dtype.kind
+    if kind == "b":
+        return bool(values[row])
+    if kind == "f":
+        return float(values[row])
+    return int(values[row])
+
+
+def _hash_segments(
+    runtime: _BlockRuntime,
+    key_exprs: Sequence[Any],
+    ctx: _DetailContext,
+    total: int,
+    np: Any,
+) -> list[tuple[int, Any]]:
+    """Group detail rows by matched base tuple via key factorization.
+
+    Returns ``(base_index, ascending row-index array)`` segments; rows
+    whose key contains NULL (or misses every bucket) appear in none.
+    The bucket dictionary is probed once per *distinct* key — the
+    ``np.unique`` trick that replaces a million Python probes with a
+    handful.
+    """
+    key_vals = [np_value(expr, ctx.resolve) for expr in key_exprs]
+    valid: Any = True
+    for kv in key_vals:
+        if kv.kind == "null" or kv.null is True:
+            return []  # a NULL key component can never match
+        if kv.null is not False:
+            valid = ~kv.null if valid is True else valid & ~kv.null
+    if valid is True:
+        valid_idx = np.arange(total, dtype=np.int64)
+    else:
+        valid_idx = np.flatnonzero(valid)
+    if not len(valid_idx):
+        return []
+    combined = None
+    capacity = 1
+    for kv in key_vals:
+        values = kv.values
+        if not isinstance(values, np.ndarray):
+            continue  # constant component: one group, nothing to split
+        uniques, inverse = np.unique(values[valid_idx],
+                                     return_inverse=True)
+        if combined is None:
+            combined, capacity = inverse, len(uniques)
+            continue
+        if capacity * len(uniques) >= _INT_SAFE:
+            # Re-densify the running codes before they overflow int64.
+            _, combined = np.unique(combined, return_inverse=True)
+            capacity = int(combined.max()) + 1
+        combined = combined * len(uniques) + inverse
+        capacity *= len(uniques)
+    if combined is None:  # all-constant key: every valid row, one group
+        combined = np.zeros(len(valid_idx), dtype=np.int64)
+    uniq_codes, first_pos, inverse = np.unique(
+        combined, return_index=True, return_inverse=True)
+    rep_rows = valid_idx[first_pos]
+    base_of_code = np.full(len(uniq_codes), -1, dtype=np.int64)
+    multi: list[tuple[int, list[int]]] = []
+    buckets_get = runtime.buckets.get
+    for code in range(len(uniq_codes)):
+        key = tuple(_python_key_value(kv, int(rep_rows[code]), np)
+                    for kv in key_vals)
+        candidates = buckets_get(key)
+        if not candidates:
+            continue
+        base_of_code[code] = candidates[0]
+        if len(candidates) > 1:
+            multi.append((code, candidates[1:]))
+    row_base = base_of_code[inverse]
+    matched = np.flatnonzero(row_base >= 0)
+    rows_sel = valid_idx[matched]
+    bases_sel = row_base[matched]
+    order = np.argsort(bases_sel, kind="stable")
+    sorted_rows = rows_sel[order]
+    sorted_bases = bases_sel[order]
+    seg_bases, seg_starts = np.unique(sorted_bases, return_index=True)
+    bounds = list(seg_starts) + [len(sorted_rows)]
+    segments: dict[int, Any] = {
+        int(seg_bases[i]): sorted_rows[bounds[i]:bounds[i + 1]]
+        for i in range(len(seg_bases))
+    }
+    for code, extras in multi:
+        rows_of_code = valid_idx[np.flatnonzero(inverse == code)]
+        for base_index in extras:
+            existing = segments.get(base_index)
+            segments[base_index] = rows_of_code if existing is None \
+                else np.sort(np.concatenate([existing, rows_of_code]))
+    return sorted(segments.items())
+
+
+def _segment_sum(accumulator: Any, effective: Any, np: Any) -> None:
+    """Exact whole-array sum into a Sum/Avg accumulator's ``total``."""
+    if effective.dtype.kind == "f":
+        # np.cumsum accumulates strictly left-to-right, matching the
+        # sequential `total += value` order of the python kernels
+        # bit-for-bit (np.sum's pairwise summation would not).
+        accumulator.total += float(np.cumsum(effective)[-1])
+    else:
+        bound = max(-int(effective.min()), int(effective.max()))
+        if bound and bound * len(effective) >= _SUM_SAFE:
+            raise _SegmentFallback  # Python ints never overflow
+        accumulator.total += int(effective.sum())
+
+
+def _apply_value_spec(accumulator: Any, value: NpValue, idx: Any,
+                      np: Any) -> None:
+    """Fold one segment of one aggregate argument into its accumulator.
+
+    Raises :class:`_SegmentFallback` for anything without an exact
+    array reduction (the caller re-runs the segment per-value in
+    Python, over the same survivor rows).
+    """
+    if value.kind == "str":
+        raise _SegmentFallback  # string min/max keeps Python ordering
+    if value.kind == "null" or value.null is True:
+        return  # all values NULL: every add() is a no-op
+    if isinstance(value.values, np.ndarray):
+        vals = value.values[idx]
+    else:
+        vals = np.full(len(idx), value.values)
+    if value.null is False:
+        effective = vals
+    else:
+        effective = vals[~value.null[idx]]
+    if not len(effective):
+        return
+    is_bool = effective.dtype.kind == "b"
+    if type(accumulator) is CountValue:
+        accumulator.count += len(effective)
+        return
+    if type(accumulator) is Sum:
+        _segment_sum(accumulator, effective.astype(np.int64)
+                     if is_bool else effective, np)
+        accumulator.seen = True
+        return
+    if type(accumulator) is Avg:
+        _segment_sum(accumulator, effective.astype(np.int64)
+                     if is_bool else effective, np)
+        accumulator.count += len(effective)
+        return
+    if type(accumulator) is Min or type(accumulator) is Max:
+        if is_bool:
+            raise _SegmentFallback  # keep bool objects, not 0/1 ints
+        if effective.dtype.kind == "f" and np.isnan(effective).any():
+            raise _SegmentFallback  # NaN breaks min/max comparability
+        best = effective.min() if type(accumulator) is Min \
+            else effective.max()
+        accumulator.add(best.item())
+        return
+    raise _SegmentFallback  # DistinctWrapper and anything unforeseen
+
+
+class _NpBlock:
+    """One θ block planned for the whole-array scan."""
+
+    __slots__ = ("runtime", "block", "value_arrays", "value_fallbacks",
+                 "py_value_fns", "segments", "probe_rows", "filter_evals")
+
+    def __init__(self, runtime: _BlockRuntime, block: ThetaBlock) -> None:
+        self.runtime = runtime
+        self.block = block
+        self.value_arrays: list[NpValue | None] = []
+        self.value_fallbacks: list[str | None] = []
+        self.py_value_fns: list[Any] = []
+        self.segments: list[tuple[int, Any]] = []
+        self.probe_rows = 0
+        self.filter_evals = 0
+
+
+def _plan_values(plan: _NpBlock, ctx: _DetailContext,
+                 detail_schema: Schema) -> None:
+    """Evaluate aggregate arguments whole-array; mark per-spec fallbacks."""
+    for spec in plan.block.aggregates:
+        reason: str | None = None
+        array: NpValue | None = None
+        if spec.argument is None:
+            pass  # count(*): no argument to evaluate
+        elif spec.distinct:
+            reason = "holistic DISTINCT aggregate"
+        else:
+            try:
+                array = np_value(spec.argument, ctx.resolve)
+            except NpUnsupported as exc:
+                reason = exc.reason
+        plan.value_arrays.append(array)
+        plan.value_fallbacks.append(reason)
+        plan.py_value_fns.append(
+            None if spec.argument is None
+            else compile_batch_values(spec.argument, detail_schema))
+
+
+def _plan_block(plan: _NpBlock, ctx: _DetailContext,
+                pair_ctx: _PairContext, base_schema: Schema,
+                base_rows: Sequence[tuple], n_base: int, total: int,
+                detail_schema: Schema, np: Any) -> bool:
+    """Compute this block's survivor segments and counter tallies.
+
+    Returns True when the block is invariant (segments target the
+    shared accumulator state).  May raise :class:`NpUnsupported` at any
+    point — the caller only flushes counters/accumulators for fully
+    planned blocks, so a partial plan has no observable effect.
+    """
+    runtime = plan.runtime
+    factored = factor_condition(plan.block.condition, base_schema,
+                                detail_schema)
+    residual = factored.residual
+    all_rows = np.arange(total, dtype=np.int64)
+
+    if runtime.invariant:
+        if residual is None:
+            survivors = all_rows
+        else:
+            plan.filter_evals += total
+            survivors = np.flatnonzero(
+                np_truth_mask(residual, ctx.resolve, total))
+        plan.segments = [(0, survivors)]
+        return True
+
+    if runtime.uses_hash:
+        plan.probe_rows = total
+        segments = _hash_segments(runtime, factored.right_keys, ctx,
+                                  total, np)
+        if residual is None:
+            plan.segments = segments
+            return False
+        plan.filter_evals += sum(len(idx) for _, idx in segments)
+        if refers_only_to(residual, detail_schema):
+            mask = np_truth_mask(residual, ctx.resolve, total)
+            plan.segments = [(base_index, idx[mask[idx]])
+                             for base_index, idx in segments]
+            return False
+        plan.segments = [
+            (base_index,
+             idx[np_truth_mask(
+                 residual,
+                 pair_ctx.resolver(base_rows[base_index], idx, np),
+                 len(idx))])
+            for base_index, idx in segments
+        ]
+        return False
+
+    # Scan block: every base row is a candidate for every detail row
+    # (completion-free, so the active list never shrinks).
+    if residual is None:
+        plan.segments = [(b, all_rows) for b in range(n_base)]
+        return False
+    plan.filter_evals += n_base * total
+    if refers_only_to(residual, detail_schema):
+        survivors = np.flatnonzero(
+            np_truth_mask(residual, ctx.resolve, total))
+        plan.segments = [(b, survivors) for b in range(n_base)]
+        return False
+    plan.segments = [
+        (base_index,
+         np.flatnonzero(np_truth_mask(
+             residual,
+             pair_ctx.resolver(base_rows[base_index], None, np),
+             total)))
+        for base_index in range(n_base)
+    ]
+    return False
+
+
+def _apply_segments(plan: _NpBlock, state: list[list[Any]],
+                    shared: bool, stats: IOStats,
+                    decoded_cols: Callable[[], Sequence],
+                    np: Any) -> None:
+    """Fold every segment into its accumulators.
+
+    Never raises NpUnsupported: per-spec/per-segment exactness guards
+    drop to Python ``add`` loops over the already-known survivors.
+    """
+    runtime = plan.runtime
+    for base_index, idx in plan.segments:
+        count = len(idx)
+        if not count:
+            continue
+        state_list = runtime.shared_state if shared \
+            else state[base_index][runtime.index]
+        idx_list: list[int] | None = None
+        for position, accumulator in enumerate(state_list):
+            stats.aggregate_updates += count
+            value = plan.value_arrays[position]
+            if value is None and plan.value_fallbacks[position] is None:
+                # count(*) fast path, mirroring _bulk_update
+                if type(accumulator) is CountStar:
+                    accumulator.count += count
+                else:  # pragma: no cover - defensive, like _bulk_update
+                    for _ in range(count):
+                        accumulator.add(None)
+                continue
+            if value is not None:
+                try:
+                    _apply_value_spec(accumulator, value, idx, np)
+                    continue
+                except _SegmentFallback:
+                    pass
+            if idx_list is None:
+                idx_list = idx.tolist()
+            value_fn = plan.py_value_fns[position]
+            add = accumulator.add
+            for item in value_fn(decoded_cols(), idx_list):
+                add(item)
+
+
+def run_numpy_scan(
+    columnar: ColumnarRelation,
+    runtimes: list[_BlockRuntime],
+    blocks: Sequence[ThetaBlock],
+    base: Relation,
+    detail_schema: Schema,
+    combined_schema: Schema,
+    state: list[list[Any]],
+    stats: IOStats,
+) -> tuple[list[tuple[_BlockRuntime, ThetaBlock]], list[str]]:
+    """Run every θ block whole-array where possible.
+
+    Returns ``(python_blocks, fallback_reasons)``: blocks with no exact
+    array form are untouched (no counters, no accumulator updates) and
+    must run on the python batch kernel; ``fallback_reasons`` collects
+    human-readable block- and spec-level notes for EXPLAIN ANALYZE.
+    """
+    np = require_numpy()
+    total = columnar.length
+    base_rows = base.rows
+    n_base = len(base_rows)
+    ctx = _DetailContext(columnar, detail_schema)
+    pair_ctx = _PairContext(ctx, combined_schema, len(base.schema))
+    decoded_state: dict[str, Sequence] = {}
+
+    def decoded_cols() -> Sequence:
+        cols = decoded_state.get("cols")
+        if cols is None:
+            cols = decoded_state["cols"] = columnar.value_columns()
+        return cols
+
+    python_blocks: list[tuple[_BlockRuntime, ThetaBlock]] = []
+    reasons: list[str] = []
+    applied: list[tuple[_NpBlock, bool]] = []
+
+    for runtime, block in zip(runtimes, blocks):
+        plan = _NpBlock(runtime, block)
+        try:
+            shared = _plan_block(plan, ctx, pair_ctx, base.schema,
+                                 base_rows, n_base, total, detail_schema,
+                                 np)
+            _plan_values(plan, ctx, detail_schema)
+        except NpUnsupported as exc:
+            python_blocks.append((runtime, block))
+            reasons.append(f"block {runtime.index}: {exc.reason}")
+            continue
+        applied.append((plan, shared))
+        for spec, reason in zip(block.aggregates, plan.value_fallbacks):
+            if reason is not None:
+                reasons.append(
+                    f"block {runtime.index} {spec.output_name}: {reason}")
+
+    # Counters and accumulators are only touched for fully planned
+    # blocks, so an NpUnsupported above never leaves partial state.
+    for plan, shared in applied:
+        stats.index_probes += plan.probe_rows
+        stats.predicate_evals += plan.filter_evals
+        _apply_segments(plan, state, shared, stats, decoded_cols, np)
+    return python_blocks, reasons

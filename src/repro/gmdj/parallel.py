@@ -136,6 +136,7 @@ def evaluate_gmdj_partitioned(
     executor: str | None = None,
     vectorized: bool = False,
     chunk_size: int | None = None,
+    backend: str | None = None,
 ) -> Relation:
     """Evaluate a GMDJ over a horizontally partitioned detail relation.
 
@@ -150,7 +151,7 @@ def evaluate_gmdj_partitioned(
     if partitions < 1:
         raise ConfigurationError(f"partitions must be >= 1, got {partitions}")
     workers = resolve_workers(workers)
-    run = _fragment_runner(vectorized, chunk_size)
+    run = _fragment_runner(vectorized, chunk_size, backend)
     with span("GMDJ(partitioned)", kind="gmdj_partitioned",
               partitions=partitions, workers=workers,
               blocks=len(gmdj.blocks), vectorized=vectorized) as sp:
@@ -178,13 +179,14 @@ def evaluate_gmdj_partitioned(
         result = _evaluate_partitions(
             gmdj, base, detail, partitions, output_schema, catalog,
             workers, executor, vectorized=vectorized, chunk_size=chunk_size,
+            backend=backend,
         )
         sp.set(output_rows=len(result))
         return result
 
 
 def _fragment_runner(
-    vectorized: bool, chunk_size: int | None
+    vectorized: bool, chunk_size: int | None, backend: str | None = None,
 ) -> Callable[[Relation, Relation, GMDJ, Schema], Relation]:
     """The per-fragment kernel: row interpreter or columnar batches."""
     if not vectorized:
@@ -194,7 +196,7 @@ def _fragment_runner(
     def run(base: Relation, fragment: Relation, plan: GMDJ,
             schema: Schema) -> Relation:
         return run_gmdj_vectorized(base, fragment, plan, schema,
-                                   chunk_size=chunk_size)
+                                   chunk_size=chunk_size, backend=backend)
     return run
 
 
@@ -209,12 +211,13 @@ def _evaluate_partitions(
     executor: str | None = None,
     vectorized: bool = False,
     chunk_size: int | None = None,
+    backend: str | None = None,
 ) -> Relation:
     """Partitioned evaluation proper: fragment scans + columnwise merge."""
     shadow, merge_kinds, reconstruct = _shadow_plan(gmdj)
     shadow_schema = shadow.schema(catalog)
     fragments = partition_rows(detail, partitions)
-    run = _fragment_runner(vectorized, chunk_size)
+    run = _fragment_runner(vectorized, chunk_size, backend)
 
     if workers > 1:
         from repro.gmdj.pool import map_partitions
@@ -222,7 +225,8 @@ def _evaluate_partitions(
         partials = map_partitions(base, fragments, shadow, shadow_schema,
                                   workers, executor,
                                   vectorized=vectorized,
-                                  chunk_size=chunk_size)
+                                  chunk_size=chunk_size,
+                                  backend=backend)
     else:
         partials = []
         for number, fragment in enumerate(fragments, start=1):

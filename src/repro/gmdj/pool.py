@@ -133,6 +133,7 @@ class PartitionTask:
     trace: bool
     vectorized: bool = False
     chunk_size: int | None = None
+    backend: str | None = None
 
 
 @dataclass
@@ -158,7 +159,8 @@ def run_partition(task: PartitionTask) -> PartitionResult:
         def run(base: Relation, fragment: Relation, shadow: GMDJ,
                 shadow_schema: Schema) -> Relation:
             return run_gmdj_vectorized(base, fragment, shadow, shadow_schema,
-                                       chunk_size=task.chunk_size)
+                                       chunk_size=task.chunk_size,
+                                       backend=task.backend)
     else:
         from repro.gmdj.evaluate import run_gmdj as run
 
@@ -299,6 +301,7 @@ def map_partitions(
     executor: str | None = None,
     vectorized: bool = False,
     chunk_size: int | None = None,
+    backend: str | None = None,
 ) -> list[list]:
     """Evaluate every fragment on a worker pool; returns partial row lists.
 
@@ -314,7 +317,8 @@ def map_partitions(
     kind = choose_executor(executor, sum(len(f) for f in fragments), shadow)
     tasks = [
         PartitionTask(number, base, fragment, shadow, shadow_schema, trace,
-                      vectorized=vectorized, chunk_size=chunk_size)
+                      vectorized=vectorized, chunk_size=chunk_size,
+                      backend=backend)
         for number, fragment in enumerate(fragments, start=1)
     ]
     registry = _registry_var.get()

@@ -55,7 +55,7 @@ from repro.gmdj.evaluate import (
 from repro.gmdj.operator import GMDJ, ThetaBlock
 from repro.obs.tracer import span
 from repro.storage.catalog import Catalog
-from repro.storage.columnar import ColumnarRelation
+from repro.storage.columnar import ColumnarRelation, cached_columnar
 from repro.storage.iostats import IOStats
 from repro.storage.relation import Relation
 from repro.storage.schema import Schema
@@ -74,6 +74,27 @@ def resolve_chunk_size(chunk_size: int | None) -> int:
             f"chunk_size must be >= 1, got {chunk_size}"
         )
     return chunk_size
+
+
+def resolve_backend(backend: str | None) -> str:
+    """The kernel backend actually used for this scan.
+
+    Resolution order: explicit option > ``REPRO_BACKEND`` environment
+    variable > ``"python"``.  ``"auto"`` picks numpy when the optional
+    extra is importable; asking for ``"numpy"`` without it is a clean
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    from repro.engine.options import QueryOptions
+    from repro.storage.npcolumns import HAVE_NUMPY, require_numpy
+
+    if backend is None:
+        backend = QueryOptions.environment_backend()
+    if backend is None or backend == "python":
+        return "python"
+    if backend == "auto":
+        return "numpy" if HAVE_NUMPY else "python"
+    require_numpy()  # backend == "numpy"
+    return "numpy"
 
 
 class _VectorBlock:
@@ -159,14 +180,17 @@ def _never_null_positions(detail: Relation) -> frozenset[int]:
     )
 
 
-def _scan_batched(detail: Relation, vblocks: list[_VectorBlock],
+def _scan_batched(columnar: ColumnarRelation, vblocks: list[_VectorBlock],
                   base_rows: Sequence[tuple], state: list[list[Any]],
-                  stats: IOStats, chunk_size: int,
-                  never_null: frozenset[int] = frozenset()) -> None:
-    """The completion-free batch scan: every base tuple stays active."""
-    columnar = ColumnarRelation.from_relation(detail, never_null=never_null)
+                  stats: IOStats, chunk_size: int) -> None:
+    """The completion-free batch scan: every base tuple stays active.
+
+    Operates on a pre-built columnar encoding so chunked fragments and
+    the numpy backend's per-block fallbacks reuse one transposition
+    (see :func:`repro.storage.columnar.cached_columnar`).
+    """
     cols = columnar.value_columns()
-    total = len(detail)
+    total = columnar.length
     n_base = len(base_rows)
     for number, start in enumerate(range(0, total, chunk_size), start=1):
         indices = range(start, min(start + chunk_size, total))
@@ -259,6 +283,7 @@ def run_gmdj_vectorized(
     rule: CompletionRule | None = None,
     selection: Expression | None = None,
     chunk_size: int | None = None,
+    backend: str | None = None,
 ) -> Relation:
     """Batch-evaluate a GMDJ; bag-equal to :func:`run_gmdj` always.
 
@@ -267,8 +292,14 @@ def run_gmdj_vectorized(
     the row kernel's; with one, page/tuple accounting is identical and
     the result bag matches exactly (the scan chunks through the row
     kernel's own completion logic).
+
+    ``backend="numpy"`` routes completion-free θ blocks through the
+    whole-array kernel (:mod:`repro.gmdj.npkernel`); blocks or
+    aggregates without an exact array form fall back per operator and
+    the reasons land on the ``detail_scan`` span for EXPLAIN ANALYZE.
     """
     chunk_size = resolve_chunk_size(chunk_size)
+    resolved_backend = resolve_backend(backend)
     stats = IOStats.ambient()
     detail_schema = detail.schema
     combined_schema = base.schema.concat(detail_schema)
@@ -288,19 +319,35 @@ def run_gmdj_vectorized(
     chunks = -(-total // chunk_size) if total else 0
 
     never_null = _never_null_positions(detail) if rule is None else frozenset()
+    fallbacks: list[str] = []
     with span("scan", kind="detail_scan",
               relation=getattr(detail, "name", None) or "<derived>",
               rows=total, chunks=chunks, chunk_size=chunk_size,
-              vectorized=True, mask_skipped=len(never_null)):
+              vectorized=True, backend=resolved_backend,
+              mask_skipped=len(never_null)) as scan_span:
         stats.record_scan(total)
         if rule is None:
-            vblocks = [
-                _VectorBlock(runtime, block, base, detail_schema)
-                for runtime, block in zip(runtimes, gmdj.blocks)
-            ]
-            _scan_batched(detail, vblocks, base_rows, state, stats,
-                          chunk_size, never_null)
+            columnar = cached_columnar(detail, never_null)
+            block_pairs = list(zip(runtimes, gmdj.blocks))
+            if resolved_backend == "numpy":
+                from repro.gmdj.npkernel import run_numpy_scan
+
+                block_pairs, fallbacks = run_numpy_scan(
+                    columnar, runtimes, gmdj.blocks, base, detail_schema,
+                    combined_schema, state, stats,
+                )
+            if block_pairs:
+                vblocks = [
+                    _VectorBlock(runtime, block, base, detail_schema)
+                    for runtime, block in block_pairs
+                ]
+                _scan_batched(columnar, vblocks, base_rows, state, stats,
+                              chunk_size)
         else:
+            if resolved_backend == "numpy":
+                # Completion bookkeeping is inherently row-at-a-time;
+                # the chunked row-kernel path below handles it.
+                fallbacks.append("completion rule: row-kernel chunked scan")
             _recompile_runtimes(runtimes, gmdj, base, detail_schema,
                                 combined_schema)
             must_be_zero = frozenset(rule.must_be_zero)
@@ -331,6 +378,8 @@ def run_gmdj_vectorized(
                     # leave the candidate set before the next batch.
                     active_list = [i for i in active_list
                                    if status[i] == _ACTIVE]
+        if fallbacks:
+            scan_span.set(fallbacks=tuple(fallbacks))
 
     shared_values = {
         runtime.index: AggregateBlock.finalize(runtime.shared_state)
@@ -345,6 +394,7 @@ def run_gmdj_vectorized(
 
 def evaluate_gmdj_vectorized(
     gmdj: GMDJ, catalog: Catalog, chunk_size: int | None = None,
+    backend: str | None = None,
 ) -> Relation:
     """Materialize the operands and batch-run the plain (unfused) GMDJ."""
     with span("GMDJ", kind="gmdj", blocks=len(gmdj.blocks),
@@ -358,13 +408,15 @@ def evaluate_gmdj_vectorized(
         IOStats.ambient().record_scan(len(base))
         result = run_gmdj_vectorized(base, detail, gmdj,
                                      gmdj.schema(catalog),
-                                     chunk_size=chunk_size)
+                                     chunk_size=chunk_size,
+                                     backend=backend)
         sp.set(output_rows=len(result))
         return result
 
 
 def evaluate_select_gmdj_vectorized(
     node: SelectGMDJ, catalog: Catalog, chunk_size: int | None = None,
+    backend: str | None = None,
 ) -> Relation:
     """Batch-run a fused ``σ[C](MD(...))`` (a :class:`SelectGMDJ` node)."""
     rule = node.rule
@@ -382,6 +434,7 @@ def evaluate_select_gmdj_vectorized(
         result = run_gmdj_vectorized(
             base, detail, gmdj, gmdj.schema(catalog),
             rule=rule, selection=node.selection, chunk_size=chunk_size,
+            backend=backend,
         )
         sp.set(output_rows=len(result))
         return result

@@ -107,8 +107,13 @@ def executed_summary(trace) -> dict:
     resolution and the ``REPRO_MODE`` environment hook, which the
     requested options alone cannot show) plus, for vectorized scans, the
     total batch ``chunks`` processed and the ``chunk_size`` in effect.
+    When a non-default array-kernel ``backend`` ran, the summary names
+    it and lists every per-operator ``fallbacks`` reason the scans
+    recorded (a block or aggregate the numpy kernel handed back to the
+    python kernel).
     """
     summary: dict = {}
+    fallbacks: list[str] = []
     for span_ in trace.walk():
         if span_.kind == "query":
             summary["strategy"] = span_.attrs.get("strategy")
@@ -120,6 +125,10 @@ def executed_summary(trace) -> dict:
             )
             if "chunk_size" in span_.attrs:
                 summary["chunk_size"] = span_.attrs["chunk_size"]
+            backend = span_.attrs.get("backend")
+            if backend and backend != "python":
+                summary["backend"] = backend
+                fallbacks.extend(span_.attrs.get("fallbacks", ()))
         elif span_.kind == "rollup_hit":
             tier = span_.attrs.get("tier")
             key = ("rollup_exact_hits" if tier == "exact"
@@ -127,6 +136,8 @@ def executed_summary(trace) -> dict:
             summary[key] = summary.get(key, 0) + 1
         elif span_.kind == "rollup_miss":
             summary["rollup_misses"] = summary.get("rollup_misses", 0) + 1
+    if fallbacks:
+        summary["fallbacks"] = fallbacks
     return summary
 
 

@@ -58,7 +58,7 @@ _TENANT_NAME = re.compile(r"^[A-Za-z0-9_.\-]{1,64}$")
 #: (``trace`` above all — tracing is the server's decision) is rejected.
 OPTION_FIELDS = frozenset({
     "strategy", "mode", "partitions", "workers", "chunk_budget",
-    "chunk_size", "use_cache", "lint", "rollup", "mqo",
+    "chunk_size", "backend", "use_cache", "lint", "rollup", "mqo",
 })
 
 

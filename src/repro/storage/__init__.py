@@ -1,5 +1,11 @@
 """Storage substrate: types, schemas, relations, indexes, catalog, I/O."""
 
+from repro.storage.binio import (
+    load_binary,
+    load_catalog_binary,
+    save_binary,
+    save_catalog_binary,
+)
 from repro.storage.catalog import Catalog
 from repro.storage.columnar import ColumnarRelation, ColumnData
 from repro.storage.csvio import load_catalog, load_csv, save_catalog, save_csv
@@ -26,8 +32,12 @@ __all__ = [
     "collect",
     "common_type",
     "comparable",
+    "load_binary",
     "load_catalog",
+    "load_catalog_binary",
     "load_csv",
+    "save_binary",
     "save_catalog",
+    "save_catalog_binary",
     "save_csv",
 ]

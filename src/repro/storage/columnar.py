@@ -51,6 +51,19 @@ _INT64_MAX = 2 ** 63 - 1
 _BOOLS = (False, True)
 
 
+def _plain_list(data: Any) -> list:
+    """Typed storage as a list of plain Python values.
+
+    ``array`` and ndarray expose ``tolist`` (which converts numpy
+    scalars to Python ints/floats/bools); ``bytearray`` iterates to
+    ints directly.
+    """
+    tolist = getattr(data, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    return list(data)
+
+
 class ColumnData:
     """One attribute's values: typed storage plus a validity mask.
 
@@ -82,24 +95,33 @@ class ColumnData:
         return len(self.valid) - sum(self.valid)
 
     def decode(self) -> list:
-        """The column as a plain list with ``None`` for NULL."""
+        """The column as a plain list with ``None`` for NULL.
+
+        Storage may be an ``array``/``bytearray`` (the encoder's output)
+        or an ndarray (memory-mapped binary persistence); ``tolist``
+        normalizes either to plain Python values so decoded rows are
+        byte-for-byte the same regardless of where the column came from.
+        """
         if self.kind == "dict":
             dictionary = self.dictionary or []
+            codes = _plain_list(self.data)
             if self.valid is None:
-                return [dictionary[code] for code in self.data]
+                return [dictionary[code] for code in codes]
             return [dictionary[code] if ok else None
-                    for code, ok in zip(self.data, self.valid)]
+                    for code, ok in zip(codes, self.valid)]
         if self.kind == "bool":
+            flags = _plain_list(self.data)
             if self.valid is None:
-                return [_BOOLS[value] for value in self.data]
+                return [_BOOLS[value] for value in flags]
             return [_BOOLS[value] if ok else None
-                    for value, ok in zip(self.data, self.valid)]
+                    for value, ok in zip(flags, self.valid)]
         if self.kind == "object":
             return list(self.data)
+        values = _plain_list(self.data)
         if self.valid is None:
-            return list(self.data)
+            return values
         return [value if ok else None
-                for value, ok in zip(self.data, self.valid)]
+                for value, ok in zip(values, self.valid)]
 
 
 def _object_column(values: list) -> ColumnData:
@@ -228,7 +250,8 @@ def _encode_never_null(
 class ColumnarRelation:
     """A relation transposed into typed columns (see module docstring)."""
 
-    __slots__ = ("schema", "name", "length", "columns", "_decoded")
+    __slots__ = ("schema", "name", "length", "columns", "_decoded",
+                 "_np_columns")
 
     def __init__(self, schema: Schema, columns: list[ColumnData],
                  length: int, name: str | None = None) -> None:
@@ -237,6 +260,10 @@ class ColumnarRelation:
         self.length = length
         self.name = name
         self._decoded: list[list | None] = [None] * len(columns)
+        # Lazily-built ndarray views (repro.storage.npcolumns); ``False``
+        # marks "not built yet" so a built-but-unsupported column can
+        # cache its ``None``.
+        self._np_columns: list[Any] = [False] * len(columns)
 
     def __len__(self) -> int:
         return self.length
@@ -297,3 +324,48 @@ class ColumnarRelation:
         """Materialize one row (mostly for tests and debugging)."""
         return tuple(self.values(i)[position]
                      for i in range(len(self.columns)))
+
+
+def cached_columnar(
+    relation: Relation, never_null: Collection[int] = frozenset(),
+) -> ColumnarRelation:
+    """The columnar encoding of ``relation``, cached on the relation.
+
+    Repeated vectorized/batch queries over the same stored detail used
+    to re-transpose and re-encode it per query (and per base fragment
+    under ``chunk_budget``); the encoding now lives on the
+    :class:`~repro.storage.relation.Relation` itself, keyed by the
+    NEVER-null position set, and is invalidated exactly like the plan
+    cache: ``insert``/``extend`` clear it, and DDL installs a fresh
+    relation object (see ``Catalog.replace_table``).
+
+    Scan views (``ScanTable``/``rename``) share the stored relation's
+    cache dict, so a requalified view hits the same encoding — the
+    typed columns are qualifier-independent; only the ``schema`` on the
+    returned wrapper differs, and decoded lists plus ndarray views are
+    shared with the cached instance.
+
+    Hit/miss counts surface in the metrics registry as
+    ``columnar.cache_hits`` / ``columnar.cache_misses``.
+    """
+    from repro.obs.metrics import get_registry
+
+    cache = getattr(relation, "_columnar", None)
+    if cache is None:
+        return ColumnarRelation.from_relation(relation,
+                                              never_null=never_null)
+    key = frozenset(never_null)
+    hit = cache.get(key)
+    if hit is not None:
+        get_registry().counter("columnar.cache_hits").inc()
+        if hit.schema is relation.schema:
+            return hit
+        clone = ColumnarRelation(relation.schema, hit.columns, hit.length,
+                                 name=getattr(relation, "name", None))
+        clone._decoded = hit._decoded
+        clone._np_columns = hit._np_columns
+        return clone
+    get_registry().counter("columnar.cache_misses").inc()
+    built = ColumnarRelation.from_relation(relation, never_null=never_null)
+    cache[key] = built
+    return built

@@ -27,7 +27,7 @@ Row = tuple
 class Relation:
     """A typed, ordered multiset of tuples."""
 
-    __slots__ = ("schema", "rows", "name")
+    __slots__ = ("schema", "rows", "name", "_columnar")
 
     def __init__(
         self,
@@ -42,6 +42,18 @@ class Relation:
             self.rows: list[Row] = [self._check_row(row) for row in rows]
         else:
             self.rows = [tuple(row) for row in rows]
+        # Columnar-encoding cache (repro.storage.columnar.cached_columnar),
+        # keyed by NEVER-null position set.  Scan views share this dict so
+        # repeated vectorized queries hit one encoding; mutations clear it.
+        self._columnar: dict = {}
+
+    def __getstate__(self) -> tuple:
+        # Worker-pool pickling: ship data, not the encoding cache.
+        return (self.schema, self.rows, self.name)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.schema, self.rows, self.name = state
+        self._columnar = {}
 
     def _check_row(self, row: Sequence[Any]) -> Row:
         if len(row) != len(self.schema):
@@ -79,6 +91,8 @@ class Relation:
 
     def insert(self, row: Sequence[Any]) -> None:
         self.rows.append(self._check_row(row))
+        if self._columnar:
+            self._columnar.clear()
 
     def extend(self, rows: Iterable[Sequence[Any]]) -> None:
         for row in rows:
@@ -127,8 +141,10 @@ class Relation:
 
     def rename(self, qualifier: str) -> "Relation":
         """A view of this relation with every field re-qualified."""
-        return Relation(self.schema.rename(qualifier), self.rows, name=self.name,
-                        validate=False)
+        out = Relation(self.schema.rename(qualifier), self.rows, name=self.name,
+                       validate=False)
+        out._columnar = self._columnar  # views share the encoding cache
+        return out
 
     def distinct(self) -> "Relation":
         seen: set[Row] = set()

@@ -174,8 +174,11 @@ class TestTraceSpans:
         output_schema = gmdj.schema(catalog)
         tracer = Tracer()
         with tracing(tracer):
+            # Pin the python backend: this test documents its per-chunk
+            # span contract (the numpy backend scans whole-array and is
+            # covered by tests/test_backend_numpy.py).
             run_gmdj_vectorized(base, detail, gmdj, output_schema,
-                                chunk_size=50)
+                                chunk_size=50, backend="python")
         scans = tracer.trace().find(kind="detail_scan")
         assert len(scans) == 1
         attrs = scans[0].attrs
